@@ -1,0 +1,148 @@
+//! Deadline-feasibility screening.
+//!
+//! Before allocating, each resource group (one server's streams, one AP's
+//! devices) is screened: if the mandatory minimum shares
+//! `Σ e_k/(D_k − a_k)` exceed capacity, the greedy screen rejects the
+//! neediest streams until the rest fit. Rejected streams are not dropped by
+//! the system — the joint optimizer responds by changing their surgery
+//! plans (cheaper cuts, more aggressive exits) — but the screen quantifies
+//! how overcommitted a configuration is.
+
+use crate::convex::HyperbolicDemand;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of screening one resource group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionResult {
+    /// Ids admitted (their minimum shares fit in capacity).
+    pub admitted: Vec<usize>,
+    /// Ids rejected, neediest first.
+    pub rejected: Vec<usize>,
+    /// Total mandatory share of the admitted set (≤ 1).
+    pub admitted_need: f64,
+    /// Total mandatory share before screening (may exceed 1).
+    pub total_need: f64,
+}
+
+impl AdmissionResult {
+    /// Whether everyone fit.
+    pub fn all_admitted(&self) -> bool {
+        self.rejected.is_empty()
+    }
+}
+
+/// Screen one group. `ids`, `demands` and `deadlines` are parallel.
+/// Streams with zero scaled demand are always admitted if their fixed
+/// latency meets the deadline, always rejected otherwise.
+pub fn screen(ids: &[usize], demands: &[HyperbolicDemand], deadlines: &[f64]) -> AdmissionResult {
+    assert_eq!(ids.len(), demands.len());
+    assert_eq!(ids.len(), deadlines.len());
+    #[derive(Clone, Copy)]
+    struct Need {
+        id: usize,
+        need: f64, // mandatory minimum share; INFINITY = hopeless
+    }
+    let mut needs: Vec<Need> = Vec::with_capacity(ids.len());
+    let mut rejected: Vec<usize> = Vec::new();
+    let mut admitted: Vec<usize> = Vec::new();
+    for ((&id, d), &dl) in ids.iter().zip(demands).zip(deadlines) {
+        if d.scaled == 0.0 {
+            if d.fixed <= dl {
+                admitted.push(id);
+            } else {
+                rejected.push(id);
+            }
+            continue;
+        }
+        let slack = dl - d.fixed;
+        if slack <= 0.0 {
+            rejected.push(id);
+            continue;
+        }
+        needs.push(Need {
+            id,
+            need: d.scaled / slack,
+        });
+    }
+    let total_need: f64 = needs.iter().map(|n| n.need).sum();
+    // Drop the neediest until the rest fit.
+    needs.sort_by(|a, b| b.need.partial_cmp(&a.need).expect("finite needs"));
+    let mut current: f64 = total_need;
+    let mut cut_idx = 0usize;
+    while current > 1.0 + 1e-12 && cut_idx < needs.len() {
+        current -= needs[cut_idx].need;
+        rejected.push(needs[cut_idx].id);
+        cut_idx += 1;
+    }
+    admitted.extend(needs[cut_idx..].iter().map(|n| n.id));
+    admitted.sort_unstable();
+    AdmissionResult {
+        admitted,
+        rejected,
+        admitted_need: current.max(0.0),
+        total_need,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(fixed: f64, scaled: f64) -> HyperbolicDemand {
+        HyperbolicDemand::new(fixed, scaled)
+    }
+
+    #[test]
+    fn feasible_group_admits_everyone() {
+        let r = screen(
+            &[10, 11, 12],
+            &[d(0.01, 0.1), d(0.02, 0.2), d(0.0, 0.3)],
+            &[1.0, 1.0, 1.0],
+        );
+        assert!(r.all_admitted());
+        assert_eq!(r.admitted, vec![10, 11, 12]);
+        assert!(r.admitted_need <= 1.0);
+    }
+
+    #[test]
+    fn neediest_rejected_first() {
+        // needs: 0.9, 0.5, 0.2 -> reject the 0.9 one, rest fits (0.7)
+        let r = screen(
+            &[0, 1, 2],
+            &[d(0.0, 0.9), d(0.0, 0.5), d(0.0, 0.2)],
+            &[1.0, 1.0, 1.0],
+        );
+        assert_eq!(r.rejected, vec![0]);
+        assert_eq!(r.admitted, vec![1, 2]);
+        assert!((r.admitted_need - 0.7).abs() < 1e-12);
+        assert!((r.total_need - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hopeless_streams_always_rejected() {
+        // fixed latency alone exceeds the deadline
+        let r = screen(&[5], &[d(0.6, 0.1)], &[0.5]);
+        assert_eq!(r.rejected, vec![5]);
+        assert!(r.admitted.is_empty());
+    }
+
+    #[test]
+    fn zero_demand_stream_judged_on_fixed_latency() {
+        let r = screen(&[1, 2], &[d(0.1, 0.0), d(0.9, 0.0)], &[0.5, 0.5]);
+        assert_eq!(r.admitted, vec![1]);
+        assert_eq!(r.rejected, vec![2]);
+    }
+
+    #[test]
+    fn empty_group() {
+        let r = screen(&[], &[], &[]);
+        assert!(r.all_admitted());
+        assert_eq!(r.total_need, 0.0);
+    }
+
+    #[test]
+    fn boundary_exactly_full_is_admitted() {
+        let r = screen(&[0, 1], &[d(0.0, 0.5), d(0.0, 0.5)], &[1.0, 1.0]);
+        assert!(r.all_admitted());
+    }
+}

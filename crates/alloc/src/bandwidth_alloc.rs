@@ -1,0 +1,162 @@
+//! Per-AP bandwidth allocation.
+//!
+//! The Shannon-rate uplink is linear in the spectrum share (see
+//! `scalpel_sim::net`), so a device transmitting `B` bytes at mean full-AP
+//! rate `R` bits/s sees transmission seconds `8B/(R·c)` — the same
+//! hyperbolic form as compute, solved by the same machinery. Demands are
+//! *expected* per request (scaled by the probability the request reaches
+//! the uplink at all, i.e. did not exit on the device).
+
+use crate::convex::{self, HyperbolicDemand};
+use serde::{Deserialize, Serialize};
+
+/// One device's uplink demand on its AP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthDemand {
+    /// Device id (for reporting).
+    pub device: usize,
+    /// Expected seconds before transmission starts (device compute).
+    pub pre_tx_s: f64,
+    /// Transmission seconds at full AP spectrum (expected per request).
+    pub tx_s_full: f64,
+    /// Seconds after transmission (edge compute at the planned share).
+    pub post_tx_s: f64,
+    /// Relative importance.
+    pub weight: f64,
+    /// Relative deadline, seconds.
+    pub deadline_s: f64,
+}
+
+/// Allocation policy for an AP's spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BandwidthPolicy {
+    /// Equal split among devices that transmit.
+    Equal,
+    /// KKT water-filling minimizing the weighted latency sum.
+    WeightedSum,
+    /// Min-max end-to-end latency.
+    MinMax,
+    /// Deadline minimums with min-max slack; weighted-sum fallback when
+    /// deadlines are jointly infeasible.
+    DeadlineAware,
+}
+
+/// Compute per-device spectrum shares on one AP.
+pub fn allocate(demands: &[BandwidthDemand], policy: BandwidthPolicy) -> Vec<f64> {
+    if demands.is_empty() {
+        return Vec::new();
+    }
+    let hyper: Vec<HyperbolicDemand> = demands
+        .iter()
+        .map(|d| HyperbolicDemand::new(d.pre_tx_s + d.post_tx_s, d.tx_s_full))
+        .collect();
+    match policy {
+        BandwidthPolicy::Equal => {
+            let n = demands.iter().filter(|d| d.tx_s_full > 0.0).count().max(1) as f64;
+            demands
+                .iter()
+                .map(|d| if d.tx_s_full > 0.0 { 1.0 / n } else { 0.0 })
+                .collect()
+        }
+        BandwidthPolicy::WeightedSum => {
+            let weights: Vec<f64> = demands.iter().map(|d| d.weight).collect();
+            convex::weighted_sum_shares(&hyper, &weights)
+        }
+        BandwidthPolicy::MinMax => convex::minmax_shares(&hyper).1,
+        BandwidthPolicy::DeadlineAware => {
+            let deadlines: Vec<f64> = demands.iter().map(|d| d.deadline_s).collect();
+            let weights: Vec<f64> = demands.iter().map(|d| d.weight).collect();
+            convex::deadline_shares(&hyper, &deadlines, &weights)
+                .unwrap_or_else(|| convex::weighted_sum_shares(&hyper, &weights))
+        }
+    }
+}
+
+/// Analytic end-to-end latency of each device's requests under shares.
+pub fn latencies(demands: &[BandwidthDemand], shares: &[f64]) -> Vec<f64> {
+    demands
+        .iter()
+        .zip(shares)
+        .map(|(d, &c)| HyperbolicDemand::new(d.pre_tx_s + d.post_tx_s, d.tx_s_full).latency(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demands() -> Vec<BandwidthDemand> {
+        vec![
+            BandwidthDemand {
+                device: 0,
+                pre_tx_s: 0.01,
+                tx_s_full: 0.004,
+                post_tx_s: 0.02,
+                weight: 1.0,
+                deadline_s: 0.2,
+            },
+            BandwidthDemand {
+                device: 1,
+                pre_tx_s: 0.00,
+                tx_s_full: 0.020,
+                post_tx_s: 0.01,
+                weight: 1.0,
+                deadline_s: 0.25,
+            },
+            BandwidthDemand {
+                device: 2,
+                pre_tx_s: 0.03,
+                tx_s_full: 0.0,
+                post_tx_s: 0.0,
+                weight: 1.0,
+                deadline_s: 0.1,
+            },
+        ]
+    }
+
+    #[test]
+    fn non_transmitting_devices_get_no_spectrum() {
+        for policy in [
+            BandwidthPolicy::Equal,
+            BandwidthPolicy::WeightedSum,
+            BandwidthPolicy::MinMax,
+            BandwidthPolicy::DeadlineAware,
+        ] {
+            let shares = allocate(&demands(), policy);
+            assert_eq!(shares[2], 0.0, "{policy:?}");
+            let total: f64 = shares.iter().sum();
+            assert!(total <= 1.0 + 1e-9 && total > 0.99, "{policy:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn equal_splits_among_transmitters_only() {
+        let shares = allocate(&demands(), BandwidthPolicy::Equal);
+        assert!((shares[0] - 0.5).abs() < 1e-12);
+        assert!((shares[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_favors_heavier_transmitter() {
+        let shares = allocate(&demands(), BandwidthPolicy::MinMax);
+        assert!(shares[1] > shares[0], "{shares:?}");
+        let lats = latencies(&demands(), &shares);
+        assert!((lats[0] - lats[1]).abs() < 1e-6, "{lats:?}");
+    }
+
+    #[test]
+    fn deadline_aware_meets_deadlines() {
+        let ds = demands();
+        let shares = allocate(&ds, BandwidthPolicy::DeadlineAware);
+        for (l, d) in latencies(&ds, &shares).iter().zip(&ds) {
+            if d.tx_s_full > 0.0 {
+                assert!(*l <= d.deadline_s + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(allocate(&[], BandwidthPolicy::Equal).is_empty());
+    }
+}

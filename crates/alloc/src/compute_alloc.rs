@@ -1,0 +1,218 @@
+//! Per-server compute allocation.
+//!
+//! Adapts streams assigned to one edge server into [`HyperbolicDemand`]s
+//! (`fixed` = device + transmission seconds, `scaled` = edge seconds at
+//! full capacity) and exposes the three allocation policies the evaluation
+//! compares. Shares are *weights* for the simulator's weighted
+//! processor-sharing server, so they need not sum to exactly one — but the
+//! solvers keep them on the simplex so analytic and simulated worlds agree.
+
+use crate::convex::{self, HyperbolicDemand};
+use serde::{Deserialize, Serialize};
+
+/// One stream's compute demand on its server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeDemand {
+    /// Stream id (for reporting).
+    pub stream: usize,
+    /// Expected seconds before edge compute starts (device + uplink),
+    /// weighted over exit paths.
+    pub pre_edge_s: f64,
+    /// Edge seconds at full server capacity (expected over exit paths).
+    pub edge_s_full: f64,
+    /// Relative importance (arrival-rate-weighted in the paper's setting).
+    pub weight: f64,
+    /// Relative deadline, seconds.
+    pub deadline_s: f64,
+}
+
+/// Allocation policy for a server's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComputePolicy {
+    /// Everyone gets `1/n` (the static baseline).
+    Equal,
+    /// Shares proportional to weights (the proportional-fair point of the
+    /// rate-allocation literature; ignores demands).
+    Proportional,
+    /// KKT water-filling minimizing the weighted latency sum.
+    WeightedSum,
+    /// Bisection minimizing the worst latency.
+    MinMax,
+    /// Deadline minimums + min-max slack distribution; falls back to
+    /// WeightedSum when deadlines are infeasible (min-max would equalize
+    /// everyone down to the worst stream's fixed latency).
+    DeadlineAware,
+}
+
+/// Compute per-stream shares on one server under `policy`.
+pub fn allocate(demands: &[ComputeDemand], policy: ComputePolicy) -> Vec<f64> {
+    if demands.is_empty() {
+        return Vec::new();
+    }
+    let hyper: Vec<HyperbolicDemand> = demands
+        .iter()
+        .map(|d| HyperbolicDemand::new(d.pre_edge_s, d.edge_s_full))
+        .collect();
+    match policy {
+        ComputePolicy::Equal => {
+            let n = demands.len() as f64;
+            demands
+                .iter()
+                .map(|d| if d.edge_s_full > 0.0 { 1.0 / n } else { 0.0 })
+                .collect()
+        }
+        ComputePolicy::Proportional => {
+            let total: f64 = demands
+                .iter()
+                .filter(|d| d.edge_s_full > 0.0)
+                .map(|d| d.weight)
+                .sum();
+            demands
+                .iter()
+                .map(|d| {
+                    if d.edge_s_full > 0.0 && total > 0.0 {
+                        d.weight / total
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+        ComputePolicy::WeightedSum => {
+            let weights: Vec<f64> = demands.iter().map(|d| d.weight).collect();
+            convex::weighted_sum_shares(&hyper, &weights)
+        }
+        ComputePolicy::MinMax => convex::minmax_shares(&hyper).1,
+        ComputePolicy::DeadlineAware => {
+            let deadlines: Vec<f64> = demands.iter().map(|d| d.deadline_s).collect();
+            let weights: Vec<f64> = demands.iter().map(|d| d.weight).collect();
+            convex::deadline_shares(&hyper, &deadlines, &weights)
+                .unwrap_or_else(|| convex::weighted_sum_shares(&hyper, &weights))
+        }
+    }
+}
+
+/// Analytic latency of each stream under given shares (no queueing).
+pub fn latencies(demands: &[ComputeDemand], shares: &[f64]) -> Vec<f64> {
+    demands
+        .iter()
+        .zip(shares)
+        .map(|(d, &c)| HyperbolicDemand::new(d.pre_edge_s, d.edge_s_full).latency(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demands() -> Vec<ComputeDemand> {
+        vec![
+            ComputeDemand {
+                stream: 0,
+                pre_edge_s: 0.02,
+                edge_s_full: 0.010,
+                weight: 1.0,
+                deadline_s: 0.2,
+            },
+            ComputeDemand {
+                stream: 1,
+                pre_edge_s: 0.01,
+                edge_s_full: 0.060,
+                weight: 1.0,
+                deadline_s: 0.3,
+            },
+            ComputeDemand {
+                stream: 2,
+                pre_edge_s: 0.05,
+                edge_s_full: 0.002,
+                weight: 2.0,
+                deadline_s: 0.15,
+            },
+        ]
+    }
+
+    #[test]
+    fn proportional_shares_follow_weights() {
+        let ds = demands();
+        let shares = allocate(&ds, ComputePolicy::Proportional);
+        // weights are 1.0, 1.0, 2.0 -> shares 0.25, 0.25, 0.5
+        assert!((shares[0] - 0.25).abs() < 1e-12);
+        assert!((shares[2] - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_policy_yields_simplex_shares() {
+        for policy in [
+            ComputePolicy::Equal,
+            ComputePolicy::Proportional,
+            ComputePolicy::WeightedSum,
+            ComputePolicy::MinMax,
+            ComputePolicy::DeadlineAware,
+        ] {
+            let shares = allocate(&demands(), policy);
+            let total: f64 = shares.iter().sum();
+            assert!(total <= 1.0 + 1e-9, "{policy:?}: {total}");
+            assert!(total > 0.99, "{policy:?}: {total}");
+            assert!(shares.iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn minmax_has_lowest_worst_latency() {
+        let ds = demands();
+        let worst = |p: ComputePolicy| -> f64 {
+            let shares = allocate(&ds, p);
+            latencies(&ds, &shares).into_iter().fold(0.0, f64::max)
+        };
+        let mm = worst(ComputePolicy::MinMax);
+        assert!(mm <= worst(ComputePolicy::Equal) + 1e-12);
+        assert!(mm <= worst(ComputePolicy::WeightedSum) + 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_has_lowest_weighted_total() {
+        let ds = demands();
+        let cost = |p: ComputePolicy| -> f64 {
+            let shares = allocate(&ds, p);
+            latencies(&ds, &shares)
+                .iter()
+                .zip(&ds)
+                .map(|(l, d)| l * d.weight)
+                .sum()
+        };
+        let ws = cost(ComputePolicy::WeightedSum);
+        assert!(ws <= cost(ComputePolicy::Equal) + 1e-12);
+        assert!(ws <= cost(ComputePolicy::MinMax) + 1e-12);
+    }
+
+    #[test]
+    fn deadline_aware_meets_feasible_deadlines() {
+        let ds = demands();
+        let shares = allocate(&ds, ComputePolicy::DeadlineAware);
+        for (l, d) in latencies(&ds, &shares).iter().zip(&ds) {
+            assert!(*l <= d.deadline_s + 1e-9, "stream {} late: {l}", d.stream);
+        }
+    }
+
+    #[test]
+    fn deadline_aware_fallback_when_infeasible() {
+        let mut ds = demands();
+        ds[1].deadline_s = 0.011; // impossible: pre_edge already 0.01, edge 0.06
+        let shares = allocate(&ds, ComputePolicy::DeadlineAware);
+        // falls back to min-max: still a valid simplex allocation
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(allocate(&[], ComputePolicy::MinMax).is_empty());
+    }
+
+    #[test]
+    fn equal_policy_skips_zero_demand_streams() {
+        let mut ds = demands();
+        ds[0].edge_s_full = 0.0;
+        let shares = allocate(&ds, ComputePolicy::Equal);
+        assert_eq!(shares[0], 0.0);
+    }
+}

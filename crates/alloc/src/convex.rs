@@ -1,0 +1,346 @@
+//! Exact solvers for hyperbolic share-allocation programs.
+//!
+//! Every stream on a shared resource (server capacity, AP spectrum) sees
+//! latency `L_k(c_k) = a_k + e_k / c_k` with `Σ c_k ≤ 1`, `c_k > 0`:
+//!
+//! * **Weighted sum** `min Σ w_k L_k` — KKT gives the closed-form
+//!   water-filling `c_k* ∝ √(w_k e_k)`.
+//! * **Min-max** `min max_k L_k` — at the optimum every stream with
+//!   `e_k > 0` is equalized at `λ`, so `c_k = e_k/(λ − a_k)` and
+//!   `g(λ) = Σ e_k/(λ − a_k)` is strictly decreasing: bisection.
+//! * **Deadlines** — feasibility is `Σ e_k/(D_k − a_k) ≤ 1`; the
+//!   deadline shares distribute the slack by clipped water-filling
+//!   (weighted-sum-optimal subject to the per-stream minimums).
+
+use serde::{Deserialize, Serialize};
+
+/// One stream's demand on a shared resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperbolicDemand {
+    /// Latency component independent of this resource's share, seconds.
+    pub fixed: f64,
+    /// Seconds on this resource at full (share = 1) capacity.
+    pub scaled: f64,
+}
+
+impl HyperbolicDemand {
+    /// Construct (panics on negative inputs in debug builds).
+    pub fn new(fixed: f64, scaled: f64) -> Self {
+        debug_assert!(fixed >= 0.0 && scaled >= 0.0);
+        Self { fixed, scaled }
+    }
+
+    /// Latency at share `c`.
+    pub fn latency(&self, c: f64) -> f64 {
+        if self.scaled == 0.0 {
+            return self.fixed;
+        }
+        if c <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.fixed + self.scaled / c
+    }
+}
+
+/// `min Σ w_k (a_k + e_k/c_k)` s.t. `Σ c_k = 1`: the KKT water-filling
+/// `c_k = √(w_k e_k) / Σ_j √(w_j e_j)`. Streams with `e_k = 0` receive 0.
+/// Returns one share per demand; all zeros if nothing needs the resource.
+pub fn weighted_sum_shares(demands: &[HyperbolicDemand], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(demands.len(), weights.len());
+    let roots: Vec<f64> = demands
+        .iter()
+        .zip(weights)
+        .map(|(d, &w)| {
+            debug_assert!(w >= 0.0);
+            (w * d.scaled).sqrt()
+        })
+        .collect();
+    let total: f64 = roots.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; demands.len()];
+    }
+    roots.into_iter().map(|r| r / total).collect()
+}
+
+/// `min max_k (a_k + e_k/c_k)` s.t. `Σ c_k = 1`. Returns `(λ*, shares)`.
+/// Streams with `e_k = 0` get share 0 (their latency `a_k` may exceed λ*;
+/// no allocation can help them, and the reported λ* covers served streams
+/// only — callers that care take the max with those fixed latencies).
+pub fn minmax_shares(demands: &[HyperbolicDemand]) -> (f64, Vec<f64>) {
+    let served: Vec<usize> = (0..demands.len())
+        .filter(|&i| demands[i].scaled > 0.0)
+        .collect();
+    if served.is_empty() {
+        let lambda = demands.iter().map(|d| d.fixed).fold(0.0, f64::max);
+        return (lambda, vec![0.0; demands.len()]);
+    }
+    // g(λ) = Σ e/(λ - a) is strictly decreasing for λ > max a; find g = 1.
+    let a_max = served
+        .iter()
+        .map(|&i| demands[i].fixed)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let g = |lambda: f64| -> f64 {
+        served
+            .iter()
+            .map(|&i| demands[i].scaled / (lambda - demands[i].fixed))
+            .sum()
+    };
+    // Bracket: lo slightly above a_max (g → ∞), hi doubling until g < 1.
+    let e_sum: f64 = served.iter().map(|&i| demands[i].scaled).sum();
+    let mut lo = a_max;
+    let mut hi = a_max + e_sum.max(1e-12); // g(hi) ≤ Σe/e_sum... may be ≥ 1
+    while g(hi) > 1.0 {
+        hi = a_max + (hi - a_max) * 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= a_max || g(mid) > 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-15 * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    let lambda = hi;
+    let mut shares = vec![0.0; demands.len()];
+    for &i in &served {
+        shares[i] = demands[i].scaled / (lambda - demands[i].fixed);
+    }
+    // Normalize the residual bisection error exactly onto the simplex.
+    let s: f64 = shares.iter().sum();
+    if s > 0.0 {
+        for x in &mut shares {
+            *x /= s;
+        }
+    }
+    (lambda, shares)
+}
+
+/// Whether deadlines `d_k` are jointly feasible: every stream needs
+/// `c_k ≥ e_k/(D_k − a_k)`, so feasibility is `Σ e_k/(D_k − a_k) ≤ 1`.
+/// A stream with `a_k ≥ D_k` and `e_k > 0` is infeasible outright.
+pub fn deadline_feasible(demands: &[HyperbolicDemand], deadlines: &[f64]) -> bool {
+    assert_eq!(demands.len(), deadlines.len());
+    let mut need = 0.0;
+    for (d, &dl) in demands.iter().zip(deadlines) {
+        if d.scaled == 0.0 {
+            if d.fixed > dl {
+                return false;
+            }
+            continue;
+        }
+        let slack = dl - d.fixed;
+        if slack <= 0.0 {
+            return false;
+        }
+        need += d.scaled / slack;
+    }
+    need <= 1.0 + 1e-12
+}
+
+/// Deadline-respecting shares: every stream gets at least its mandatory
+/// minimum `e_k/(D_k − a_k)`, and the remaining capacity is distributed by
+/// *clipped water-filling* — the weighted-sum optimum subject to those
+/// floors (`c_k = max(mn_k, √(w_k e_k)/ν)` with `ν` bisected so the shares
+/// fill the simplex; exact by KKT for the box-constrained program).
+/// Returns `None` if the deadlines are jointly infeasible.
+pub fn deadline_shares(
+    demands: &[HyperbolicDemand],
+    deadlines: &[f64],
+    weights: &[f64],
+) -> Option<Vec<f64>> {
+    assert_eq!(demands.len(), weights.len());
+    if !deadline_feasible(demands, deadlines) {
+        return None;
+    }
+    let mins: Vec<f64> = demands
+        .iter()
+        .zip(deadlines)
+        .map(|(d, &dl)| {
+            if d.scaled == 0.0 {
+                0.0
+            } else {
+                d.scaled / (dl - d.fixed)
+            }
+        })
+        .collect();
+    let used: f64 = mins.iter().sum();
+    if used >= 1.0 {
+        return Some(mins);
+    }
+    let roots: Vec<f64> = demands
+        .iter()
+        .zip(weights)
+        .map(|(d, &w)| (w * d.scaled).sqrt())
+        .collect();
+    let total_root: f64 = roots.iter().sum();
+    if total_root <= 0.0 {
+        return Some(mins);
+    }
+    let share_at = |nu: f64| -> Vec<f64> {
+        demands
+            .iter()
+            .zip(&mins)
+            .zip(&roots)
+            .map(|((d, &mn), &r)| {
+                if d.scaled == 0.0 {
+                    0.0
+                } else {
+                    (r / nu).max(mn)
+                }
+            })
+            .collect()
+    };
+    // Σ share_at(ν) is decreasing in ν; find Σ = 1. At ν = total_root the
+    // unclipped water-filling sums to exactly 1, so clipping can only push
+    // the sum above 1 — bracket upward from there.
+    let mut lo = total_root;
+    let mut hi = total_root;
+    while share_at(hi).iter().sum::<f64>() > 1.0 {
+        hi *= 2.0;
+        if hi > 1e30 {
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if share_at(mid).iter().sum::<f64>() > 1.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(share_at(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(fixed: f64, scaled: f64) -> HyperbolicDemand {
+        HyperbolicDemand::new(fixed, scaled)
+    }
+
+    #[test]
+    fn weighted_sum_closed_form_small_case() {
+        // two identical streams -> equal shares
+        let shares = weighted_sum_shares(&[d(0.0, 1.0), d(0.0, 1.0)], &[1.0, 1.0]);
+        assert!((shares[0] - 0.5).abs() < 1e-12);
+        // e ratio 4:1 -> share ratio 2:1
+        let shares = weighted_sum_shares(&[d(0.0, 4.0), d(0.0, 1.0)], &[1.0, 1.0]);
+        assert!((shares[0] / shares[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_sum_satisfies_kkt_stationarity() {
+        // At the optimum, w_k e_k / c_k^2 equal across streams (the
+        // Lagrange multiplier).
+        let demands = [d(0.1, 2.0), d(0.3, 0.5), d(0.0, 1.7)];
+        let weights = [1.0, 2.5, 0.7];
+        let shares = weighted_sum_shares(&demands, &weights);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let mu0 = weights[0] * demands[0].scaled / (shares[0] * shares[0]);
+        for i in 1..3 {
+            let mu = weights[i] * demands[i].scaled / (shares[i] * shares[i]);
+            assert!((mu - mu0).abs() < 1e-6 * mu0, "KKT violated: {mu} vs {mu0}");
+        }
+    }
+
+    #[test]
+    fn weighted_sum_beats_equal_split() {
+        let demands = [d(0.0, 5.0), d(0.0, 0.2), d(0.0, 1.0)];
+        let weights = [1.0, 1.0, 1.0];
+        let opt = weighted_sum_shares(&demands, &weights);
+        let cost = |shares: &[f64]| -> f64 {
+            demands
+                .iter()
+                .zip(shares)
+                .map(|(dd, &c)| dd.latency(c))
+                .sum()
+        };
+        let equal = vec![1.0 / 3.0; 3];
+        assert!(cost(&opt) < cost(&equal));
+    }
+
+    #[test]
+    fn zero_demand_streams_get_zero_share() {
+        let shares = weighted_sum_shares(&[d(0.5, 0.0), d(0.0, 1.0)], &[1.0, 1.0]);
+        assert_eq!(shares[0], 0.0);
+        assert!((shares[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_equalizes_latencies() {
+        let demands = [d(0.02, 1.0), d(0.10, 0.4), d(0.0, 2.0)];
+        let (lambda, shares) = minmax_shares(&demands);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (dd, &c) in demands.iter().zip(&shares) {
+            let lat = dd.latency(c);
+            assert!((lat - lambda).abs() < 1e-6 * lambda, "{lat} vs {lambda}");
+        }
+    }
+
+    #[test]
+    fn minmax_is_optimal_vs_perturbations() {
+        let demands = [d(0.01, 0.7), d(0.05, 0.9)];
+        let (lambda, shares) = minmax_shares(&demands);
+        // Moving share between the two must raise the max latency.
+        for delta in [-0.05, 0.05] {
+            let pert = [shares[0] + delta, shares[1] - delta];
+            if pert.iter().all(|&c| c > 0.0) {
+                let m = demands
+                    .iter()
+                    .zip(&pert)
+                    .map(|(dd, &c)| dd.latency(c))
+                    .fold(0.0, f64::max);
+                assert!(m >= lambda - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_with_all_zero_demands() {
+        let (lambda, shares) = minmax_shares(&[d(0.3, 0.0), d(0.7, 0.0)]);
+        assert_eq!(lambda, 0.7);
+        assert_eq!(shares, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn deadline_feasibility_threshold() {
+        // two streams, each needs 0.5 share exactly
+        let demands = [d(0.1, 0.45), d(0.1, 0.45)];
+        assert!(deadline_feasible(&demands, &[1.0, 1.0]));
+        // tighten one deadline so it needs 0.9 share
+        assert!(!deadline_feasible(&demands, &[0.6, 1.0]));
+        // a stream already late on fixed time alone
+        assert!(!deadline_feasible(&[d(2.0, 0.1)], &[1.0]));
+        // zero-demand stream with met deadline is fine
+        assert!(deadline_feasible(&[d(0.2, 0.0)], &[0.5]));
+    }
+
+    #[test]
+    fn deadline_shares_respect_minimums_and_simplex() {
+        let demands = [d(0.02, 0.3), d(0.05, 0.2), d(0.0, 0.1)];
+        let deadlines = [1.0, 0.8, 1.0];
+        let shares = deadline_shares(&demands, &deadlines, &[1.0, 1.0, 1.0]).unwrap();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        for ((dd, &dl), &c) in demands.iter().zip(&deadlines).zip(&shares) {
+            assert!(dd.latency(c) <= dl + 1e-9, "deadline violated");
+        }
+    }
+
+    #[test]
+    fn deadline_shares_none_when_infeasible() {
+        let demands = [d(0.1, 0.9), d(0.1, 0.9)];
+        assert!(deadline_shares(&demands, &[0.5, 0.5], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn latency_helper_handles_edges() {
+        assert_eq!(d(0.3, 0.0).latency(0.0), 0.3);
+        assert!(d(0.0, 1.0).latency(0.0).is_infinite());
+        assert!((d(0.1, 1.0).latency(0.5) - 2.1).abs() < 1e-12);
+    }
+}

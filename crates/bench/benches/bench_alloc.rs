@@ -1,0 +1,68 @@
+//! Allocation-component benchmarks: water-filling, min-max bisection,
+//! deadline shares, placement game convergence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalpel_alloc::convex::{self, HyperbolicDemand};
+use scalpel_alloc::placement::{self, PlacementStrategy, PlacementStream, ServerCap};
+
+fn demands(n: usize) -> Vec<HyperbolicDemand> {
+    (0..n)
+        .map(|i| {
+            HyperbolicDemand::new(
+                0.005 + 0.001 * (i % 7) as f64,
+                0.01 + 0.003 * (i % 5) as f64,
+            )
+        })
+        .collect()
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocators");
+    for &n in &[10usize, 50, 200] {
+        let ds = demands(n);
+        let ws = vec![1.0; n];
+        let dls: Vec<f64> = (0..n).map(|i| 5.0 + 0.01 * (i % 3) as f64).collect();
+        g.bench_with_input(BenchmarkId::new("weighted_sum", n), &n, |b, _| {
+            b.iter(|| convex::weighted_sum_shares(&ds, &ws))
+        });
+        g.bench_with_input(BenchmarkId::new("minmax_bisection", n), &n, |b, _| {
+            b.iter(|| convex::minmax_shares(&ds))
+        });
+        g.bench_with_input(BenchmarkId::new("deadline_shares", n), &n, |b, _| {
+            b.iter(|| convex::deadline_shares(&ds, &dls, &ws))
+        });
+    }
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    let caps = [4e11, 2.6e12, 5e12, 2.6e12];
+    let servers: Vec<ServerCap> = caps
+        .iter()
+        .enumerate()
+        .map(|(server, &capacity_fps)| ServerCap {
+            server,
+            capacity_fps,
+        })
+        .collect();
+    for &n in &[20usize, 100, 400] {
+        let streams: Vec<PlacementStream> = (0..n)
+            .map(|i| PlacementStream {
+                stream: i,
+                edge_flops: 1e9 * (1 + i % 9) as f64,
+                weight: 1.0 + (i % 4) as f64,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("best_response", n), &n, |b, _| {
+            b.iter(|| placement::place(&streams, &servers, PlacementStrategy::BestResponse))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| placement::place(&streams, &servers, PlacementStrategy::Greedy))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_placement);
+criterion_main!(benches);

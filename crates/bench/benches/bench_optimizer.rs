@@ -1,0 +1,60 @@
+//! F11 (criterion form): joint-optimizer runtime vs problem size, plus the
+//! cost of one analytic configuration evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalpel_core::config::ScenarioConfig;
+use scalpel_core::evaluator::{AllocPolicies, Evaluator};
+use scalpel_core::optimizer::{self, OptimizerConfig};
+
+fn evaluator_for(n_streams: usize) -> Evaluator {
+    let mut scfg = ScenarioConfig::default();
+    scfg.num_aps = 4;
+    scfg.devices_per_ap = n_streams.div_ceil(4);
+    Evaluator::new(&scfg.build(), None)
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer_solve");
+    g.sample_size(10);
+    for &n in &[12usize, 40, 96] {
+        let ev = evaluator_for(n);
+        let cfg = OptimizerConfig {
+            rounds: 2,
+            gibbs_iters: 50,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| optimizer::solve(&ev, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_evaluation(c: &mut Criterion) {
+    let ev = evaluator_for(40);
+    let asg = optimizer::initial_assignment(&ev, scalpel_alloc::PlacementStrategy::BestResponse);
+    c.bench_function("evaluate_configuration_40_streams", |b| {
+        b.iter(|| ev.evaluate(&asg, AllocPolicies::optimal()))
+    });
+}
+
+fn bench_menu_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("menu_build");
+    g.sample_size(10);
+    let mut scfg = ScenarioConfig::default();
+    scfg.num_aps = 4;
+    scfg.devices_per_ap = 10;
+    let problem = scfg.build();
+    g.bench_function("evaluator_new_40_streams", |b| {
+        b.iter(|| Evaluator::new(&problem, None))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solve,
+    bench_single_evaluation,
+    bench_menu_build
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Discrete-event simulator throughput on the default scenario — the
+//! per-run cost every sweep figure pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalpel_core::baselines::{solve_with, Method};
+use scalpel_core::compiler;
+use scalpel_core::config::ScenarioConfig;
+use scalpel_core::evaluator::Evaluator;
+use scalpel_core::optimizer::OptimizerConfig;
+use scalpel_sim::{EdgeSim, SimConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edge_sim");
+    g.sample_size(10);
+    for &devices in &[8usize, 40] {
+        let mut scfg = ScenarioConfig::default();
+        scfg.num_aps = 4;
+        scfg.devices_per_ap = devices.div_ceil(4);
+        scfg.sim = SimConfig {
+            horizon_s: 10.0,
+            warmup_s: 1.0,
+            seed: 1,
+            fading: true,
+        };
+        let problem = scfg.build();
+        let ev = Evaluator::new(&problem, None);
+        let sol = solve_with(&ev, Method::Neurosurgeon, &OptimizerConfig::default());
+        let streams = compiler::compile(&problem, &ev, &sol.assignment, &sol.result);
+        g.bench_with_input(
+            BenchmarkId::new("run_10s_horizon", devices),
+            &devices,
+            |b, _| {
+                b.iter(|| {
+                    EdgeSim::new(problem.cluster.clone(), streams.clone(), scfg.sim.clone())
+                        .expect("valid")
+                        .run()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

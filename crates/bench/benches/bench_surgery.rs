@@ -1,0 +1,72 @@
+//! Surgery-component benchmarks: exit-setting DP, candidate generation,
+//! cut enumeration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalpel_models::{zoo, DifficultyModel};
+use scalpel_surgery::candidates::{self, CandidateConfig, ReferenceEnv};
+use scalpel_surgery::exit_setting::{self, ExitCandidate, ExitSettingProblem};
+
+fn env() -> ReferenceEnv {
+    ReferenceEnv {
+        device_sec_per_flop: 1.0 / 25.0e9,
+        tx_sec_per_byte: 8.0 / 50e6,
+        edge_sec_per_flop: 1.0 / 1.0e12,
+        rtt_s: 2e-3,
+    }
+}
+
+fn bench_exit_setting_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exit_setting_dp");
+    for &m in &[5usize, 10, 20] {
+        let hosts: Vec<ExitCandidate> = (1..=m)
+            .map(|i| ExitCandidate {
+                node: i * 2,
+                depth_fraction: i as f64 / (m + 1) as f64,
+                time_to_host_s: i as f64 * 0.01,
+                head_time_s: 0.001,
+            })
+            .collect();
+        let p = ExitSettingProblem {
+            hosts,
+            full_prefix_time_s: 0.1 * m as f64 / 5.0,
+            rest_time_s: 0.3,
+            max_exits: 3,
+            accuracy_floor: 0.72,
+            acc_full: 0.76,
+            difficulty: DifficultyModel::default(),
+            threshold_grid: ExitSettingProblem::default_grid(),
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| exit_setting::solve(&p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("candidate_generation");
+    g.sample_size(20);
+    for name in ["alexnet", "resnet18", "vgg16", "mobilenet_v2"] {
+        let model = zoo::by_name(name).expect("zoo model");
+        let cfg = CandidateConfig::default();
+        g.bench_function(name, |b| {
+            b.iter(|| candidates::generate(&model, &env(), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cut_enumeration(c: &mut Criterion) {
+    let googlenet = zoo::googlenet(1000);
+    c.bench_function("cut_points_googlenet", |b| {
+        b.iter(|| googlenet.cut_points())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exit_setting_dp,
+    bench_candidate_generation,
+    bench_cut_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The experiment runner.
+//!
+//! ```text
+//! experiments <id> [--quick]
+//!   id ∈ { t1, t2, t3, f4, f5, f6, f7, f8, f9, f10, f11, all }
+//! ```
+//!
+//! `--quick` shrinks sweeps and simulation horizons for smoke runs; omit it
+//! (and build with `--release`) to regenerate the full EXPERIMENTS.md
+//! numbers.
+
+use scalpel_bench::experiments;
+
+fn usage() -> ! {
+    eprintln!("usage: experiments <t1|t2|t3|f4..f14|a1|all> [--quick]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let id = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    match id {
+        "t1" => experiments::t1_models::run(),
+        "t2" => experiments::t2_params::run(),
+        "t3" => experiments::t3_overall::run(quick),
+        "f4" => experiments::f4_scalability::run(quick),
+        "f5" => experiments::f5_arrival::run(quick),
+        "f6" => experiments::f6_bandwidth::run(quick),
+        "f7" => experiments::f7_heterogeneity::run(quick),
+        "f8" => experiments::f8_accuracy::run(quick),
+        "f9" => experiments::f9_convergence::run(quick),
+        "f10" => experiments::f10_ablation::run(quick),
+        "f11" => experiments::f11_runtime::run(quick),
+        "f12" => experiments::f12_burstiness::run(quick),
+        "f13" => experiments::f13_energy::run(quick),
+        "f14" => experiments::f14_validation::run(quick),
+        "f15" => experiments::f15_dynamics::run(quick),
+        "a1" => experiments::a1_design_ablation::run(quick),
+        "all" => experiments::run_all(quick),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,114 @@
+//! A1 \[extension\] — ablation of the optimizer's design choices.
+//!
+//! DESIGN.md calls out four internal choices; each is toggled here on the
+//! default scenario (analytic objective, since these are search-quality
+//! questions):
+//!
+//! * Pareto menu pruning (vs full menus) — does pruning lose quality?
+//! * Gibbs refinement after descent (vs descent alone);
+//! * placement: best-response game vs greedy vs round-robin;
+//! * quantized-transmission variants in the menus.
+
+use crate::table::Table;
+use scalpel_alloc::placement::PlacementStrategy;
+use scalpel_core::config::ScenarioConfig;
+use scalpel_core::evaluator::Evaluator;
+use scalpel_core::optimizer::{self, OptimizerConfig};
+use scalpel_surgery::candidates::CandidateConfig;
+use std::time::Instant;
+
+fn scenario(quick: bool) -> ScenarioConfig {
+    let mut scfg = ScenarioConfig::default();
+    if quick {
+        scfg.num_aps = 2;
+        scfg.devices_per_ap = 4;
+    }
+    scfg
+}
+
+/// Print objective + solve time for each design toggle.
+pub fn run(quick: bool) {
+    println!("\n== A1 [extension]: design-choice ablation (analytic objective) ==");
+    let problem = scenario(quick).build();
+    let mut t = Table::new(vec!["variant", "objective", "solve ms", "evaluations"]);
+    let base_cfg = OptimizerConfig {
+        rounds: 3,
+        gibbs_iters: if quick { 40 } else { 150 },
+        ..Default::default()
+    };
+    let mut run_one = |label: &str, menu: Option<CandidateConfig>, cfg: &OptimizerConfig| {
+        let ev = Evaluator::new(&problem, menu);
+        let t0 = Instant::now();
+        let sol = optimizer::solve(&ev, cfg);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.4}", sol.result.objective),
+            format!("{:.1}", t0.elapsed().as_secs_f64() * 1e3),
+            sol.trace.evaluations.to_string(),
+        ]);
+    };
+    // Full system.
+    run_one("full (joint defaults)", None, &base_cfg);
+    // No Gibbs refinement.
+    run_one(
+        "descent only (no Gibbs)",
+        None,
+        &OptimizerConfig {
+            gibbs_iters: 0,
+            ..base_cfg.clone()
+        },
+    );
+    // Placement variants.
+    run_one(
+        "greedy placement",
+        None,
+        &OptimizerConfig {
+            placement: PlacementStrategy::Greedy,
+            ..base_cfg.clone()
+        },
+    );
+    run_one(
+        "round-robin placement",
+        None,
+        &OptimizerConfig {
+            placement: PlacementStrategy::RoundRobin,
+            ..base_cfg.clone()
+        },
+    );
+    // Menu ablations.
+    run_one(
+        "no quantized-tx variants",
+        Some(CandidateConfig {
+            allow_quantize: false,
+            ..Default::default()
+        }),
+        &base_cfg,
+    );
+    run_one(
+        "coarser menus (3 cuts, 1 exit)",
+        Some(CandidateConfig {
+            max_cuts: 3,
+            max_exits: 1,
+            ..Default::default()
+        }),
+        &base_cfg,
+    );
+    run_one(
+        "richer menus (10 cuts, 4 exits)",
+        Some(CandidateConfig {
+            max_cuts: 10,
+            max_exits: 4,
+            ..Default::default()
+        }),
+        &base_cfg,
+    );
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a1_quick_runs() {
+        super::run(true);
+    }
+}

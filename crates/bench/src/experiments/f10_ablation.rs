@@ -1,0 +1,72 @@
+//! F10 — ablation: what each half of the joint optimization buys.
+
+use crate::harness::{self, compare_methods};
+use crate::table::{ms, pct, Table};
+use scalpel_core::baselines::Method;
+use scalpel_core::config::ScenarioConfig;
+
+const LADDER: &[Method] = &[
+    Method::Neurosurgeon, // neither knob
+    Method::SurgeryOnly,  // surgery knob only
+    Method::AllocOnly,    // allocation knob only
+    Method::Joint,        // both
+];
+
+/// Print the 2×2 ablation with speedups vs the no-knob baseline.
+pub fn run(quick: bool) {
+    println!("\n== F10: ablation (surgery / allocation knobs) ==");
+    let scfg = if quick {
+        harness::smoke_scenario()
+    } else {
+        ScenarioConfig::default()
+    };
+    let seeds: &[u64] = if quick {
+        &[101]
+    } else {
+        harness::DEFAULT_SEEDS
+    };
+    let rows = compare_methods(&scfg, &harness::default_optimizer(), LADDER, seeds);
+    let base = rows
+        .iter()
+        .find(|r| r.method == Method::Neurosurgeon)
+        .expect("baseline present")
+        .outcome
+        .latency
+        .mean;
+    let mut t = Table::new(vec![
+        "method",
+        "surgery",
+        "alloc",
+        "mean(ms)",
+        "speedup",
+        "deadline",
+        "early-exit",
+    ]);
+    for r in &rows {
+        let (s, a) = match r.method {
+            Method::Neurosurgeon => ("-", "-"),
+            Method::SurgeryOnly => ("x", "-"),
+            Method::AllocOnly => ("-", "x"),
+            Method::Joint => ("x", "x"),
+            _ => unreachable!("ladder methods only"),
+        };
+        t.row(vec![
+            r.method.name().to_string(),
+            s.to_string(),
+            a.to_string(),
+            ms(r.outcome.latency.mean),
+            format!("{:.2}x", base / r.outcome.latency.mean),
+            pct(r.outcome.deadline_ratio),
+            pct(r.outcome.early_exit_fraction),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f10_quick_runs() {
+        super::run(true);
+    }
+}

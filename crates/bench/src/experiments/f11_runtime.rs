@@ -1,0 +1,61 @@
+//! F11 — optimizer runtime vs problem size.
+//!
+//! The joint algorithm must run at edge-controller timescales; this prints
+//! wall-clock per solve as the number of streams grows (analytic pricing
+//! only — the simulator is not part of the control loop).
+
+use crate::table::Table;
+use scalpel_core::config::ScenarioConfig;
+use scalpel_core::evaluator::Evaluator;
+use scalpel_core::optimizer::{self, OptimizerConfig};
+use std::time::Instant;
+
+/// Print per-solve wall-clock over stream counts.
+pub fn run(quick: bool) {
+    println!("\n== F11: optimizer runtime vs problem size ==");
+    let sizes: &[usize] = if quick {
+        &[8, 24]
+    } else {
+        &[12, 24, 48, 96, 144, 200]
+    };
+    let mut t = Table::new(vec![
+        "streams",
+        "menu build (ms)",
+        "solve (ms)",
+        "evaluations",
+        "objective",
+    ]);
+    for &n in sizes {
+        let mut scfg = ScenarioConfig::default();
+        scfg.num_aps = 4;
+        scfg.devices_per_ap = n.div_ceil(4);
+        let problem = scfg.build();
+        let t0 = Instant::now();
+        let ev = Evaluator::new(&problem, None);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let cfg = OptimizerConfig {
+            rounds: 3,
+            gibbs_iters: if quick { 30 } else { 100 },
+            ..Default::default()
+        };
+        let t1 = Instant::now();
+        let sol = optimizer::solve(&ev, &cfg);
+        let solve_ms = t1.elapsed().as_secs_f64() * 1e3;
+        t.row(vec![
+            ev.num_streams().to_string(),
+            format!("{build_ms:.1}"),
+            format!("{solve_ms:.1}"),
+            sol.trace.evaluations.to_string(),
+            format!("{:.4}", sol.result.objective),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f11_quick_runs() {
+        super::run(true);
+    }
+}

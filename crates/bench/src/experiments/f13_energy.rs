@@ -1,0 +1,48 @@
+//! F13 \[extension\] — energy per request.
+//!
+//! Expected device-side and total energy per request under each method:
+//! device-only burns device compute joules, full offload burns radio
+//! joules, and joint surgery trades them against each other (the paper
+//! family reports energy alongside latency).
+
+use crate::harness::{self, compare_methods};
+use crate::table::{ms, Table};
+use scalpel_core::baselines::Method;
+use scalpel_core::config::ScenarioConfig;
+
+/// Print per-method energy alongside latency.
+pub fn run(quick: bool) {
+    println!("\n== F13 [extension]: energy per request ==");
+    let scfg = if quick {
+        harness::smoke_scenario()
+    } else {
+        ScenarioConfig::default()
+    };
+    let seeds: &[u64] = if quick { &[101] } else { &[101] };
+    let rows = compare_methods(&scfg, &harness::default_optimizer(), Method::ALL, seeds);
+    let mut t = Table::new(vec![
+        "method",
+        "mean(ms)",
+        "device mJ/req",
+        "total mJ/req",
+        "early-exit",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.method.name().to_string(),
+            ms(r.outcome.latency.mean),
+            format!("{:.1}", r.outcome.device_energy_j * 1e3),
+            format!("{:.1}", r.outcome.total_energy_j * 1e3),
+            format!("{:.1}%", r.outcome.early_exit_fraction * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f13_quick_runs() {
+        super::run(true);
+    }
+}

@@ -1,0 +1,55 @@
+//! F4 — mean latency vs number of devices (scalability).
+
+use crate::harness::{self, compare_methods};
+use crate::table::{ms, Table};
+use scalpel_core::baselines::Method;
+use scalpel_core::config::ScenarioConfig;
+
+/// The method subset plotted in the sweep figures.
+pub const SWEEP_METHODS: &[Method] = &[
+    Method::EdgeOnly,
+    Method::Neurosurgeon,
+    Method::SurgeryOnly,
+    Method::AllocOnly,
+    Method::Joint,
+];
+
+/// Print one mean-latency series per method over device counts.
+pub fn run(quick: bool) {
+    println!("\n== F4: mean latency (ms) vs number of devices ==");
+    let counts: &[usize] = if quick {
+        &[8, 24]
+    } else {
+        &[12, 20, 40, 60, 80, 100]
+    };
+    let seeds: &[u64] = if quick { &[101] } else { &[101, 202] };
+    let mut t = Table::new(
+        std::iter::once("devices".to_string())
+            .chain(SWEEP_METHODS.iter().map(|m| m.name().to_string()))
+            .collect::<Vec<_>>(),
+    );
+    for &n in counts {
+        let mut scfg = ScenarioConfig::default();
+        scfg.devices_per_ap = n / scfg.num_aps;
+        if quick {
+            scfg.sim.horizon_s = 8.0;
+            scfg.sim.warmup_s = 1.0;
+        }
+        let rows = compare_methods(&scfg, &harness::default_optimizer(), SWEEP_METHODS, seeds);
+        let mut cells = vec![n.to_string()];
+        for m in SWEEP_METHODS {
+            let r = rows.iter().find(|r| r.method == *m).expect("method row");
+            cells.push(ms(r.outcome.latency.mean));
+        }
+        t.row(cells);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f4_quick_runs() {
+        super::run(true);
+    }
+}

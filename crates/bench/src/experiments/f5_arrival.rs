@@ -1,0 +1,48 @@
+//! F5 — deadline-satisfaction ratio vs arrival rate.
+
+use crate::experiments::f4_scalability::SWEEP_METHODS;
+use crate::harness::{self, compare_methods};
+use crate::table::{pct, Table};
+use scalpel_core::config::ScenarioConfig;
+
+/// Print one deadline-ratio series per method over per-stream rates.
+pub fn run(quick: bool) {
+    println!("\n== F5: deadline satisfaction vs arrival rate (req/s per stream) ==");
+    let rates: &[f64] = if quick {
+        &[4.0, 12.0]
+    } else {
+        &[2.0, 5.0, 8.0, 12.0, 16.0, 20.0]
+    };
+    let seeds: &[u64] = if quick { &[101] } else { &[101, 202] };
+    let mut t = Table::new(
+        std::iter::once("rate".to_string())
+            .chain(SWEEP_METHODS.iter().map(|m| m.name().to_string()))
+            .collect::<Vec<_>>(),
+    );
+    for &rate in rates {
+        let mut scfg = ScenarioConfig::default();
+        scfg.arrival_rate_hz = rate;
+        if quick {
+            scfg.num_aps = 2;
+            scfg.devices_per_ap = 4;
+            scfg.sim.horizon_s = 8.0;
+            scfg.sim.warmup_s = 1.0;
+        }
+        let rows = compare_methods(&scfg, &harness::default_optimizer(), SWEEP_METHODS, seeds);
+        let mut cells = vec![format!("{rate:.0}")];
+        for m in SWEEP_METHODS {
+            let r = rows.iter().find(|r| r.method == *m).expect("method row");
+            cells.push(pct(r.outcome.deadline_ratio));
+        }
+        t.row(cells);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f5_quick_runs() {
+        super::run(true);
+    }
+}

@@ -1,0 +1,48 @@
+//! F6 — mean latency vs uplink bandwidth.
+
+use crate::experiments::f4_scalability::SWEEP_METHODS;
+use crate::harness::{self, compare_methods};
+use crate::table::{ms, Table};
+use scalpel_core::config::ScenarioConfig;
+
+/// Print one mean-latency series per method over AP bandwidths.
+pub fn run(quick: bool) {
+    println!("\n== F6: mean latency (ms) vs AP bandwidth (MHz) ==");
+    let mhz: &[f64] = if quick {
+        &[5.0, 40.0]
+    } else {
+        &[2.0, 5.0, 10.0, 20.0, 35.0, 50.0]
+    };
+    let seeds: &[u64] = if quick { &[101] } else { &[101, 202] };
+    let mut t = Table::new(
+        std::iter::once("MHz".to_string())
+            .chain(SWEEP_METHODS.iter().map(|m| m.name().to_string()))
+            .collect::<Vec<_>>(),
+    );
+    for &bw in mhz {
+        let mut scfg = ScenarioConfig::default();
+        scfg.ap_bandwidth_hz = bw * 1e6;
+        if quick {
+            scfg.num_aps = 2;
+            scfg.devices_per_ap = 4;
+            scfg.sim.horizon_s = 8.0;
+            scfg.sim.warmup_s = 1.0;
+        }
+        let rows = compare_methods(&scfg, &harness::default_optimizer(), SWEEP_METHODS, seeds);
+        let mut cells = vec![format!("{bw:.0}")];
+        for m in SWEEP_METHODS {
+            let r = rows.iter().find(|r| r.method == *m).expect("method row");
+            cells.push(ms(r.outcome.latency.mean));
+        }
+        t.row(cells);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f6_quick_runs() {
+        super::run(true);
+    }
+}

@@ -1,0 +1,63 @@
+//! F7 — mean latency vs edge-server heterogeneity.
+//!
+//! Server capacities keep the same total but spread with increasing
+//! coefficient of variation; allocation-aware methods should degrade
+//! gracefully while static splits suffer on the slow boxes.
+
+use crate::harness::{self, compare_methods};
+use crate::table::{ms, Table};
+use scalpel_core::baselines::Method;
+use scalpel_core::config::{ScenarioConfig, ServerMix};
+
+const METHODS: &[Method] = &[
+    Method::EdgeOnly,
+    Method::Neurosurgeon,
+    Method::AllocOnly,
+    Method::Joint,
+];
+
+/// Print one mean-latency series per method over capacity CVs.
+pub fn run(quick: bool) {
+    println!("\n== F7: mean latency (ms) vs server-capacity CV ==");
+    let cvs: &[f64] = if quick {
+        &[0.0, 0.5]
+    } else {
+        &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    };
+    let seeds: &[u64] = if quick { &[101] } else { &[101, 202] };
+    let mut t = Table::new(
+        std::iter::once("cv".to_string())
+            .chain(METHODS.iter().map(|m| m.name().to_string()))
+            .collect::<Vec<_>>(),
+    );
+    for &cv in cvs {
+        let mut scfg = ScenarioConfig::default();
+        scfg.servers = ServerMix::Synthetic {
+            count: 4,
+            mean_fps: 2.0e12,
+            cv,
+        };
+        if quick {
+            scfg.num_aps = 2;
+            scfg.devices_per_ap = 4;
+            scfg.sim.horizon_s = 8.0;
+            scfg.sim.warmup_s = 1.0;
+        }
+        let rows = compare_methods(&scfg, &harness::default_optimizer(), METHODS, seeds);
+        let mut cells = vec![format!("{cv:.1}")];
+        for m in METHODS {
+            let r = rows.iter().find(|r| r.method == *m).expect("method row");
+            cells.push(ms(r.outcome.latency.mean));
+        }
+        t.row(cells);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f7_quick_runs() {
+        super::run(true);
+    }
+}

@@ -1,0 +1,61 @@
+//! F8 — the accuracy/latency trade-off.
+//!
+//! Relaxing the per-stream accuracy floor lets surgery choose more
+//! aggressive exits and pruning; the figure traces the resulting
+//! (measured accuracy, measured latency) frontier for the Joint method.
+
+use crate::harness::{self, compare_methods};
+use crate::table::{ms, pct, Table};
+use scalpel_core::baselines::Method;
+use scalpel_core::config::ScenarioConfig;
+
+/// Print the Joint frontier over accuracy-floor relaxations.
+pub fn run(quick: bool) {
+    println!("\n== F8: accuracy-latency trade-off (Joint, relaxing the floor) ==");
+    let drops: &[f64] = if quick {
+        &[0.01, 0.06]
+    } else {
+        &[0.005, 0.01, 0.02, 0.04, 0.06, 0.10]
+    };
+    let seeds: &[u64] = if quick { &[101] } else { &[101, 202] };
+    let mut t = Table::new(vec![
+        "allowed drop",
+        "measured accuracy",
+        "mean(ms)",
+        "p95(ms)",
+        "early-exit",
+    ]);
+    for &drop in drops {
+        let mut scfg = ScenarioConfig::default();
+        scfg.accuracy_floor_drop = drop;
+        if quick {
+            scfg.num_aps = 2;
+            scfg.devices_per_ap = 4;
+            scfg.sim.horizon_s = 8.0;
+            scfg.sim.warmup_s = 1.0;
+        }
+        let rows = compare_methods(
+            &scfg,
+            &harness::default_optimizer(),
+            &[Method::Joint],
+            seeds,
+        );
+        let r = &rows[0].outcome;
+        t.row(vec![
+            format!("{:.1} pp", drop * 100.0),
+            format!("{:.3}", r.accuracy),
+            ms(r.latency.mean),
+            ms(r.latency.p95),
+            pct(r.early_exit_fraction),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn f8_quick_runs() {
+        super::run(true);
+    }
+}

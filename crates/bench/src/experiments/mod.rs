@@ -1,0 +1,42 @@
+//! One module per table/figure of the reconstructed evaluation.
+//!
+//! Each experiment is a function taking a `quick: bool` flag (smaller
+//! sweeps + shorter simulations for smoke runs) and printing the same rows
+//! or series the paper-style artifact would contain.
+
+pub mod a1_design_ablation;
+pub mod f10_ablation;
+pub mod f11_runtime;
+pub mod f12_burstiness;
+pub mod f13_energy;
+pub mod f14_validation;
+pub mod f15_dynamics;
+pub mod f4_scalability;
+pub mod f5_arrival;
+pub mod f6_bandwidth;
+pub mod f7_heterogeneity;
+pub mod f8_accuracy;
+pub mod f9_convergence;
+pub mod t1_models;
+pub mod t2_params;
+pub mod t3_overall;
+
+/// Run every experiment in index order.
+pub fn run_all(quick: bool) {
+    t1_models::run();
+    t2_params::run();
+    t3_overall::run(quick);
+    f4_scalability::run(quick);
+    f5_arrival::run(quick);
+    f6_bandwidth::run(quick);
+    f7_heterogeneity::run(quick);
+    f8_accuracy::run(quick);
+    f9_convergence::run(quick);
+    f10_ablation::run(quick);
+    f11_runtime::run(quick);
+    f12_burstiness::run(quick);
+    f13_energy::run(quick);
+    f14_validation::run(quick);
+    f15_dynamics::run(quick);
+    a1_design_ablation::run(quick);
+}

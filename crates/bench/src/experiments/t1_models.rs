@@ -1,0 +1,43 @@
+//! T1 — model zoo characteristics.
+
+use crate::table::Table;
+use scalpel_models::zoo;
+use scalpel_surgery::partition;
+
+/// Print the zoo table: layers, GFLOPs, params, cut/exit structure.
+pub fn run() {
+    println!("\n== T1: model zoo characteristics ==");
+    let mut t = Table::new(vec![
+        "model",
+        "layers",
+        "GFLOPs",
+        "params(M)",
+        "cut points",
+        "min-cut KB",
+        "input",
+    ]);
+    for name in zoo::ALL_NAMES {
+        let g = zoo::by_name(name).expect("zoo name");
+        let min_cut = partition::min_bytes_interior_cut(&g)
+            .map(|c| format!("{:.1}", c.bytes as f64 / 1024.0))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            g.name().to_string(),
+            g.len().to_string(),
+            format!("{:.2}", g.total_flops() as f64 / 1e9),
+            format!("{:.2}", g.total_params() as f64 / 1e6),
+            g.cut_points().len().to_string(),
+            min_cut,
+            g.input_shape().to_string(),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t1_runs() {
+        super::run();
+    }
+}

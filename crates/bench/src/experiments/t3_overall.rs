@@ -1,0 +1,73 @@
+//! T3 — overall comparison: every method on the default scenario.
+
+use crate::harness::{self, compare_methods};
+use crate::table::{ms, pct, Table};
+use scalpel_core::baselines::Method;
+use scalpel_core::config::ScenarioConfig;
+
+/// Print the full method ladder: latency distribution, deadline ratio,
+/// accuracy, early-exit fraction.
+pub fn run(quick: bool) {
+    println!("\n== T3: overall comparison (default scenario) ==");
+    let scfg = if quick {
+        harness::smoke_scenario()
+    } else {
+        ScenarioConfig::default()
+    };
+    let seeds: &[u64] = if quick {
+        &[101]
+    } else {
+        harness::DEFAULT_SEEDS
+    };
+    let rows = compare_methods(&scfg, &harness::default_optimizer(), Method::ALL, seeds);
+    let mut t = Table::new(vec![
+        "method",
+        "mean(ms)",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "deadline",
+        "accuracy",
+        "early-exit",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.method.name().to_string(),
+            ms(r.outcome.latency.mean),
+            ms(r.outcome.latency.p50),
+            ms(r.outcome.latency.p95),
+            ms(r.outcome.latency.p99),
+            pct(r.outcome.deadline_ratio),
+            format!("{:.3}", r.outcome.accuracy),
+            pct(r.outcome.early_exit_fraction),
+        ]);
+    }
+    t.print();
+    // Headline: Joint's speedup over the strongest static baseline.
+    let joint = rows
+        .iter()
+        .find(|r| r.method == Method::Joint)
+        .expect("Joint in ladder");
+    let best_static = rows
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.method,
+                Method::DeviceOnly | Method::EdgeOnly | Method::Neurosurgeon | Method::FixedExit
+            )
+        })
+        .map(|r| r.outcome.latency.mean)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "Joint mean speedup vs best static baseline: {:.2}x",
+        best_static / joint.outcome.latency.mean
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t3_quick_runs() {
+        super::run(true);
+    }
+}

@@ -1,0 +1,167 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple aligned-column table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], width: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.len()..width[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &width, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &width, &mut out);
+        }
+        out
+    }
+
+    /// Tab-separated rendering (headers + rows), for plotting pipelines.
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.headers.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout; additionally, when `SCALPEL_TABLE_DIR` is set,
+    /// write the TSV form to `<dir>/<slug(first header)>-<n>.tsv` so sweep
+    /// results can feed plotting scripts without screen-scraping.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if let Ok(dir) = std::env::var("SCALPEL_TABLE_DIR") {
+            let slug: String = self
+                .headers
+                .first()
+                .map(|h| {
+                    h.chars()
+                        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                        .collect()
+                })
+                .unwrap_or_else(|| "table".into());
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            let path = std::path::Path::new(&dir).join(format!("{slug}-{nanos}.tsv"));
+            if let Err(e) = std::fs::write(&path, self.to_tsv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Format seconds as milliseconds with two decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["method", "latency"]);
+        t.row(vec!["Joint", "12.3"]);
+        t.row(vec!["EdgeOnly", "45.6"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // "latency" column aligned at the same offset on all rows
+        let off = lines[0].find("latency").unwrap();
+        assert_eq!(lines[2].find("12.3").unwrap(), off);
+        assert_eq!(lines[3].find("45.6").unwrap(), off);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(0.01234), "12.34");
+        assert_eq!(pct(0.987), "98.7%");
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["3", "4"]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n3\t4\n");
+    }
+
+    #[test]
+    fn tsv_dump_writes_file() {
+        let dir = std::env::temp_dir().join(format!("scalpel-tsv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // to_tsv + manual write mirrors what print() does with the env var
+        // (the env var itself is process-global, so don't set it in tests).
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["42"]);
+        let path = dir.join("t.tsv");
+        std::fs::write(&path, t.to_tsv()).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n42\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

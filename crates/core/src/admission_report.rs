@@ -1,0 +1,165 @@
+//! Deadline-admission screening of a complete solution.
+//!
+//! After the joint search picks plans, placement and shares, this module
+//! answers the operator question "*is every stream's deadline actually
+//! coverable by its resource groups?*" — per edge server (compute) and per
+//! AP (spectrum) — using the same mandatory-minimum-share test as
+//! `scalpel_alloc::admission`. A fully-admitted solution is one whose
+//! deadlines are simultaneously satisfiable; rejected ids pinpoint which
+//! streams would need a cheaper surgery plan (or a longer deadline).
+
+use crate::evaluator::{Assignment, EvalResult, Evaluator};
+use scalpel_alloc::admission::{self, AdmissionResult};
+use scalpel_alloc::convex::HyperbolicDemand;
+use serde::{Deserialize, Serialize};
+
+/// Screening outcome for every resource group touched by a solution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolutionAdmission {
+    /// One result per edge server (index = server id).
+    pub servers: Vec<AdmissionResult>,
+    /// One result per AP (index = AP id).
+    pub aps: Vec<AdmissionResult>,
+}
+
+impl SolutionAdmission {
+    /// Whether every stream fits everywhere.
+    pub fn all_admitted(&self) -> bool {
+        self.servers.iter().all(|r| r.all_admitted()) && self.aps.iter().all(|r| r.all_admitted())
+    }
+
+    /// Stream ids rejected by at least one group (sorted, deduplicated).
+    pub fn rejected_streams(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .servers
+            .iter()
+            .chain(self.aps.iter())
+            .flat_map(|r| r.rejected.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Screen a priced configuration.
+pub fn screen_solution(ev: &Evaluator, asg: &Assignment, result: &EvalResult) -> SolutionAdmission {
+    let n = ev.num_streams();
+    let offloaded: Vec<usize> = (0..n)
+        .filter(|&k| !ev.menu(k)[asg.plan_idx[k]].is_device_only())
+        .collect();
+    // Per-server compute screening: fixed = device + transmission at the
+    // granted share; scaled = expected edge seconds at full capacity.
+    let mut servers = Vec::with_capacity(ev.num_servers());
+    for srv in 0..ev.num_servers() {
+        let members: Vec<usize> = offloaded
+            .iter()
+            .copied()
+            .filter(|&k| asg.placement[k] == srv)
+            .collect();
+        let demands: Vec<HyperbolicDemand> = members
+            .iter()
+            .map(|&k| {
+                let p = &ev.menu(k)[asg.plan_idx[k]];
+                let tx = ev.tx_full_seconds(k, p) / result.bandwidth_shares[k].max(1e-9);
+                HyperbolicDemand::new(
+                    p.dev_full + tx,
+                    p.remain * p.edge_flops / ev.server_caps()[srv],
+                )
+            })
+            .collect();
+        let deadlines: Vec<f64> = members.iter().map(|&k| ev.deadline(k)).collect();
+        servers.push(admission::screen(&members, &demands, &deadlines));
+    }
+    // Per-AP spectrum screening: fixed = device + edge at the granted
+    // share; scaled = expected transmission seconds at full spectrum.
+    let mut aps = Vec::with_capacity(ev.num_aps());
+    for ap in 0..ev.num_aps() {
+        let members: Vec<usize> = offloaded
+            .iter()
+            .copied()
+            .filter(|&k| ev.ap_of(k) == ap)
+            .collect();
+        let demands: Vec<HyperbolicDemand> = members
+            .iter()
+            .map(|&k| {
+                let p = &ev.menu(k)[asg.plan_idx[k]];
+                let srv = asg.placement[k];
+                let edge =
+                    p.edge_flops / (ev.server_caps()[srv] * result.compute_shares[k].max(1e-9));
+                HyperbolicDemand::new(p.dev_full + edge, p.remain * ev.tx_full_seconds(k, p))
+            })
+            .collect();
+        let deadlines: Vec<f64> = members.iter().map(|&k| ev.deadline(k)).collect();
+        aps.push(admission::screen(&members, &demands, &deadlines));
+    }
+    SolutionAdmission { servers, aps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{solve_with, Method};
+    use crate::config::ScenarioConfig;
+    use crate::optimizer::OptimizerConfig;
+
+    fn setup() -> (Evaluator, OptimizerConfig) {
+        let mut cfg = ScenarioConfig::default();
+        cfg.num_aps = 2;
+        cfg.devices_per_ap = 3;
+        cfg.arrival_rate_hz = 4.0;
+        (
+            Evaluator::new(&cfg.build(), None),
+            OptimizerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn joint_solution_is_fully_admitted_at_default_load() {
+        let (ev, opt) = setup();
+        let sol = solve_with(&ev, Method::Joint, &opt);
+        let adm = screen_solution(&ev, &sol.assignment, &sol.result);
+        assert!(adm.all_admitted(), "rejected: {:?}", adm.rejected_streams());
+        assert_eq!(adm.servers.len(), ev.num_servers());
+        assert_eq!(adm.aps.len(), ev.num_aps());
+    }
+
+    #[test]
+    fn edge_only_rejects_more_than_joint() {
+        let (ev, opt) = setup();
+        let joint = solve_with(&ev, Method::Joint, &opt);
+        let edge = solve_with(&ev, Method::EdgeOnly, &opt);
+        let adm_joint = screen_solution(&ev, &joint.assignment, &joint.result);
+        let adm_edge = screen_solution(&ev, &edge.assignment, &edge.result);
+        assert!(
+            adm_edge.rejected_streams().len() >= adm_joint.rejected_streams().len(),
+            "edge {:?} vs joint {:?}",
+            adm_edge.rejected_streams(),
+            adm_joint.rejected_streams()
+        );
+    }
+
+    #[test]
+    fn screening_covers_every_offloaded_stream_exactly_once_per_axis() {
+        let (ev, opt) = setup();
+        let sol = solve_with(&ev, Method::Joint, &opt);
+        let adm = screen_solution(&ev, &sol.assignment, &sol.result);
+        let offloaded: Vec<usize> = (0..ev.num_streams())
+            .filter(|&k| !ev.menu(k)[sol.assignment.plan_idx[k]].is_device_only())
+            .collect();
+        let mut by_server: Vec<usize> = adm
+            .servers
+            .iter()
+            .flat_map(|r| r.admitted.iter().chain(r.rejected.iter()).copied())
+            .collect();
+        by_server.sort_unstable();
+        assert_eq!(by_server, offloaded);
+        let mut by_ap: Vec<usize> = adm
+            .aps
+            .iter()
+            .flat_map(|r| r.admitted.iter().chain(r.rejected.iter()).copied())
+            .collect();
+        by_ap.sort_unstable();
+        assert_eq!(by_ap, offloaded);
+    }
+}

@@ -1,0 +1,190 @@
+//! Lowering a joint solution to simulator inputs.
+//!
+//! The compiler turns (problem, per-stream plan pricing, placement, shares)
+//! into [`scalpel_sim::CompiledStream`]s. Both the analytic evaluator and
+//! this compiler read the *same* [`crate::evaluator::PlanPricing`] numbers,
+//! so what the optimizer believed and what the simulator executes differ
+//! only by the things the simulator is there to measure: queueing,
+//! contention and fading.
+
+use crate::evaluator::{Assignment, EvalResult, Evaluator};
+use crate::problem::JointProblem;
+use scalpel_sim::CompiledStream;
+
+/// Compile every stream of a priced configuration.
+pub fn compile(
+    problem: &JointProblem,
+    ev: &Evaluator,
+    asg: &Assignment,
+    result: &EvalResult,
+) -> Vec<CompiledStream> {
+    (0..problem.streams.len())
+        .map(|k| {
+            let spec = &problem.streams[k];
+            let p = &ev.menu(k)[asg.plan_idx[k]];
+            let device_only = p.is_device_only();
+            CompiledStream {
+                id: k,
+                device: spec.device,
+                server: if device_only {
+                    None
+                } else {
+                    Some(asg.placement[k])
+                },
+                arrivals: spec.arrivals.clone(),
+                deadline_s: spec.deadline_s,
+                device_time_to_exit: p.dev_to_exit.clone(),
+                device_full_time: p.dev_full,
+                tx_bytes: p.tx_bytes,
+                edge_flops: p.edge_flops,
+                behavior: p.behavior.clone(),
+                acc_at_exit: p.acc_at_exit.clone(),
+                acc_full: p.acc_full,
+                bandwidth_share: if device_only {
+                    0.0
+                } else {
+                    result.bandwidth_shares[k].clamp(1e-6, 1.0)
+                },
+                compute_weight: if device_only {
+                    0.0
+                } else {
+                    result.compute_shares[k].max(1e-6)
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::evaluator::AllocPolicies;
+    use scalpel_sim::{EdgeSim, SimConfig};
+
+    fn setup() -> (JointProblem, Evaluator) {
+        let mut cfg = ScenarioConfig::default();
+        cfg.num_aps = 1;
+        cfg.devices_per_ap = 4;
+        cfg.arrival_rate_hz = 3.0;
+        let p = cfg.build();
+        let ev = Evaluator::new(&p, None);
+        (p, ev)
+    }
+
+    #[test]
+    fn every_menu_plan_of_every_stream_compiles_and_validates() {
+        // The simulator's validation must accept whatever the menus can
+        // produce — sweep every plan index of every stream.
+        let (p, ev) = setup();
+        for k in 0..ev.num_streams() {
+            for idx in 0..ev.menu(k).len() {
+                let mut asg = Assignment {
+                    plan_idx: vec![0; ev.num_streams()],
+                    placement: vec![0; ev.num_streams()],
+                };
+                asg.plan_idx[k] = idx;
+                let r = ev.evaluate(&asg, AllocPolicies::optimal());
+                let streams = compile(&p, &ev, &asg, &r);
+                for s in &streams {
+                    assert!(s.validate().is_ok(), "stream {k} plan {idx}: {s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_plans_ship_fewer_bytes_into_the_simulator() {
+        let (p, ev) = setup();
+        for k in 0..ev.num_streams() {
+            let menu = ev.menu(k);
+            // find a quantized/plain pair at the same cut
+            for (qi, q) in menu.iter().enumerate() {
+                if !q.plan.quantize_tx {
+                    continue;
+                }
+                if let Some((pi, _)) = menu
+                    .iter()
+                    .enumerate()
+                    .find(|(_, c)| c.plan.cut == q.plan.cut && !c.plan.quantize_tx)
+                {
+                    let mut asg = Assignment {
+                        plan_idx: vec![0; ev.num_streams()],
+                        placement: vec![0; ev.num_streams()],
+                    };
+                    asg.plan_idx[k] = qi;
+                    let r = ev.evaluate(&asg, AllocPolicies::optimal());
+                    let quant_bytes = compile(&p, &ev, &asg, &r)[k].tx_bytes;
+                    asg.plan_idx[k] = pi;
+                    let r = ev.evaluate(&asg, AllocPolicies::optimal());
+                    let plain_bytes = compile(&p, &ev, &asg, &r)[k].tx_bytes;
+                    assert!(
+                        quant_bytes < plain_bytes,
+                        "stream {k}: quantized {quant_bytes} !< plain {plain_bytes}"
+                    );
+                    return; // one pair suffices
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_streams_pass_simulator_validation() {
+        let (p, ev) = setup();
+        let asg = Assignment {
+            plan_idx: vec![0; ev.num_streams()],
+            placement: (0..ev.num_streams())
+                .map(|k| k % ev.num_servers())
+                .collect(),
+        };
+        let r = ev.evaluate(&asg, AllocPolicies::optimal());
+        let streams = compile(&p, &ev, &asg, &r);
+        assert_eq!(streams.len(), 4);
+        let sim = EdgeSim::new(
+            p.cluster.clone(),
+            streams,
+            SimConfig {
+                horizon_s: 5.0,
+                warmup_s: 1.0,
+                seed: 3,
+                fading: false,
+            },
+        );
+        assert!(sim.is_ok(), "{:?}", sim.err());
+        let report = sim.unwrap().run();
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn analytic_and_simulated_latencies_agree_under_light_load() {
+        // With fading off and light load, the simulator should land within
+        // a factor ~2 of the analytic expectation (queueing corrections are
+        // approximations, not exact).
+        let mut cfg = ScenarioConfig::default();
+        cfg.num_aps = 1;
+        cfg.devices_per_ap = 2;
+        cfg.arrival_rate_hz = 1.0;
+        cfg.sim = SimConfig {
+            horizon_s: 30.0,
+            warmup_s: 2.0,
+            seed: 5,
+            fading: false,
+        };
+        let p = cfg.build();
+        let ev = Evaluator::new(&p, None);
+        let asg = Assignment {
+            plan_idx: vec![0; 2],
+            placement: vec![0, 1],
+        };
+        let r = ev.evaluate(&asg, AllocPolicies::optimal());
+        let report = EdgeSim::new(p.cluster.clone(), compile(&p, &ev, &asg, &r), cfg.sim)
+            .unwrap()
+            .run();
+        let analytic_mean = r.latency_s.iter().sum::<f64>() / r.latency_s.len() as f64;
+        let simulated = report.latency.mean;
+        assert!(
+            simulated < analytic_mean * 2.0 && simulated > analytic_mean * 0.3,
+            "analytic {analytic_mean} vs simulated {simulated}"
+        );
+    }
+}

@@ -1,0 +1,758 @@
+//! Analytic pricing of joint configurations.
+//!
+//! The search loop cannot afford a discrete-event simulation per candidate,
+//! so configurations are priced analytically: exact expected service times
+//! (roofline device compute, mean-rate transmission, shared-capacity edge
+//! compute) plus queueing corrections — Pollaczek–Khinchine M/G/1 waiting
+//! on the device FIFO (the service second moment comes from the exact exit
+//! mixture), M/D/1 on the uplink, and M/G/1-PS response `s/(1−ρ)` on the
+//! per-stream edge slice. The simulator (`scalpel-sim`) is the ground truth
+//! the experiments report; F14 quantifies the analytic model's residual
+//! error against it.
+
+use crate::problem::JointProblem;
+use scalpel_alloc::bandwidth_alloc::{self, BandwidthDemand, BandwidthPolicy};
+use scalpel_alloc::compute_alloc::{self, ComputeDemand, ComputePolicy};
+use scalpel_models::{ExitHead, LatencyModel};
+use scalpel_surgery::candidates::{self, CandidateConfig, CandidatePlan, ReferenceEnv};
+use scalpel_surgery::SurgeryPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Utilization is clamped here before the `1/(1−ρ)` correction so an
+/// overloaded stage prices as "very bad" rather than infinite/negative.
+const RHO_CAP: f64 = 0.99;
+
+/// Radio power while transmitting, watts (Wi-Fi-class uplink).
+const TX_WATTS: f64 = 0.8;
+
+/// Allocation policies used when pricing / compiling a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocPolicies {
+    /// Per-server compute policy.
+    pub compute: ComputePolicy,
+    /// Per-AP bandwidth policy.
+    pub bandwidth: BandwidthPolicy,
+}
+
+impl AllocPolicies {
+    /// The paper's allocation: deadline-aware on both resources.
+    pub fn optimal() -> Self {
+        Self {
+            compute: ComputePolicy::DeadlineAware,
+            bandwidth: BandwidthPolicy::DeadlineAware,
+        }
+    }
+
+    /// Static equal shares on both resources (baselines).
+    pub fn equal() -> Self {
+        Self {
+            compute: ComputePolicy::Equal,
+            bandwidth: BandwidthPolicy::Equal,
+        }
+    }
+}
+
+/// One plan of one stream, fully priced in that stream's environment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanPricing {
+    /// The plan itself.
+    pub plan: SurgeryPlan,
+    /// Device seconds to complete at each exit (ascending).
+    pub dev_to_exit: Vec<f64>,
+    /// Device seconds when no exit fires.
+    pub dev_full: f64,
+    /// Expected device seconds per request.
+    pub exp_dev: f64,
+    /// Transmission seconds at full AP spectrum (per offloaded request).
+    pub tx_full_s: f64,
+    /// Bytes on the wire (per offloaded request).
+    pub tx_bytes: f64,
+    /// Edge FLOPs (per offloaded request).
+    pub edge_flops: f64,
+    /// Probability a request reaches the edge.
+    pub remain: f64,
+    /// Exit behavior.
+    pub behavior: scalpel_models::ExitBehavior,
+    /// Conditional accuracy per exit.
+    pub acc_at_exit: Vec<f64>,
+    /// Full-path accuracy.
+    pub acc_full: f64,
+    /// Expected accuracy.
+    pub exp_accuracy: f64,
+}
+
+impl PlanPricing {
+    /// Whether the plan keeps everything on the device.
+    pub fn is_device_only(&self) -> bool {
+        self.remain == 0.0 || (self.tx_bytes == 0.0 && self.edge_flops == 0.0)
+    }
+}
+
+/// A joint decision: per-stream plan index (into the menus) and server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Plan choice per stream (index into `Evaluator::menu(k)`).
+    pub plan_idx: Vec<usize>,
+    /// Server per stream (ignored for device-only plans).
+    pub placement: Vec<usize>,
+}
+
+/// Priced outcome of a configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Expected end-to-end latency per stream, seconds.
+    pub latency_s: Vec<f64>,
+    /// Expected accuracy per stream.
+    pub accuracy: Vec<f64>,
+    /// Bandwidth share per stream (of its AP).
+    pub bandwidth_shares: Vec<f64>,
+    /// Compute share per stream (of its server).
+    pub compute_shares: Vec<f64>,
+    /// Scalar objective (lower is better).
+    pub objective: f64,
+    /// Streams whose *expected* latency exceeds their deadline.
+    pub expected_misses: usize,
+    /// Expected *device-side* energy per request, joules (compute on the
+    /// device + radio transmission).
+    pub device_energy_j: Vec<f64>,
+    /// Expected total energy per request, joules (device + edge compute).
+    pub total_energy_j: Vec<f64>,
+}
+
+/// Prices configurations of one [`JointProblem`].
+pub struct Evaluator {
+    /// Per-stream candidate menus.
+    menus: Vec<Vec<PlanPricing>>,
+    /// Mean full-spectrum uplink rate per stream, bits/s.
+    link_rate_bps: Vec<f64>,
+    /// Request rate per stream.
+    rate_hz: Vec<f64>,
+    /// Deadline per stream.
+    deadline_s: Vec<f64>,
+    /// Device of each stream / AP of each stream.
+    device_of: Vec<usize>,
+    ap_of: Vec<usize>,
+    /// Device board power per stream, watts (for energy accounting).
+    device_watts: Vec<f64>,
+    /// Edge energy per FLOP per server, joules.
+    server_jpf: Vec<f64>,
+    /// rtt of each stream's AP.
+    rtt_s: Vec<f64>,
+    /// Server capacities.
+    server_caps: Vec<f64>,
+    num_aps: usize,
+}
+
+impl Evaluator {
+    /// Build menus and pricing caches for a problem. `menu_cfg` controls
+    /// candidate generation; pass `None` for the defaults.
+    pub fn new(problem: &JointProblem, menu_cfg: Option<CandidateConfig>) -> Self {
+        let n = problem.streams.len();
+        let total_cap: f64 = problem
+            .cluster
+            .servers
+            .iter()
+            .map(|s| s.proc.flops_per_sec)
+            .sum();
+        let mean_cap = total_cap / problem.cluster.servers.len() as f64;
+        let streams_per_server = (n as f64 / problem.cluster.servers.len() as f64).max(1.0);
+        // Latency models cached per (model, device-proc name).
+        let mut lat_cache: HashMap<(usize, String), LatencyModel> = HashMap::new();
+        let mut menus = Vec::with_capacity(n);
+        let mut link_rate_bps = Vec::with_capacity(n);
+        let by_ap = problem.streams_by_ap();
+        for spec in problem.streams.iter() {
+            let dev = &problem.cluster.devices[spec.device];
+            let link = problem.cluster.link(spec.device);
+            let rate = link.mean_rate_bps(1.0);
+            link_rate_bps.push(rate);
+            let peers_on_ap = by_ap[dev.ap].len().max(1) as f64;
+            let model = &problem.models[spec.model];
+            let lat = lat_cache
+                .entry((spec.model, dev.proc.name.clone()))
+                .or_insert_with(|| LatencyModel::new(model, dev.proc.clone()))
+                .clone();
+            let env = ReferenceEnv {
+                device_sec_per_flop: 1.0 / dev.proc.flops_per_sec,
+                tx_sec_per_byte: 8.0 * peers_on_ap / rate,
+                edge_sec_per_flop: streams_per_server / mean_cap,
+                rtt_s: problem.cluster.aps[dev.ap].rtt_s,
+            };
+            let cfg = CandidateConfig {
+                accuracy_floor: spec.accuracy_floor,
+                acc_full: problem.model_accuracy[spec.model],
+                difficulty: problem.difficulty.clone(),
+                ..menu_cfg.clone().unwrap_or_default()
+            };
+            let raw = candidates::generate(model, &env, &cfg);
+            let menu: Vec<PlanPricing> = raw
+                .into_iter()
+                .map(|c| Self::price_plan(model, &lat, &cfg, c))
+                .collect();
+            menus.push(menu);
+        }
+        Self {
+            menus,
+            link_rate_bps,
+            rate_hz: (0..n).map(|k| problem.rate_of(k)).collect(),
+            deadline_s: problem.streams.iter().map(|s| s.deadline_s).collect(),
+            device_of: problem.streams.iter().map(|s| s.device).collect(),
+            ap_of: problem
+                .streams
+                .iter()
+                .map(|s| problem.cluster.devices[s.device].ap)
+                .collect(),
+            device_watts: problem
+                .streams
+                .iter()
+                .map(|s| {
+                    let p = &problem.cluster.devices[s.device].proc;
+                    p.joules_per_flop * p.flops_per_sec
+                })
+                .collect(),
+            server_jpf: problem
+                .cluster
+                .servers
+                .iter()
+                .map(|s| s.proc.joules_per_flop)
+                .collect(),
+            rtt_s: problem
+                .streams
+                .iter()
+                .map(|s| problem.cluster.aps[problem.cluster.devices[s.device].ap].rtt_s)
+                .collect(),
+            server_caps: problem
+                .cluster
+                .servers
+                .iter()
+                .map(|s| s.proc.flops_per_sec)
+                .collect(),
+            num_aps: problem.cluster.aps.len(),
+        }
+    }
+
+    /// Price one candidate plan on one stream's device.
+    fn price_plan(
+        model: &scalpel_models::ModelGraph,
+        lat: &LatencyModel,
+        cfg: &CandidateConfig,
+        c: CandidatePlan,
+    ) -> PlanPricing {
+        let scale = c.plan.prune.flops_scale();
+        let classes = model.output_shape().c;
+        let mut dev_to_exit = Vec::with_capacity(c.plan.exits.len());
+        let mut head_s = 0.0;
+        for &(host, _) in &c.plan.exits {
+            let feature = model.shape(host);
+            let head = ExitHead::standard(feature, classes);
+            let head_bytes = feature.bytes(model.dtype()) as u64 + head.params * 4;
+            head_s += lat.extra_kernel_seconds(head.flops, head_bytes);
+            dev_to_exit.push(lat.prefix_seconds(host + 1) * scale + head_s);
+        }
+        let dev_full = lat.prefix_seconds(c.plan.cut) * scale + head_s;
+        let mut exp_dev = c.profile.behavior.remain_prob * dev_full;
+        for (i, &p) in c.profile.behavior.exit_probs.iter().enumerate() {
+            exp_dev += p * dev_to_exit[i];
+        }
+        let _ = cfg;
+        PlanPricing {
+            dev_to_exit,
+            dev_full,
+            exp_dev,
+            tx_full_s: 0.0, // filled per stream below (depends on the link)
+            tx_bytes: c.profile.tx_bytes,
+            edge_flops: c.profile.edge_flops,
+            remain: c.profile.remain_prob,
+            behavior: c.profile.behavior.clone(),
+            acc_at_exit: c.profile.acc_at_exit.clone(),
+            acc_full: c.profile.acc_full,
+            exp_accuracy: c.profile.expected_accuracy,
+            plan: c.plan,
+        }
+    }
+
+    /// Number of streams.
+    pub fn num_streams(&self) -> usize {
+        self.menus.len()
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.server_caps.len()
+    }
+
+    /// Server capacities (FLOP/s).
+    pub fn server_caps(&self) -> &[f64] {
+        &self.server_caps
+    }
+
+    /// The plan menu of stream `k`.
+    pub fn menu(&self, k: usize) -> &[PlanPricing] {
+        &self.menus[k]
+    }
+
+    /// Mean full-spectrum uplink rate of stream `k`, bits/s.
+    pub fn link_rate_bps(&self, k: usize) -> f64 {
+        self.link_rate_bps[k]
+    }
+
+    /// Deadline of stream `k`.
+    pub fn deadline(&self, k: usize) -> f64 {
+        self.deadline_s[k]
+    }
+
+    /// Request rate of stream `k`.
+    pub fn rate(&self, k: usize) -> f64 {
+        self.rate_hz[k]
+    }
+
+    /// AP of stream `k`'s device.
+    pub fn ap_of(&self, k: usize) -> usize {
+        self.ap_of[k]
+    }
+
+    /// Number of APs in the topology.
+    pub fn num_aps(&self) -> usize {
+        self.num_aps
+    }
+
+    /// Number of streams sharing stream `k`'s AP (including `k`).
+    pub fn peers_on_same_ap(&self, k: usize) -> usize {
+        let ap = self.ap_of[k];
+        self.ap_of.iter().filter(|&&a| a == ap).count().max(1)
+    }
+
+    /// Transmission seconds at full spectrum for plan `p` of stream `k`.
+    pub fn tx_full_seconds(&self, k: usize, p: &PlanPricing) -> f64 {
+        if p.tx_bytes == 0.0 {
+            0.0
+        } else {
+            p.tx_bytes * 8.0 / self.link_rate_bps[k]
+        }
+    }
+
+    /// Price a configuration under the given allocation policies.
+    pub fn evaluate(&self, asg: &Assignment, policies: AllocPolicies) -> EvalResult {
+        let n = self.num_streams();
+        assert_eq!(asg.plan_idx.len(), n);
+        assert_eq!(asg.placement.len(), n);
+        let plans: Vec<&PlanPricing> = (0..n).map(|k| &self.menus[k][asg.plan_idx[k]]).collect();
+        // --- Stage 1: device queueing (independent of allocation).
+        // The device is a FIFO M/G/1 queue whose service distribution is
+        // the exact exit mixture, so the Pollaczek–Khinchine formula gives
+        // the expected wait: W = Λ·E[S²] / (2(1−ρ)), shared by every
+        // request on that device.
+        let mut dev_lambda: HashMap<usize, f64> = HashMap::new();
+        let mut dev_es2: HashMap<usize, f64> = HashMap::new(); // Λ·E[S²] accumulator
+        let mut dev_rho: HashMap<usize, f64> = HashMap::new();
+        for k in 0..n {
+            let p = plans[k];
+            let mut es2 = p.behavior.remain_prob * p.dev_full * p.dev_full;
+            for (i, &q) in p.behavior.exit_probs.iter().enumerate() {
+                es2 += q * p.dev_to_exit[i] * p.dev_to_exit[i];
+            }
+            let d = self.device_of[k];
+            *dev_lambda.entry(d).or_default() += self.rate_hz[k];
+            *dev_es2.entry(d).or_default() += self.rate_hz[k] * es2;
+            *dev_rho.entry(d).or_default() += self.rate_hz[k] * p.exp_dev;
+        }
+        let dev_wait = |k: usize| -> f64 {
+            let d = self.device_of[k];
+            let rho = dev_rho[&d].min(RHO_CAP);
+            dev_es2[&d] / (2.0 * (1.0 - rho))
+        };
+        // --- Stage 2: compute shares per server (pre-edge uses fair tx).
+        let mut compute_shares = vec![0.0f64; n];
+        let offloaded: Vec<usize> = (0..n).filter(|&k| !plans[k].is_device_only()).collect();
+        for srv in 0..self.num_servers() {
+            let members: Vec<usize> = offloaded
+                .iter()
+                .copied()
+                .filter(|&k| asg.placement[k] == srv)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let demands: Vec<ComputeDemand> = members
+                .iter()
+                .map(|&k| {
+                    let p = plans[k];
+                    ComputeDemand {
+                        stream: k,
+                        pre_edge_s: dev_wait(k)
+                            + p.dev_full
+                            + self.tx_full_seconds(k, p) * self.peers_on_ap(asg, &plans, k) as f64,
+                        edge_s_full: p.remain.max(1e-6) * p.edge_flops / self.server_caps[srv],
+                        // weight ∝ urgency so the weighted-sum fallback
+                        // minimizes the Σ L/D objective directly
+                        weight: 1.0 / self.deadline_s[k],
+                        deadline_s: self.deadline_s[k],
+                    }
+                })
+                .collect();
+            let shares = compute_alloc::allocate(&demands, policies.compute);
+            for (i, &k) in members.iter().enumerate() {
+                compute_shares[k] = shares[i];
+            }
+        }
+        // --- Stage 3: bandwidth shares per AP.
+        let mut bandwidth_shares = vec![0.0f64; n];
+        for ap in 0..self.num_aps {
+            let members: Vec<usize> = offloaded
+                .iter()
+                .copied()
+                .filter(|&k| self.ap_of[k] == ap)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let demands: Vec<BandwidthDemand> = members
+                .iter()
+                .map(|&k| {
+                    let p = plans[k];
+                    let srv = asg.placement[k];
+                    let c = compute_shares[k].max(1e-9);
+                    BandwidthDemand {
+                        device: self.device_of[k],
+                        pre_tx_s: dev_wait(k) + p.dev_full,
+                        tx_s_full: p.remain.max(1e-6) * self.tx_full_seconds(k, p),
+                        post_tx_s: p.edge_flops / (self.server_caps[srv] * c),
+                        weight: 1.0 / self.deadline_s[k],
+                        deadline_s: self.deadline_s[k],
+                    }
+                })
+                .collect();
+            let shares = bandwidth_alloc::allocate(&demands, policies.bandwidth);
+            for (i, &k) in members.iter().enumerate() {
+                bandwidth_shares[k] = shares[i];
+            }
+        }
+        // --- Final pricing with utilization corrections.
+        let mut latency = vec![0.0f64; n];
+        let mut accuracy = vec![0.0f64; n];
+        let mut device_energy_j = vec![0.0f64; n];
+        let mut total_energy_j = vec![0.0f64; n];
+        for k in 0..n {
+            let p = plans[k];
+            accuracy[k] = p.exp_accuracy;
+            // Every request on the device waits the PK time first, then
+            // runs its own (path-dependent) service.
+            let w_dev = dev_wait(k);
+            let mut lat = 0.0;
+            for (i, &q) in p.behavior.exit_probs.iter().enumerate() {
+                lat += q * (w_dev + p.dev_to_exit[i]);
+            }
+            let mut full_path = w_dev + p.dev_full;
+            // Energy: device compute (service time × board power) is paid
+            // on every path; radio + edge only on the offloaded tail.
+            let mut dev_e = p.exp_dev * self.device_watts[k];
+            let mut tot_e = dev_e;
+            if !p.is_device_only() {
+                let b = bandwidth_shares[k].max(1e-9);
+                let tx = self.tx_full_seconds(k, p) / b;
+                // Uplink: M/D/1 (deterministic service at the planned
+                // rate), PK wait = λ·S²/(2(1−ρ)).
+                let lam_tx = self.rate_hz[k] * p.remain;
+                let rho_tx = (lam_tx * tx).min(RHO_CAP);
+                let w_tx = lam_tx * tx * tx / (2.0 * (1.0 - rho_tx));
+                let c = compute_shares[k].max(1e-9);
+                let srv = asg.placement[k];
+                let edge = p.edge_flops / (self.server_caps[srv] * c);
+                // Edge: dedicated processor-sharing slice — M/G/1-PS
+                // response s/(1−ρ) (insensitive to the service law).
+                let rho_edge = (self.rate_hz[k] * p.remain * edge).min(RHO_CAP);
+                full_path += w_tx + tx + self.rtt_s[k] / 2.0 + edge / (1.0 - rho_edge);
+                let radio = p.remain * tx * TX_WATTS;
+                dev_e += radio;
+                tot_e += radio + p.remain * p.edge_flops * self.server_jpf[srv];
+            }
+            lat += p.behavior.remain_prob * full_path;
+            latency[k] = lat;
+            device_energy_j[k] = dev_e;
+            total_energy_j[k] = tot_e;
+        }
+        let mut objective = 0.0;
+        let mut misses = 0usize;
+        for k in 0..n {
+            let norm = latency[k] / self.deadline_s[k];
+            objective += norm;
+            if latency[k] > self.deadline_s[k] {
+                misses += 1;
+                objective += 10.0 * (norm - 1.0);
+            }
+        }
+        objective /= n as f64;
+        EvalResult {
+            latency_s: latency,
+            accuracy,
+            bandwidth_shares,
+            compute_shares,
+            objective,
+            expected_misses: misses,
+            device_energy_j,
+            total_energy_j,
+        }
+    }
+
+    /// How many offloading streams share `k`'s AP under `asg` (used for
+    /// the fair-share pre-estimate inside compute allocation).
+    fn peers_on_ap(&self, asg: &Assignment, plans: &[&PlanPricing], k: usize) -> usize {
+        let _ = asg;
+        let ap = self.ap_of[k];
+        (0..self.num_streams())
+            .filter(|&j| self.ap_of[j] == ap && !plans[j].is_device_only())
+            .count()
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::problem::JointProblem;
+
+    fn small_problem() -> JointProblem {
+        let mut cfg = ScenarioConfig::default();
+        cfg.num_aps = 1;
+        cfg.devices_per_ap = 4;
+        cfg.arrival_rate_hz = 4.0;
+        cfg.build()
+    }
+
+    fn default_assignment(ev: &Evaluator) -> Assignment {
+        Assignment {
+            plan_idx: vec![0; ev.num_streams()],
+            placement: (0..ev.num_streams())
+                .map(|k| k % ev.num_servers())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn evaluator_builds_nonempty_menus() {
+        let p = small_problem();
+        let ev = Evaluator::new(&p, None);
+        assert_eq!(ev.num_streams(), 4);
+        for k in 0..4 {
+            assert!(!ev.menu(k).is_empty(), "stream {k}");
+            for plan in ev.menu(k) {
+                assert!(plan.exp_dev >= 0.0);
+                assert!(plan.exp_accuracy > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_finite_positive_latencies() {
+        let p = small_problem();
+        let ev = Evaluator::new(&p, None);
+        let r = ev.evaluate(&default_assignment(&ev), AllocPolicies::optimal());
+        for (k, &l) in r.latency_s.iter().enumerate() {
+            assert!(l.is_finite() && l > 0.0, "stream {k}: {l}");
+        }
+        assert!(r.objective.is_finite());
+    }
+
+    #[test]
+    fn optimal_allocation_not_worse_than_equal_on_sensible_plans() {
+        // On a *sensible* configuration (each stream's lowest-latency-proxy
+        // plan, the optimizer's starting point) the deadline-aware
+        // allocation must price at least as well as static equal shares on
+        // the objective it optimizes. (On pathological plan choices — e.g.
+        // a 9-second device-only VGG prefix — no allocation can help and
+        // miss counts may tie arbitrarily, so the guarantee is stated on
+        // the objective, not raw miss counts.)
+        let p = small_problem();
+        let ev = Evaluator::new(&p, None);
+        let asg = crate::optimizer::initial_assignment(
+            &ev,
+            scalpel_alloc::PlacementStrategy::BestResponse,
+        );
+        let opt = ev.evaluate(&asg, AllocPolicies::optimal());
+        let eq = ev.evaluate(&asg, AllocPolicies::equal());
+        assert!(
+            opt.objective <= eq.objective * 1.02 + 1e-9,
+            "optimal {} vs equal {}",
+            opt.objective,
+            eq.objective
+        );
+    }
+
+    #[test]
+    fn shares_live_on_simplices() {
+        let p = small_problem();
+        let ev = Evaluator::new(&p, None);
+        let r = ev.evaluate(&default_assignment(&ev), AllocPolicies::optimal());
+        let bw: f64 = r.bandwidth_shares.iter().sum();
+        assert!(bw <= 1.0 + 1e-6, "bandwidth over-allocated: {bw}");
+        let mut per_server = vec![0.0; ev.num_servers()];
+        let asg = default_assignment(&ev);
+        for k in 0..ev.num_streams() {
+            per_server[asg.placement[k]] += r.compute_shares[k];
+        }
+        for (s, &c) in per_server.iter().enumerate() {
+            assert!(c <= 1.0 + 1e-6, "server {s} over-allocated: {c}");
+        }
+    }
+
+    #[test]
+    fn better_plans_lower_the_objective() {
+        // The menu's first entry is arbitrary; check that *some* other
+        // selection changes (usually improves) the objective, i.e. plan
+        // choice matters to the evaluator.
+        let p = small_problem();
+        let ev = Evaluator::new(&p, None);
+        let base = ev.evaluate(&default_assignment(&ev), AllocPolicies::optimal());
+        let mut best = base.objective;
+        for k in 0..ev.num_streams() {
+            for idx in 0..ev.menu(k).len() {
+                let mut asg = default_assignment(&ev);
+                asg.plan_idx[k] = idx;
+                let r = ev.evaluate(&asg, AllocPolicies::optimal());
+                best = best.min(r.objective);
+            }
+        }
+        assert!(best < base.objective * 0.999 || ev.menu(0).len() == 1);
+    }
+
+    #[test]
+    fn device_only_plans_get_no_shares() {
+        let p = small_problem();
+        let ev = Evaluator::new(&p, None);
+        // find a device-only plan in any menu
+        for k in 0..ev.num_streams() {
+            if let Some(idx) = ev.menu(k).iter().position(|pl| pl.is_device_only()) {
+                let mut asg = default_assignment(&ev);
+                asg.plan_idx[k] = idx;
+                let r = ev.evaluate(&asg, AllocPolicies::optimal());
+                assert_eq!(r.bandwidth_shares[k], 0.0);
+                assert_eq!(r.compute_shares[k], 0.0);
+                return;
+            }
+        }
+        // No device-only plan in any menu is also acceptable (heavy
+        // models on weak devices); nothing to assert then.
+    }
+
+    #[test]
+    fn latency_matches_pk_hand_computation() {
+        // Reconstruct the evaluator's own latency formula for one stream
+        // from its public pieces: PK device wait over the device's streams,
+        // M/D/1 uplink wait, PS edge response.
+        let problem = small_problem();
+        let ev = Evaluator::new(&problem, None);
+        let asg = default_assignment(&ev);
+        let r = ev.evaluate(&asg, AllocPolicies::optimal());
+        for k in 0..ev.num_streams() {
+            let p = &ev.menu(k)[asg.plan_idx[k]];
+            // Device PK wait: all streams on the same device.
+            let dev = problem.streams[k].device;
+            let mut lam_es2 = 0.0;
+            let mut rho = 0.0;
+            for j in 0..ev.num_streams() {
+                if problem.streams[j].device != dev {
+                    continue;
+                }
+                let pj = &ev.menu(j)[asg.plan_idx[j]];
+                let mut es2 = pj.behavior.remain_prob * pj.dev_full * pj.dev_full;
+                for (i, &q) in pj.behavior.exit_probs.iter().enumerate() {
+                    es2 += q * pj.dev_to_exit[i] * pj.dev_to_exit[i];
+                }
+                lam_es2 += ev.rate(j) * es2;
+                rho += ev.rate(j) * pj.exp_dev;
+            }
+            let w_dev = lam_es2 / (2.0 * (1.0 - rho.min(0.99)));
+            let mut expect = 0.0;
+            for (i, &q) in p.behavior.exit_probs.iter().enumerate() {
+                expect += q * (w_dev + p.dev_to_exit[i]);
+            }
+            let mut full = w_dev + p.dev_full;
+            if !p.is_device_only() {
+                let tx = ev.tx_full_seconds(k, p) / r.bandwidth_shares[k].max(1e-9);
+                let lam_tx = ev.rate(k) * p.remain;
+                let rho_tx = (lam_tx * tx).min(0.99);
+                let w_tx = lam_tx * tx * tx / (2.0 * (1.0 - rho_tx));
+                let srv = asg.placement[k];
+                let edge = p.edge_flops
+                    / (ev.server_caps()[srv] * r.compute_shares[k].max(1e-9));
+                let rho_edge = (ev.rate(k) * p.remain * edge).min(0.99);
+                full += w_tx + tx + 1e-3 + edge / (1.0 - rho_edge); // rtt 2ms / 2
+            }
+            expect += p.behavior.remain_prob * full;
+            assert!(
+                (r.latency_s[k] - expect).abs() < 1e-9 * expect.max(1.0),
+                "stream {k}: {} vs hand {expect}",
+                r.latency_s[k]
+            );
+        }
+    }
+
+    #[test]
+    fn energy_accounting_is_positive_and_split_correctly() {
+        let p = small_problem();
+        let ev = Evaluator::new(&p, None);
+        let r = ev.evaluate(&default_assignment(&ev), AllocPolicies::optimal());
+        for k in 0..ev.num_streams() {
+            assert!(r.device_energy_j[k] >= 0.0);
+            assert!(
+                r.total_energy_j[k] >= r.device_energy_j[k] - 1e-12,
+                "total < device for stream {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_matches_hand_computation() {
+        // device energy = device compute (service × board power) + radio
+        // (remain × tx seconds at the allocated share × TX_WATTS); total
+        // adds the edge compute at the server's joules/FLOP.
+        let problem = small_problem();
+        let ev = Evaluator::new(&problem, None);
+        let asg = default_assignment(&ev);
+        let r = ev.evaluate(&asg, AllocPolicies::optimal());
+        for k in 0..ev.num_streams() {
+            let p = &ev.menu(k)[asg.plan_idx[k]];
+            let dev = &problem.cluster.devices[problem.streams[k].device].proc;
+            let watts = dev.joules_per_flop * dev.flops_per_sec;
+            let mut expect_dev = p.exp_dev * watts;
+            let mut expect_tot = expect_dev;
+            if !p.is_device_only() {
+                let tx = ev.tx_full_seconds(k, p) / r.bandwidth_shares[k].max(1e-9);
+                let radio = p.remain * tx * 0.8;
+                expect_dev += radio;
+                let srv = asg.placement[k];
+                let jpf = problem.cluster.servers[srv].proc.joules_per_flop;
+                expect_tot += radio + p.remain * p.edge_flops * jpf;
+            }
+            assert!(
+                (r.device_energy_j[k] - expect_dev).abs() < 1e-9 * expect_dev.max(1.0),
+                "stream {k}: device {} vs {}",
+                r.device_energy_j[k],
+                expect_dev
+            );
+            assert!(
+                (r.total_energy_j[k] - expect_tot).abs() < 1e-9 * expect_tot.max(1.0),
+                "stream {k}: total {} vs {}",
+                r.total_energy_j[k],
+                expect_tot
+            );
+        }
+    }
+
+    #[test]
+    fn higher_load_prices_worse() {
+        let mut cfg_lo = ScenarioConfig::default();
+        cfg_lo.num_aps = 1;
+        cfg_lo.devices_per_ap = 4;
+        cfg_lo.arrival_rate_hz = 2.0;
+        let mut cfg_hi = cfg_lo.clone();
+        cfg_hi.arrival_rate_hz = 16.0;
+        let ev_lo = Evaluator::new(&cfg_lo.build(), None);
+        let ev_hi = Evaluator::new(&cfg_hi.build(), None);
+        let r_lo = ev_lo.evaluate(&default_assignment(&ev_lo), AllocPolicies::optimal());
+        let r_hi = ev_hi.evaluate(&default_assignment(&ev_hi), AllocPolicies::optimal());
+        assert!(r_hi.objective > r_lo.objective);
+    }
+}

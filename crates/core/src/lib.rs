@@ -1,0 +1,42 @@
+//! # scalpel-core — the joint optimizer
+//!
+//! Ties the substrates together into the paper's contribution: **joint**
+//! optimization of model surgery (which cut, which exits, how much pruning
+//! — per stream) and resource allocation (which server, what compute share,
+//! what spectrum share) for latency-sensitive DNN inference in a
+//! heterogeneous edge.
+//!
+//! * [`problem`] — the joint problem instance (topology + streams + knobs);
+//! * [`config`] — scenario generation with the evaluation's default
+//!   parameters (Table 2) and every sweep axis;
+//! * [`evaluator`] — fast analytic pricing of a configuration (utilization-
+//!   corrected expected latency), used inside the search loop;
+//! * [`compiler`] — lowering a solution to `scalpel_sim::CompiledStream`s;
+//! * [`optimizer`] — coordinate descent and Gibbs-sampling searches over
+//!   the per-stream plan menus, with exact inner allocation, plus an
+//!   exhaustive reference for small instances;
+//! * [`baselines`] — DeviceOnly / EdgeOnly / Neurosurgeon / FixedExit /
+//!   SurgeryOnly / AllocOnly / Joint;
+//! * [`runner`] — executes solutions in the discrete-event simulator
+//!   (multi-seed, rayon-parallel).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod admission_report;
+pub mod baselines;
+pub mod compiler;
+pub mod config;
+pub mod distributed;
+pub mod evaluator;
+pub mod online;
+pub mod optimizer;
+pub mod problem;
+pub mod runner;
+
+pub use baselines::{solve_with, Method};
+pub use config::{ScenarioConfig, ServerMix};
+pub use evaluator::{EvalResult, Evaluator};
+pub use optimizer::{OptimizerConfig, SearchTrace, Solution};
+pub use problem::{JointProblem, StreamSpec};
+pub use runner::{run_solution, run_solution_seeds, MethodOutcome};

@@ -1,0 +1,201 @@
+//! Online re-optimization for dynamic edges.
+//!
+//! Edge conditions move at runtime — links degrade, devices join, servers
+//! drain. The controller keeps the current solution and, when the
+//! environment changes, *warm-starts* the joint search from the previous
+//! decisions instead of solving from scratch: previous plans are remapped
+//! onto the rebuilt menus by structural signature, placement is kept, and
+//! coordinate descent runs from there (usually converging in one sweep).
+
+use crate::evaluator::{Assignment, Evaluator};
+use crate::optimizer::{self, OptimizerConfig, Solution};
+use scalpel_surgery::SurgeryPlan;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How one adaptation went.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptReport {
+    /// Objective of the stale solution re-priced under the new conditions.
+    pub stale_objective: f64,
+    /// Objective after re-optimization.
+    pub adapted_objective: f64,
+    /// Evaluations spent adapting.
+    pub evaluations: usize,
+    /// Wall-clock milliseconds of the re-solve.
+    pub resolve_ms: f64,
+    /// Streams whose plan changed.
+    pub plans_changed: usize,
+    /// Streams whose server changed.
+    pub placements_changed: usize,
+}
+
+/// Structural signature used to match plans across rebuilt menus.
+fn signature(p: &SurgeryPlan) -> (usize, usize, u8, bool) {
+    (
+        p.cut,
+        p.exits.len(),
+        p.prune.flops_scale().to_bits() as u8,
+        p.quantize_tx,
+    )
+}
+
+/// Remap an assignment onto a rebuilt evaluator: for each stream, find the
+/// menu entry with the old plan's signature (falling back to the closest
+/// cut), and clamp placements to the new server count.
+pub fn remap_assignment(old_ev: &Evaluator, new_ev: &Evaluator, asg: &Assignment) -> Assignment {
+    let n = new_ev.num_streams().min(old_ev.num_streams());
+    let mut plan_idx = Vec::with_capacity(new_ev.num_streams());
+    let mut placement = Vec::with_capacity(new_ev.num_streams());
+    for k in 0..new_ev.num_streams() {
+        if k < n {
+            let old_plan = &old_ev.menu(k)[asg.plan_idx[k]].plan;
+            let sig = signature(old_plan);
+            let menu = new_ev.menu(k);
+            let idx = menu
+                .iter()
+                .position(|p| p.plan == *old_plan)
+                .or_else(|| menu.iter().position(|p| signature(&p.plan) == sig))
+                .unwrap_or_else(|| {
+                    // closest cut wins
+                    (0..menu.len())
+                        .min_by_key(|&i| {
+                            (menu[i].plan.cut as isize - old_plan.cut as isize).unsigned_abs()
+                        })
+                        .expect("non-empty menu")
+                });
+            plan_idx.push(idx);
+            placement.push(asg.placement[k].min(new_ev.num_servers() - 1));
+        } else {
+            plan_idx.push(0);
+            placement.push(k % new_ev.num_servers());
+        }
+    }
+    Assignment {
+        plan_idx,
+        placement,
+    }
+}
+
+/// The online controller: owns the current solution for one environment.
+pub struct OnlineController {
+    solution: Solution,
+    cfg: OptimizerConfig,
+}
+
+impl OnlineController {
+    /// Solve the initial environment from scratch.
+    pub fn bootstrap(ev: &Evaluator, cfg: OptimizerConfig) -> Self {
+        let solution = optimizer::solve(ev, &cfg);
+        Self { solution, cfg }
+    }
+
+    /// Current solution.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// React to changed conditions: re-price the stale decisions on the
+    /// new evaluator, warm-start descent from them, and adopt the result.
+    pub fn adapt(&mut self, old_ev: &Evaluator, new_ev: &Evaluator) -> AdaptReport {
+        let warm = remap_assignment(old_ev, new_ev, &self.solution.assignment);
+        let stale = new_ev.evaluate(&warm, self.cfg.policies);
+        let t0 = Instant::now();
+        let mut quick = self.cfg.clone();
+        quick.gibbs_iters = 0; // descent-only for fast adaptation
+        let adapted = optimizer::coordinate_descent_from(new_ev, &quick, warm.clone());
+        let resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let plans_changed = warm
+            .plan_idx
+            .iter()
+            .zip(&adapted.assignment.plan_idx)
+            .filter(|(a, b)| a != b)
+            .count();
+        let placements_changed = warm
+            .placement
+            .iter()
+            .zip(&adapted.assignment.placement)
+            .filter(|(a, b)| a != b)
+            .count();
+        let report = AdaptReport {
+            stale_objective: stale.objective,
+            adapted_objective: adapted.result.objective,
+            evaluations: adapted.trace.evaluations,
+            resolve_ms,
+            plans_changed,
+            placements_changed,
+        };
+        self.solution = adapted;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    fn scenario(bandwidth_mhz: f64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::default();
+        cfg.num_aps = 1;
+        cfg.devices_per_ap = 4;
+        cfg.arrival_rate_hz = 4.0;
+        cfg.ap_bandwidth_hz = bandwidth_mhz * 1e6;
+        cfg
+    }
+
+    #[test]
+    fn adaptation_never_worse_than_stale() {
+        let old_ev = Evaluator::new(&scenario(20.0).build(), None);
+        let new_ev = Evaluator::new(&scenario(4.0).build(), None); // link collapse
+        let mut ctl = OnlineController::bootstrap(&old_ev, OptimizerConfig::default());
+        let report = ctl.adapt(&old_ev, &new_ev);
+        assert!(
+            report.adapted_objective <= report.stale_objective + 1e-12,
+            "adapted {} vs stale {}",
+            report.adapted_objective,
+            report.stale_objective
+        );
+    }
+
+    #[test]
+    fn bandwidth_collapse_forces_plan_changes() {
+        let old_ev = Evaluator::new(&scenario(20.0).build(), None);
+        let new_ev = Evaluator::new(&scenario(2.0).build(), None);
+        let mut ctl = OnlineController::bootstrap(&old_ev, OptimizerConfig::default());
+        let report = ctl.adapt(&old_ev, &new_ev);
+        // A 10x bandwidth drop must move at least one stream's plan (more
+        // on-device compute / quantized transmission).
+        assert!(
+            report.plans_changed > 0,
+            "no plan reacted to a 10x bandwidth collapse"
+        );
+    }
+
+    #[test]
+    fn warm_start_is_cheaper_than_cold_solve() {
+        let old_ev = Evaluator::new(&scenario(20.0).build(), None);
+        let new_ev = Evaluator::new(&scenario(10.0).build(), None);
+        let mut ctl = OnlineController::bootstrap(&old_ev, OptimizerConfig::default());
+        let report = ctl.adapt(&old_ev, &new_ev);
+        let cold = optimizer::solve(&new_ev, &OptimizerConfig::default());
+        assert!(
+            report.evaluations < cold.trace.evaluations,
+            "warm {} vs cold {} evaluations",
+            report.evaluations,
+            cold.trace.evaluations
+        );
+        // And quality stays comparable.
+        assert!(report.adapted_objective <= cold.result.objective * 1.15 + 1e-9);
+    }
+
+    #[test]
+    fn remap_preserves_signatures_on_identical_menus() {
+        let ev = Evaluator::new(&scenario(20.0).build(), None);
+        let asg =
+            optimizer::initial_assignment(&ev, scalpel_alloc::PlacementStrategy::BestResponse);
+        let remapped = remap_assignment(&ev, &ev, &asg);
+        assert_eq!(remapped.plan_idx, asg.plan_idx);
+        assert_eq!(remapped.placement, asg.placement);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by the model substrate.
+
+use std::fmt;
+
+/// Errors raised while building or analyzing model graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A node referenced an input id that does not exist (or is not earlier
+    /// in topological order).
+    DanglingInput {
+        /// The node whose input reference is invalid.
+        node: usize,
+        /// The invalid input id.
+        input: usize,
+    },
+    /// A layer received an input shape it cannot process.
+    ShapeMismatch {
+        /// The offending node id.
+        node: usize,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A layer has the wrong number of inputs (e.g. `Add` with one input).
+    ArityMismatch {
+        /// The offending node id.
+        node: usize,
+        /// Expected input count description.
+        expected: &'static str,
+        /// Actual input count.
+        actual: usize,
+    },
+    /// The graph is empty or has no output.
+    EmptyGraph,
+    /// A cut was requested at a position that is not a valid cut point.
+    InvalidCut {
+        /// The requested boundary position.
+        position: usize,
+    },
+    /// An exit was attached to a node that does not exist or cannot host one.
+    InvalidExit {
+        /// The requested host node.
+        node: usize,
+        /// Why the exit cannot be attached there.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DanglingInput { node, input } => {
+                write!(f, "node {node} references dangling input {input}")
+            }
+            ModelError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at node {node}: {detail}")
+            }
+            ModelError::ArityMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "node {node} expects {expected} input(s) but received {actual}"
+            ),
+            ModelError::EmptyGraph => write!(f, "model graph is empty"),
+            ModelError::InvalidCut { position } => {
+                write!(f, "position {position} is not a valid single-tensor cut")
+            }
+            ModelError::InvalidExit { node, detail } => {
+                write!(f, "cannot attach exit at node {node}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

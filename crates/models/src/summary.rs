@@ -1,0 +1,134 @@
+//! Human-readable model summaries and Graphviz export.
+
+use crate::graph::{ModelGraph, INPUT};
+
+/// A per-layer summary table (Keras-style) as a string.
+pub fn layer_table(model: &ModelGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — input {} ({:?} activations, {:?} raw input)\n",
+        model.name(),
+        model.input_shape(),
+        model.dtype(),
+        model.input_dtype()
+    ));
+    out.push_str(&format!(
+        "{:<4} {:<22} {:<10} {:>12} {:>14} {:>12}\n",
+        "id", "name", "kind", "output", "FLOPs", "params"
+    ));
+    for node in model.nodes() {
+        out.push_str(&format!(
+            "{:<4} {:<22} {:<10} {:>12} {:>14} {:>12}\n",
+            node.id,
+            truncate(&node.name, 22),
+            node.kind.tag(),
+            model.shape(node.id).to_string(),
+            model.node_flops(node.id),
+            model.node_params(node.id),
+        ));
+    }
+    out.push_str(&format!(
+        "total: {:.3} GFLOPs, {:.3} M params, {} layers\n",
+        model.total_flops() as f64 / 1e9,
+        model.total_params() as f64 / 1e6,
+        model.len()
+    ));
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+/// Graphviz DOT representation of the layer DAG. Cut points are drawn as
+/// doubled-border nodes so partition candidates are visible at a glance.
+pub fn to_dot(model: &ModelGraph) -> String {
+    let cut_after: std::collections::HashSet<usize> = model
+        .cut_points()
+        .iter()
+        .filter(|c| c.boundary > 0)
+        .map(|c| c.boundary - 1)
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", model.name()));
+    out.push_str("  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    out.push_str(&format!(
+        "  input [label=\"input\\n{}\", shape=ellipse];\n",
+        model.input_shape()
+    ));
+    for node in model.nodes() {
+        let peripheries = if cut_after.contains(&node.id) { 2 } else { 1 };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n{} {}\", peripheries={}];\n",
+            node.id,
+            node.name.replace('"', "'"),
+            node.kind.tag(),
+            model.shape(node.id),
+            peripheries
+        ));
+        for &src in &node.inputs {
+            if src == INPUT {
+                out.push_str(&format!("  input -> n{};\n", node.id));
+            } else {
+                out.push_str(&format!("  n{} -> n{};\n", src, node.id));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn layer_table_mentions_every_node() {
+        let g = zoo::lenet5(10);
+        let t = layer_table(&g);
+        for node in g.nodes() {
+            assert!(t.contains(&node.name), "missing {}", node.name);
+        }
+        assert!(t.contains("total:"));
+    }
+
+    #[test]
+    fn dot_is_structurally_well_formed() {
+        for name in ["lenet5", "resnet18", "googlenet"] {
+            let g = zoo::by_name(name).unwrap();
+            let dot = to_dot(&g);
+            assert!(dot.starts_with(&format!("digraph \"{name}\"")));
+            assert!(dot.trim_end().ends_with('}'));
+            // one node statement per layer + input
+            let node_count = dot.matches("[label=").count();
+            assert_eq!(node_count, g.len() + 1, "{name}");
+            // edge count == total input references
+            let edges = dot.matches(" -> ").count();
+            let refs: usize = g.nodes().iter().map(|n| n.inputs.len()).sum();
+            assert_eq!(edges, refs, "{name}");
+        }
+    }
+
+    #[test]
+    fn dot_marks_cut_points_with_double_border() {
+        let g = zoo::alexnet(1000);
+        let dot = to_dot(&g);
+        // chains: every layer is a cut host -> every node doubled
+        let doubled = dot.matches("peripheries=2").count();
+        assert_eq!(doubled, g.len());
+    }
+
+    #[test]
+    fn truncate_helper() {
+        assert_eq!(truncate("short", 22), "short");
+        let long = "a".repeat(40);
+        let t = truncate(&long, 22);
+        assert!(t.chars().count() <= 22);
+        assert!(t.ends_with('…'));
+    }
+}

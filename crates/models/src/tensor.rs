@@ -1,0 +1,130 @@
+//! Feature-map shapes and datatype accounting.
+//!
+//! Shapes are batch-1 `C × H × W` feature maps (fully-connected activations
+//! are represented as `C × 1 × 1`). All byte accounting in the partition /
+//! transmission math flows through [`TensorShape::bytes`].
+
+use serde::{Deserialize, Serialize};
+
+/// Element datatype of a tensor as transmitted / computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DType {
+    /// 32-bit IEEE float (default for training-grade inference).
+    #[default]
+    F32,
+    /// 16-bit half precision (common on edge GPUs).
+    F16,
+    /// 8-bit quantized integer (common after device-side quantization).
+    I8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn bytes_per_element(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+            DType::I8 => 1,
+        }
+    }
+}
+
+/// A batch-1 feature-map shape, channels × height × width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Number of channels (or features for FC activations).
+    pub c: usize,
+    /// Spatial height (1 for FC activations).
+    pub h: usize,
+    /// Spatial width (1 for FC activations).
+    pub w: usize,
+}
+
+impl TensorShape {
+    /// A convolutional feature map `c × h × w`.
+    #[inline]
+    pub const fn chw(c: usize, h: usize, w: usize) -> Self {
+        Self { c, h, w }
+    }
+
+    /// A flat (fully-connected) activation vector of `n` features.
+    #[inline]
+    pub const fn flat(n: usize) -> Self {
+        Self { c: n, h: 1, w: 1 }
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub const fn elements(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Serialized size in bytes for the given datatype.
+    #[inline]
+    pub const fn bytes(&self, dtype: DType) -> usize {
+        self.elements() * dtype.bytes_per_element()
+    }
+
+    /// Whether this is a flat activation vector.
+    #[inline]
+    pub const fn is_flat(&self) -> bool {
+        self.h == 1 && self.w == 1
+    }
+
+    /// Spatial output size after a (kernel, stride, padding) window op,
+    /// using floor semantics (PyTorch default).
+    #[inline]
+    pub fn conv_out(dim: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+        debug_assert!(stride > 0, "stride must be positive");
+        if dim + 2 * padding < kernel {
+            return 0;
+        }
+        (dim + 2 * padding - kernel) / stride + 1
+    }
+}
+
+impl std::fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_and_byte_counts() {
+        let s = TensorShape::chw(64, 56, 56);
+        assert_eq!(s.elements(), 64 * 56 * 56);
+        assert_eq!(s.bytes(DType::F32), 64 * 56 * 56 * 4);
+        assert_eq!(s.bytes(DType::F16), 64 * 56 * 56 * 2);
+        assert_eq!(s.bytes(DType::I8), 64 * 56 * 56);
+    }
+
+    #[test]
+    fn flat_vectors() {
+        let s = TensorShape::flat(4096);
+        assert!(s.is_flat());
+        assert_eq!(s.elements(), 4096);
+        assert_eq!(s.to_string(), "4096x1x1");
+    }
+
+    #[test]
+    fn conv_out_matches_pytorch_floor_semantics() {
+        // 224x224, k=11, s=4, p=2 -> 55 (AlexNet conv1)
+        assert_eq!(TensorShape::conv_out(224, 11, 4, 2), 55);
+        // 224, k=3, s=1, p=1 -> 224 (VGG same-conv)
+        assert_eq!(TensorShape::conv_out(224, 3, 1, 1), 224);
+        // 55, k=3, s=2, p=0 -> 27 (AlexNet pool1)
+        assert_eq!(TensorShape::conv_out(55, 3, 2, 0), 27);
+        // 7, k=7, s=1, p=0 -> 1 (global pool as conv)
+        assert_eq!(TensorShape::conv_out(7, 7, 1, 0), 1);
+    }
+
+    #[test]
+    fn conv_out_degenerate_window_is_zero() {
+        assert_eq!(TensorShape::conv_out(2, 7, 1, 0), 0);
+    }
+}

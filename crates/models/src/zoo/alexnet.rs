@@ -1,0 +1,76 @@
+//! AlexNet (torchvision channel configuration, classic LRN kept).
+
+use crate::graph::{GraphBuilder, ModelGraph, INPUT};
+use crate::layer::{conv, linear, relu, LayerKind, PoolKind};
+use crate::tensor::{DType, TensorShape};
+
+fn pool3s2() -> LayerKind {
+    LayerKind::Pool {
+        kind: PoolKind::Max,
+        kernel: 3,
+        stride: 2,
+        padding: 0,
+    }
+}
+
+/// AlexNet on `3×224×224`.
+///
+/// Five conv stages (64/192/384/256/256 channels — the torchvision widths,
+/// whose 61.1 M parameters match the published model) followed by the
+/// 9216→4096→4096→`classes` classifier. The two classic LRN layers are kept
+/// so the graph mirrors the original architecture layer-for-layer.
+pub fn alexnet(classes: usize) -> ModelGraph {
+    let mut g =
+        GraphBuilder::new("alexnet", TensorShape::chw(3, 224, 224)).with_input_dtype(DType::I8);
+    let c1 = g.chain("conv1", conv(3, 64, 11, 4, 2), INPUT);
+    let r1 = g.chain("relu1", relu(), c1);
+    let n1 = g.chain("lrn1", LayerKind::Lrn, r1);
+    let p1 = g.chain("pool1", pool3s2(), n1);
+    let c2 = g.chain("conv2", conv(64, 192, 5, 1, 2), p1);
+    let r2 = g.chain("relu2", relu(), c2);
+    let n2 = g.chain("lrn2", LayerKind::Lrn, r2);
+    let p2 = g.chain("pool2", pool3s2(), n2);
+    let c3 = g.chain("conv3", conv(192, 384, 3, 1, 1), p2);
+    let r3 = g.chain("relu3", relu(), c3);
+    let c4 = g.chain("conv4", conv(384, 256, 3, 1, 1), r3);
+    let r4 = g.chain("relu4", relu(), c4);
+    let c5 = g.chain("conv5", conv(256, 256, 3, 1, 1), r4);
+    let r5 = g.chain("relu5", relu(), c5);
+    let p5 = g.chain("pool5", pool3s2(), r5);
+    let fl = g.chain("flatten", LayerKind::Flatten, p5);
+    let d1 = g.chain("drop1", LayerKind::Dropout, fl);
+    let f1 = g.chain("fc1", linear(256 * 6 * 6, 4096), d1);
+    let a1 = g.chain("relu6", relu(), f1);
+    let d2 = g.chain("drop2", LayerKind::Dropout, a1);
+    let f2 = g.chain("fc2", linear(4096, 4096), d2);
+    let a2 = g.chain("relu7", relu(), f2);
+    g.chain("fc3", linear(4096, classes), a2);
+    g.build().expect("alexnet is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_feature_map_sizes() {
+        let g = alexnet(1000);
+        assert_eq!(g.shape(0), TensorShape::chw(64, 55, 55)); // conv1
+        assert_eq!(g.shape(3), TensorShape::chw(64, 27, 27)); // pool1
+        assert_eq!(g.shape(7), TensorShape::chw(192, 13, 13)); // pool2
+        assert_eq!(g.shape(14), TensorShape::chw(256, 6, 6)); // pool5
+        assert_eq!(g.output_shape(), TensorShape::flat(1000));
+    }
+
+    #[test]
+    fn alexnet_exact_param_count() {
+        // conv params 3,747,200 + fc params 58,631,144 = 61,100,840 (+ LRN 0)
+        assert_eq!(alexnet(1000).total_params(), 61_100_840);
+    }
+
+    #[test]
+    fn alexnet_is_a_chain_with_many_cuts() {
+        let g = alexnet(1000);
+        assert_eq!(g.cut_points().len(), g.len() + 1);
+    }
+}

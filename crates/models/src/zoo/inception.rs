@@ -1,0 +1,145 @@
+//! GoogLeNet (Inception-v1) — the multi-branch model in the zoo.
+//!
+//! Auxiliary classifiers are omitted (they are training-time only); pools
+//! use padding 1 so the canonical 56/28/14/7 feature-map sizes are kept
+//! under floor semantics.
+
+use crate::graph::{GraphBuilder, ModelGraph, NodeId, INPUT};
+use crate::layer::{conv, linear, relu, LayerKind, PoolKind};
+use crate::tensor::{DType, TensorShape};
+
+fn maxpool3s2p1() -> LayerKind {
+    LayerKind::Pool {
+        kind: PoolKind::Max,
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+    }
+}
+
+fn maxpool3s1p1() -> LayerKind {
+    LayerKind::Pool {
+        kind: PoolKind::Max,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    }
+}
+
+fn conv_relu(
+    g: &mut GraphBuilder,
+    name: String,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    p: usize,
+    from: NodeId,
+) -> NodeId {
+    let c = g.chain(name.clone(), conv(in_c, out_c, k, 1, p), from);
+    g.chain(format!("{name}.relu"), relu(), c)
+}
+
+/// Channel spec of one inception module:
+/// `(1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj)`.
+type InceptionSpec = (usize, usize, usize, usize, usize, usize);
+
+fn inception(
+    g: &mut GraphBuilder,
+    tag: &str,
+    in_c: usize,
+    (c1, c3r, c3, c5r, c5, pp): InceptionSpec,
+    from: NodeId,
+) -> NodeId {
+    let b1 = conv_relu(g, format!("{tag}.b1"), in_c, c1, 1, 0, from);
+    let b2r = conv_relu(g, format!("{tag}.b2r"), in_c, c3r, 1, 0, from);
+    let b2 = conv_relu(g, format!("{tag}.b2"), c3r, c3, 3, 1, b2r);
+    let b3r = conv_relu(g, format!("{tag}.b3r"), in_c, c5r, 1, 0, from);
+    let b3 = conv_relu(g, format!("{tag}.b3"), c5r, c5, 5, 2, b3r);
+    let bp = g.chain(format!("{tag}.pool"), maxpool3s1p1(), from);
+    let b4 = conv_relu(g, format!("{tag}.b4"), in_c, pp, 1, 0, bp);
+    g.push(
+        format!("{tag}.concat"),
+        LayerKind::Concat,
+        vec![b1, b2, b3, b4],
+    )
+}
+
+/// GoogLeNet on `3×224×224` — ~7.0 M parameters (aux heads omitted),
+/// ~3 GFLOPs. The nine inception modules make this the zoo's stress test
+/// for multi-tensor boundaries: only inter-module cuts are single-tensor.
+pub fn googlenet(classes: usize) -> ModelGraph {
+    let mut g =
+        GraphBuilder::new("googlenet", TensorShape::chw(3, 224, 224)).with_input_dtype(DType::I8);
+    let c1 = g.chain("stem.conv7", conv(3, 64, 7, 2, 3), INPUT);
+    let r1 = g.chain("stem.relu1", relu(), c1);
+    let p1 = g.chain("stem.pool1", maxpool3s2p1(), r1);
+    let n1 = g.chain("stem.lrn1", LayerKind::Lrn, p1);
+    let c2 = conv_relu(&mut g, "stem.conv1".into(), 64, 64, 1, 0, n1);
+    let c3 = conv_relu(&mut g, "stem.conv3".into(), 64, 192, 3, 1, c2);
+    let n2 = g.chain("stem.lrn2", LayerKind::Lrn, c3);
+    let p2 = g.chain("stem.pool2", maxpool3s2p1(), n2);
+
+    let i3a = inception(&mut g, "3a", 192, (64, 96, 128, 16, 32, 32), p2);
+    let i3b = inception(&mut g, "3b", 256, (128, 128, 192, 32, 96, 64), i3a);
+    let p3 = g.chain("pool3", maxpool3s2p1(), i3b);
+    let i4a = inception(&mut g, "4a", 480, (192, 96, 208, 16, 48, 64), p3);
+    let i4b = inception(&mut g, "4b", 512, (160, 112, 224, 24, 64, 64), i4a);
+    let i4c = inception(&mut g, "4c", 512, (128, 128, 256, 24, 64, 64), i4b);
+    let i4d = inception(&mut g, "4d", 512, (112, 144, 288, 32, 64, 64), i4c);
+    let i4e = inception(&mut g, "4e", 528, (256, 160, 320, 32, 128, 128), i4d);
+    let p4 = g.chain("pool4", maxpool3s2p1(), i4e);
+    let i5a = inception(&mut g, "5a", 832, (256, 160, 320, 32, 128, 128), p4);
+    let i5b = inception(&mut g, "5b", 832, (384, 192, 384, 48, 128, 128), i5a);
+
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, i5b);
+    let fl = g.chain("flatten", LayerKind::Flatten, gap);
+    let dr = g.chain("drop", LayerKind::Dropout, fl);
+    g.chain("fc", linear(1024, classes), dr);
+    g.build().expect("googlenet is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_module_output_channels() {
+        let g = googlenet(1000);
+        let find = |name: &str| g.nodes().iter().find(|n| n.name == name).unwrap().id;
+        assert_eq!(g.shape(find("3a.concat")).c, 256);
+        assert_eq!(g.shape(find("3b.concat")).c, 480);
+        assert_eq!(g.shape(find("4e.concat")).c, 832);
+        assert_eq!(g.shape(find("5b.concat")).c, 1024);
+    }
+
+    #[test]
+    fn googlenet_spatial_pyramid() {
+        let g = googlenet(1000);
+        let find = |name: &str| g.nodes().iter().find(|n| n.name == name).unwrap().id;
+        assert_eq!(g.shape(find("stem.pool2")).h, 28);
+        assert_eq!(g.shape(find("pool3")).h, 14);
+        assert_eq!(g.shape(find("pool4")).h, 7);
+    }
+
+    #[test]
+    fn cuts_only_between_modules() {
+        let g = googlenet(1000);
+        let cuts = g.cut_points();
+        // Branch interiors are multi-tensor, so there are far fewer cuts
+        // than boundaries; but every concat output is a valid cut.
+        assert!(cuts.len() < g.len() / 2);
+        let concat_ids: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Concat))
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(concat_ids.len(), 9);
+        for id in concat_ids {
+            assert!(
+                g.validate_cut(id + 1).is_ok(),
+                "cut after concat {id} should be valid"
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! LeNet-5 — the tiny MNIST-scale network used throughout the test suite.
+
+use crate::graph::{GraphBuilder, ModelGraph, INPUT};
+use crate::layer::{conv, linear, maxpool, relu, LayerKind};
+use crate::tensor::{DType, TensorShape};
+
+/// LeNet-5 (modernized: ReLU + max-pool) on a `1×28×28` input.
+///
+/// conv(1→6,k5,p2) → pool2 → conv(6→16,k5) → pool2 → fc120 → fc84 → fc`classes`.
+pub fn lenet5(classes: usize) -> ModelGraph {
+    let mut g =
+        GraphBuilder::new("lenet5", TensorShape::chw(1, 28, 28)).with_input_dtype(DType::I8);
+    let c1 = g.chain("conv1", conv(1, 6, 5, 1, 2), INPUT);
+    let r1 = g.chain("relu1", relu(), c1);
+    let p1 = g.chain("pool1", maxpool(2, 2), r1);
+    let c2 = g.chain("conv2", conv(6, 16, 5, 1, 0), p1);
+    let r2 = g.chain("relu2", relu(), c2);
+    let p2 = g.chain("pool2", maxpool(2, 2), r2);
+    let fl = g.chain("flatten", LayerKind::Flatten, p2);
+    let f1 = g.chain("fc1", linear(16 * 5 * 5, 120), fl);
+    let a1 = g.chain("relu3", relu(), f1);
+    let f2 = g.chain("fc2", linear(120, 84), a1);
+    let a2 = g.chain("relu4", relu(), f2);
+    g.chain("fc3", linear(84, classes), a2);
+    g.build().expect("lenet5 is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_shapes() {
+        let g = lenet5(10);
+        assert_eq!(g.output_shape(), TensorShape::flat(10));
+        // conv2 output is 16x10x10, pooled to 16x5x5.
+        assert_eq!(g.shape(5), TensorShape::chw(16, 5, 5));
+        // All 13 boundaries are single-tensor cuts on a chain.
+        assert_eq!(g.cut_points().len(), g.len() + 1);
+    }
+
+    #[test]
+    fn lenet_param_count() {
+        // 156 + 2416 + 48120 + 10164 + 850 = 61,706 (classic count)
+        assert_eq!(lenet5(10).total_params(), 61_706);
+    }
+}

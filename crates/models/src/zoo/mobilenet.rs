@@ -1,0 +1,133 @@
+//! MobileNet-V2 (Sandler et al.) with inverted-residual bottlenecks.
+
+use crate::graph::{GraphBuilder, ModelGraph, NodeId, INPUT};
+use crate::layer::{dwconv, linear, Activation, LayerKind};
+use crate::tensor::{DType, TensorShape};
+
+fn conv1x1_nb(in_c: usize, out_c: usize) -> LayerKind {
+    LayerKind::Conv2d {
+        in_c,
+        out_c,
+        kernel: 1,
+        stride: 1,
+        padding: 0,
+        groups: 1,
+        bias: false,
+    }
+}
+
+fn bn_relu6(g: &mut GraphBuilder, tag: &str, from: NodeId) -> NodeId {
+    let b = g.chain(format!("{tag}.bn"), LayerKind::BatchNorm, from);
+    g.chain(format!("{tag}.relu6"), LayerKind::Act(Activation::Relu6), b)
+}
+
+/// One inverted residual: expand 1×1 (t×) → depthwise 3×3 → project 1×1,
+/// with a residual add when stride = 1 and channels match.
+fn inverted_residual(
+    g: &mut GraphBuilder,
+    tag: &str,
+    in_c: usize,
+    out_c: usize,
+    stride: usize,
+    expand: usize,
+    from: NodeId,
+) -> NodeId {
+    let hidden = in_c * expand;
+    let mut x = from;
+    if expand != 1 {
+        let e = g.chain(format!("{tag}.expand"), conv1x1_nb(in_c, hidden), x);
+        x = bn_relu6(g, &format!("{tag}.expand"), e);
+    }
+    let d = g.chain(format!("{tag}.dw"), dwconv(hidden, 3, stride, 1), x);
+    let x = bn_relu6(g, &format!("{tag}.dw"), d);
+    let p = g.chain(format!("{tag}.project"), conv1x1_nb(hidden, out_c), x);
+    let x = g.chain(format!("{tag}.project.bn"), LayerKind::BatchNorm, p);
+    if stride == 1 && in_c == out_c {
+        g.push(format!("{tag}.add"), LayerKind::Add, vec![x, from])
+    } else {
+        x
+    }
+}
+
+/// MobileNet-V2 on `3×224×224` — 3.50 M parameters, ~0.6 GFLOPs.
+pub fn mobilenet_v2(classes: usize) -> ModelGraph {
+    // (expansion t, output channels c, repeats n, first stride s)
+    const CFG: &[(usize, usize, usize, usize)] = &[
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut g = GraphBuilder::new("mobilenet_v2", TensorShape::chw(3, 224, 224))
+        .with_input_dtype(DType::I8);
+    let stem = g.chain(
+        "stem.conv",
+        LayerKind::Conv2d {
+            in_c: 3,
+            out_c: 32,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            groups: 1,
+            bias: false,
+        },
+        INPUT,
+    );
+    let mut tail = bn_relu6(&mut g, "stem", stem);
+    let mut in_c = 32;
+    for (bi, &(t, c, n, s)) in CFG.iter().enumerate() {
+        for r in 0..n {
+            let stride = if r == 0 { s } else { 1 };
+            tail = inverted_residual(&mut g, &format!("block{bi}.{r}"), in_c, c, stride, t, tail);
+            in_c = c;
+        }
+    }
+    let head = g.chain("head.conv", conv1x1_nb(320, 1280), tail);
+    let tail = bn_relu6(&mut g, "head", head);
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, tail);
+    let fl = g.chain("flatten", LayerKind::Flatten, gap);
+    let dr = g.chain("drop", LayerKind::Dropout, fl);
+    g.chain("fc", linear(1280, classes), dr);
+    g.build().expect("mobilenet_v2 is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_v2_exact_param_count() {
+        assert_eq!(mobilenet_v2(1000).total_params(), 3_504_872);
+    }
+
+    #[test]
+    fn mobilenet_v2_final_feature_map() {
+        let g = mobilenet_v2(1000);
+        let gap = g.nodes().iter().find(|n| n.name == "gap").unwrap();
+        assert_eq!(g.shape(gap.inputs[0]), TensorShape::chw(1280, 7, 7));
+        assert_eq!(g.output_shape(), TensorShape::flat(1000));
+    }
+
+    #[test]
+    fn depthwise_keeps_flops_low() {
+        let g = mobilenet_v2(1000);
+        // MobileNet-V2 is ~50x cheaper than VGG-16 despite similar depth.
+        assert!(g.total_flops() < 700_000_000, "{}", g.total_flops());
+    }
+
+    #[test]
+    fn residual_adds_only_on_stride1_same_width() {
+        let g = mobilenet_v2(1000);
+        let adds = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Add))
+            .count();
+        // repeats beyond the first in each stage with s=1:
+        // 24:1, 32:2, 64:3, 96:2, 160:2 => 10 adds.
+        assert_eq!(adds, 10);
+    }
+}

@@ -1,0 +1,147 @@
+//! Model zoo: layer-by-layer reconstructions of the classic backbones the
+//! paper family evaluates.
+//!
+//! Shapes and FLOPs match the published architectures (MAC = 2 FLOPs
+//! convention); small deviations from framework quirks (e.g. ceil-mode
+//! pooling) are handled by explicit padding so canonical feature-map sizes
+//! are preserved. Each builder takes the classifier width so experiments can
+//! use different label spaces.
+
+mod alexnet;
+mod inception;
+mod lenet;
+mod mobilenet;
+mod resnet;
+mod squeezenet;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use inception::googlenet;
+pub use lenet::lenet5;
+pub use mobilenet::mobilenet_v2;
+pub use resnet::{resnet101, resnet18, resnet34, resnet50};
+pub use squeezenet::squeezenet;
+pub use vgg::{vgg11, vgg16};
+
+use crate::graph::ModelGraph;
+
+/// Names of every model in the zoo.
+pub const ALL_NAMES: &[&str] = &[
+    "lenet5",
+    "alexnet",
+    "vgg11",
+    "vgg16",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "mobilenet_v2",
+    "googlenet",
+    "squeezenet",
+];
+
+/// Look a model up by name with ImageNet-standard 1000 classes
+/// (10 for LeNet-5). Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<ModelGraph> {
+    match name {
+        "lenet5" => Some(lenet5(10)),
+        "alexnet" => Some(alexnet(1000)),
+        "vgg11" => Some(vgg11(1000)),
+        "vgg16" => Some(vgg16(1000)),
+        "resnet18" => Some(resnet18(1000)),
+        "resnet34" => Some(resnet34(1000)),
+        "resnet50" => Some(resnet50(1000)),
+        "resnet101" => Some(resnet101(1000)),
+        "mobilenet_v2" => Some(mobilenet_v2(1000)),
+        "googlenet" => Some(googlenet(1000)),
+        "squeezenet" => Some(squeezenet(1000)),
+        _ => None,
+    }
+}
+
+/// The four backbones used throughout the reconstructed evaluation
+/// (DESIGN.md §4): a large CNN (VGG-16), a mid-size classic (AlexNet),
+/// a residual network (ResNet-18) and a mobile-efficient one
+/// (MobileNet-V2).
+pub fn standard_zoo() -> Vec<ModelGraph> {
+    vec![
+        alexnet(1000),
+        vgg16(1000),
+        resnet18(1000),
+        mobilenet_v2(1000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_zoo_model_builds_and_is_consistent() {
+        for name in ALL_NAMES {
+            let g = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(!g.is_empty(), "{name} empty");
+            assert!(g.total_flops() > 0, "{name} zero flops");
+            assert!(g.total_params() > 0, "{name} zero params");
+            // Every model ends in a flat classifier output.
+            assert!(g.output_shape().is_flat(), "{name} output not flat");
+            // At least three single-tensor cut points (offload, interior,
+            // device-only) must exist for surgery to have choices.
+            assert!(g.cut_points().len() >= 3, "{name} lacks cut points");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("resnet1337").is_none());
+    }
+
+    #[test]
+    fn standard_zoo_is_the_documented_four() {
+        let names: Vec<_> = standard_zoo().iter().map(|g| g.name().to_owned()).collect();
+        assert_eq!(names, ["alexnet", "vgg16", "resnet18", "mobilenet_v2"]);
+    }
+
+    /// Published parameter counts (±2% tolerance for bias/LRN conventions):
+    /// AlexNet 61.1M, VGG-16 138.4M, ResNet-18 11.7M, ResNet-50 25.6M,
+    /// MobileNet-V2 3.5M, GoogLeNet 6.6M (no aux heads ~ 6.0M).
+    #[test]
+    fn parameter_counts_match_published_architectures() {
+        let check = |name: &str, expected_m: f64, tol: f64| {
+            let g = by_name(name).unwrap();
+            let got = g.total_params() as f64 / 1e6;
+            assert!(
+                (got - expected_m).abs() / expected_m < tol,
+                "{name}: got {got:.2}M params, expected ~{expected_m}M"
+            );
+        };
+        check("alexnet", 61.1, 0.02);
+        check("vgg16", 138.4, 0.02);
+        check("resnet18", 11.69, 0.02);
+        check("resnet34", 21.80, 0.02);
+        check("resnet50", 25.56, 0.02);
+        check("mobilenet_v2", 3.50, 0.03);
+        check("googlenet", 7.0, 0.05); // aux classifiers omitted
+    }
+
+    /// Published forward GFLOPs (MAC=2 convention, ±5%): AlexNet ~1.43,
+    /// VGG-16 ~30.9, ResNet-18 ~3.6, ResNet-50 ~8.2, MobileNet-V2 ~0.6,
+    /// GoogLeNet ~3.0.
+    #[test]
+    fn flop_counts_match_published_architectures() {
+        let check = |name: &str, expected_g: f64, tol: f64| {
+            let g = by_name(name).unwrap();
+            let got = g.total_flops() as f64 / 1e9;
+            assert!(
+                (got - expected_g).abs() / expected_g < tol,
+                "{name}: got {got:.2} GFLOPs, expected ~{expected_g}"
+            );
+        };
+        check("alexnet", 1.43, 0.05);
+        check("vgg16", 30.96, 0.05);
+        check("resnet18", 3.64, 0.05);
+        check("resnet50", 8.21, 0.06);
+        check("mobilenet_v2", 0.60, 0.10);
+        check("googlenet", 3.0, 0.10);
+    }
+}

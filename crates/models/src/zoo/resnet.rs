@@ -1,0 +1,229 @@
+//! ResNet-18/34 (basic blocks) and ResNet-50 (bottleneck blocks).
+
+use crate::graph::{GraphBuilder, ModelGraph, NodeId, INPUT};
+use crate::layer::{conv_nb, linear, relu, LayerKind, PoolKind};
+use crate::tensor::{DType, TensorShape};
+
+fn bn(g: &mut GraphBuilder, name: String, from: NodeId) -> NodeId {
+    g.chain(name, LayerKind::BatchNorm, from)
+}
+
+/// One basic residual block: `conv3-bn-relu-conv3-bn (+shortcut) relu`.
+///
+/// When `stride > 1` or channel counts change, the shortcut is a projection
+/// (`conv1x1` + BN), exactly as in the published architecture.
+fn basic_block(
+    g: &mut GraphBuilder,
+    tag: &str,
+    in_c: usize,
+    out_c: usize,
+    stride: usize,
+    from: NodeId,
+) -> NodeId {
+    let c1 = g.chain(
+        format!("{tag}.conv1"),
+        conv_nb(in_c, out_c, 3, stride, 1),
+        from,
+    );
+    let b1 = bn(g, format!("{tag}.bn1"), c1);
+    let r1 = g.chain(format!("{tag}.relu1"), relu(), b1);
+    let c2 = g.chain(format!("{tag}.conv2"), conv_nb(out_c, out_c, 3, 1, 1), r1);
+    let b2 = bn(g, format!("{tag}.bn2"), c2);
+    let shortcut = if stride != 1 || in_c != out_c {
+        let ds = g.chain(
+            format!("{tag}.down"),
+            conv_nb(in_c, out_c, 1, stride, 0),
+            from,
+        );
+        bn(g, format!("{tag}.down_bn"), ds)
+    } else {
+        from
+    };
+    let add = g.push(format!("{tag}.add"), LayerKind::Add, vec![b2, shortcut]);
+    g.chain(format!("{tag}.relu2"), relu(), add)
+}
+
+/// One bottleneck block: `conv1-bn-relu-conv3-bn-relu-conv1(×4)-bn (+shortcut) relu`.
+fn bottleneck_block(
+    g: &mut GraphBuilder,
+    tag: &str,
+    in_c: usize,
+    mid_c: usize,
+    stride: usize,
+    from: NodeId,
+) -> NodeId {
+    let out_c = mid_c * 4;
+    let c1 = g.chain(format!("{tag}.conv1"), conv_nb(in_c, mid_c, 1, 1, 0), from);
+    let b1 = bn(g, format!("{tag}.bn1"), c1);
+    let r1 = g.chain(format!("{tag}.relu1"), relu(), b1);
+    let c2 = g.chain(
+        format!("{tag}.conv2"),
+        conv_nb(mid_c, mid_c, 3, stride, 1),
+        r1,
+    );
+    let b2 = bn(g, format!("{tag}.bn2"), c2);
+    let r2 = g.chain(format!("{tag}.relu2"), relu(), b2);
+    let c3 = g.chain(format!("{tag}.conv3"), conv_nb(mid_c, out_c, 1, 1, 0), r2);
+    let b3 = bn(g, format!("{tag}.bn3"), c3);
+    let shortcut = if stride != 1 || in_c != out_c {
+        let ds = g.chain(
+            format!("{tag}.down"),
+            conv_nb(in_c, out_c, 1, stride, 0),
+            from,
+        );
+        bn(g, format!("{tag}.down_bn"), ds)
+    } else {
+        from
+    };
+    let add = g.push(format!("{tag}.add"), LayerKind::Add, vec![b3, shortcut]);
+    g.chain(format!("{tag}.relu3"), relu(), add)
+}
+
+fn stem(g: &mut GraphBuilder) -> NodeId {
+    let c = g.chain("stem.conv", conv_nb(3, 64, 7, 2, 3), INPUT);
+    let b = bn(g, "stem.bn".into(), c);
+    let r = g.chain("stem.relu", relu(), b);
+    g.chain(
+        "stem.pool",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        },
+        r,
+    )
+}
+
+fn resnet_basic(name: &str, blocks: [usize; 4], classes: usize) -> ModelGraph {
+    let mut g = GraphBuilder::new(name, TensorShape::chw(3, 224, 224)).with_input_dtype(DType::I8);
+    let mut tail = stem(&mut g);
+    let widths = [64usize, 128, 256, 512];
+    let mut in_c = 64;
+    for (stage, (&w, &n)) in widths.iter().zip(blocks.iter()).enumerate() {
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            tail = basic_block(
+                &mut g,
+                &format!("layer{}.{}", stage + 1, b),
+                in_c,
+                w,
+                stride,
+                tail,
+            );
+            in_c = w;
+        }
+    }
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, tail);
+    let fl = g.chain("flatten", LayerKind::Flatten, gap);
+    g.chain("fc", linear(512, classes), fl);
+    g.build().expect("resnet is statically valid")
+}
+
+/// ResNet-18 on `3×224×224` — 11.69 M parameters, ~3.6 GFLOPs.
+pub fn resnet18(classes: usize) -> ModelGraph {
+    resnet_basic("resnet18", [2, 2, 2, 2], classes)
+}
+
+/// ResNet-34 on `3×224×224` — 21.8 M parameters.
+pub fn resnet34(classes: usize) -> ModelGraph {
+    resnet_basic("resnet34", [3, 4, 6, 3], classes)
+}
+
+/// ResNet-50 on `3×224×224` — 25.6 M parameters, ~8.2 GFLOPs.
+pub fn resnet50(classes: usize) -> ModelGraph {
+    resnet_bottleneck("resnet50", [3, 4, 6, 3], classes)
+}
+
+/// ResNet-101 on `3×224×224` — 44.5 M parameters, ~15.7 GFLOPs.
+pub fn resnet101(classes: usize) -> ModelGraph {
+    resnet_bottleneck("resnet101", [3, 4, 23, 3], classes)
+}
+
+fn resnet_bottleneck(name: &str, blocks: [usize; 4], classes: usize) -> ModelGraph {
+    let mut g = GraphBuilder::new(name, TensorShape::chw(3, 224, 224)).with_input_dtype(DType::I8);
+    let mut tail = stem(&mut g);
+    let widths = [64usize, 128, 256, 512];
+    let mut in_c = 64;
+    for (stage, (&w, &n)) in widths.iter().zip(blocks.iter()).enumerate() {
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            tail = bottleneck_block(
+                &mut g,
+                &format!("layer{}.{}", stage + 1, b),
+                in_c,
+                w,
+                stride,
+                tail,
+            );
+            in_c = w * 4;
+        }
+    }
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, tail);
+    let fl = g.chain("flatten", LayerKind::Flatten, gap);
+    g.chain("fc", linear(2048, classes), fl);
+    g.build().expect("bottleneck resnet is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_exact_param_count() {
+        assert_eq!(resnet18(1000).total_params(), 11_689_512);
+    }
+
+    #[test]
+    fn resnet50_exact_param_count() {
+        assert_eq!(resnet50(1000).total_params(), 25_557_032);
+    }
+
+    #[test]
+    fn resnet101_exact_param_count() {
+        assert_eq!(resnet101(1000).total_params(), 44_549_160);
+    }
+
+    #[test]
+    fn resnet101_is_deeper_but_same_interface() {
+        let g50 = resnet50(1000);
+        let g101 = resnet101(1000);
+        assert!(g101.len() > g50.len());
+        assert!(g101.total_flops() as f64 > 1.8 * g50.total_flops() as f64);
+        assert_eq!(g101.output_shape(), g50.output_shape());
+    }
+
+    #[test]
+    fn resnet18_stage_shapes() {
+        let g = resnet18(1000);
+        // stem pool -> 64x56x56
+        assert_eq!(g.shape(3), TensorShape::chw(64, 56, 56));
+        // final block output 512x7x7 (node before gap)
+        let gap = g.nodes().iter().find(|n| n.name == "gap").unwrap();
+        assert_eq!(g.shape(gap.inputs[0]), TensorShape::chw(512, 7, 7));
+    }
+
+    #[test]
+    fn resnet_cut_points_land_between_blocks() {
+        let g = resnet18(1000);
+        let cuts = g.cut_points();
+        // The add/relu boundaries between residual blocks are valid cuts;
+        // interiors of blocks (two live tensors) are not. 8 blocks -> at
+        // least 8 interior cuts plus offload/device-only.
+        assert!(cuts.len() >= 10, "got {} cuts", cuts.len());
+        // No cut crosses two tensors.
+        assert!(cuts.iter().all(|c| c.crossing.len() <= 1));
+    }
+
+    #[test]
+    fn identity_shortcut_blocks_have_no_downsample() {
+        let g = resnet18(1000);
+        let downs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.ends_with(".down"))
+            .count();
+        // Exactly 3 projection shortcuts in ResNet-18 (layer2.0, 3.0, 4.0).
+        assert_eq!(downs, 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! SqueezeNet 1.1 (Iandola et al.) — fire modules: squeeze 1×1 → parallel
+//! expand 1×1 / 3×3 → concat. The second multi-branch model in the zoo.
+
+use crate::graph::{GraphBuilder, ModelGraph, NodeId, INPUT};
+use crate::layer::{conv, relu, LayerKind, PoolKind};
+use crate::tensor::{DType, TensorShape};
+
+fn maxpool3s2() -> LayerKind {
+    LayerKind::Pool {
+        kind: PoolKind::Max,
+        kernel: 3,
+        stride: 2,
+        padding: 0,
+    }
+}
+
+/// One fire module: squeeze(s1x1) → [expand1x1(e1), expand3x3(e3)] → concat.
+fn fire(
+    g: &mut GraphBuilder,
+    tag: &str,
+    in_c: usize,
+    s1: usize,
+    e1: usize,
+    e3: usize,
+    from: NodeId,
+) -> NodeId {
+    let sq = g.chain(format!("{tag}.squeeze"), conv(in_c, s1, 1, 1, 0), from);
+    let sq = g.chain(format!("{tag}.squeeze.relu"), relu(), sq);
+    let x1 = g.chain(format!("{tag}.expand1"), conv(s1, e1, 1, 1, 0), sq);
+    let x1 = g.chain(format!("{tag}.expand1.relu"), relu(), x1);
+    let x3 = g.chain(format!("{tag}.expand3"), conv(s1, e3, 3, 1, 1), sq);
+    let x3 = g.chain(format!("{tag}.expand3.relu"), relu(), x3);
+    g.push(format!("{tag}.concat"), LayerKind::Concat, vec![x1, x3])
+}
+
+/// SqueezeNet 1.1 on `3×224×224` — ~1.24 M parameters, ~0.7 GFLOPs.
+pub fn squeezenet(classes: usize) -> ModelGraph {
+    let mut g =
+        GraphBuilder::new("squeezenet", TensorShape::chw(3, 224, 224)).with_input_dtype(DType::I8);
+    let c1 = g.chain("stem.conv", conv(3, 64, 3, 2, 0), INPUT);
+    let r1 = g.chain("stem.relu", relu(), c1);
+    let p1 = g.chain("stem.pool", maxpool3s2(), r1);
+    let f2 = fire(&mut g, "fire2", 64, 16, 64, 64, p1);
+    let f3 = fire(&mut g, "fire3", 128, 16, 64, 64, f2);
+    let p3 = g.chain("pool3", maxpool3s2(), f3);
+    let f4 = fire(&mut g, "fire4", 128, 32, 128, 128, p3);
+    let f5 = fire(&mut g, "fire5", 256, 32, 128, 128, f4);
+    let p5 = g.chain("pool5", maxpool3s2(), f5);
+    let f6 = fire(&mut g, "fire6", 256, 48, 192, 192, p5);
+    let f7 = fire(&mut g, "fire7", 384, 48, 192, 192, f6);
+    let f8 = fire(&mut g, "fire8", 384, 64, 256, 256, f7);
+    let f9 = fire(&mut g, "fire9", 512, 64, 256, 256, f8);
+    let dr = g.chain("drop", LayerKind::Dropout, f9);
+    // Classifier: conv1x1 to `classes`, then global average pool.
+    let cc = g.chain("classifier.conv", conv(512, classes, 1, 1, 0), dr);
+    let cr = g.chain("classifier.relu", relu(), cc);
+    let gap = g.chain("gap", LayerKind::GlobalAvgPool, cr);
+    g.chain("flatten", LayerKind::Flatten, gap);
+    g.build().expect("squeezenet is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squeezenet_param_count_matches_published() {
+        // torchvision squeezenet1_1: 1,235,496 parameters.
+        assert_eq!(squeezenet(1000).total_params(), 1_235_496);
+    }
+
+    #[test]
+    fn squeezenet_output_and_cuts() {
+        let g = squeezenet(1000);
+        assert_eq!(g.output_shape(), TensorShape::flat(1000));
+        // Fire-module interiors are multi-tensor; concat outputs are cuts.
+        let concats = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Concat))
+            .count();
+        assert_eq!(concats, 8);
+        for n in g.nodes() {
+            if matches!(n.kind, LayerKind::Concat) {
+                assert!(g.validate_cut(n.id + 1).is_ok(), "cut after {}", n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn squeezenet_is_light() {
+        let g = squeezenet(1000);
+        assert!(g.total_flops() < 1_000_000_000, "{}", g.total_flops());
+    }
+}

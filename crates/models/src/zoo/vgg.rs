@@ -1,0 +1,108 @@
+//! VGG-11 / VGG-16 (configuration A / D of Simonyan & Zisserman).
+
+use crate::graph::{GraphBuilder, ModelGraph, NodeId, INPUT};
+use crate::layer::{conv, linear, maxpool, relu, LayerKind};
+use crate::tensor::{DType, TensorShape};
+
+/// Append one `conv3x3(p1) → relu` pair and return the new tail.
+fn conv_relu(
+    g: &mut GraphBuilder,
+    idx: &mut usize,
+    in_c: usize,
+    out_c: usize,
+    from: NodeId,
+) -> NodeId {
+    *idx += 1;
+    let c = g.chain(format!("conv{idx}"), conv(in_c, out_c, 3, 1, 1), from);
+    g.chain(format!("relu{idx}"), relu(), c)
+}
+
+fn vgg(name: &str, cfg: &[&[usize]], classes: usize) -> ModelGraph {
+    let mut g = GraphBuilder::new(name, TensorShape::chw(3, 224, 224)).with_input_dtype(DType::I8);
+    let mut tail = INPUT;
+    let mut in_c = 3;
+    let mut idx = 0usize;
+    for (stage, widths) in cfg.iter().enumerate() {
+        for &w in widths.iter() {
+            tail = conv_relu(&mut g, &mut idx, in_c, w, tail);
+            in_c = w;
+        }
+        tail = g.chain(format!("pool{}", stage + 1), maxpool(2, 2), tail);
+    }
+    let fl = g.chain("flatten", LayerKind::Flatten, tail);
+    let f1 = g.chain("fc1", linear(512 * 7 * 7, 4096), fl);
+    let a1 = g.chain("fc1_relu", relu(), f1);
+    let d1 = g.chain("drop1", LayerKind::Dropout, a1);
+    let f2 = g.chain("fc2", linear(4096, 4096), d1);
+    let a2 = g.chain("fc2_relu", relu(), f2);
+    let d2 = g.chain("drop2", LayerKind::Dropout, a2);
+    g.chain("fc3", linear(4096, classes), d2);
+    g.build().expect("vgg is statically valid")
+}
+
+/// VGG-11 (configuration A) on `3×224×224`.
+pub fn vgg11(classes: usize) -> ModelGraph {
+    vgg(
+        "vgg11",
+        &[&[64], &[128], &[256, 256], &[512, 512], &[512, 512]],
+        classes,
+    )
+}
+
+/// VGG-16 (configuration D) on `3×224×224` — 138.4 M parameters.
+pub fn vgg16(classes: usize) -> ModelGraph {
+    vgg(
+        "vgg16",
+        &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256],
+            &[512, 512, 512],
+            &[512, 512, 512],
+        ],
+        classes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_exact_param_count() {
+        assert_eq!(vgg16(1000).total_params(), 138_357_544);
+    }
+
+    #[test]
+    fn vgg11_exact_param_count() {
+        assert_eq!(vgg11(1000).total_params(), 132_863_336);
+    }
+
+    #[test]
+    fn vgg16_stage_shapes() {
+        let g = vgg16(1000);
+        // final pool leaves 512x7x7
+        let pool5 = g
+            .nodes()
+            .iter()
+            .find(|n| n.name == "pool5")
+            .expect("pool5 exists");
+        assert_eq!(g.shape(pool5.id), TensorShape::chw(512, 7, 7));
+        assert_eq!(g.output_shape(), TensorShape::flat(1000));
+    }
+
+    #[test]
+    fn vgg16_dominant_cost_is_convolutional() {
+        let g = vgg16(1000);
+        let fc_flops: u64 = g
+            .nodes()
+            .iter()
+            .filter(|n| n.name.starts_with("fc"))
+            .map(|n| g.node_flops(n.id))
+            .sum();
+        assert!(
+            fc_flops * 10 < g.total_flops(),
+            "convs must dominate VGG cost"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Generic discrete-event queue.
+//!
+//! A binary heap keyed on `(time, sequence)`: events at equal timestamps
+//! pop in insertion order, which makes simulations deterministic without
+//! requiring `Ord` on the event payload.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list with FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error and panics in debug builds; in release it is clamped to
+    /// `now` (the event fires immediately, preserving causality).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after `delay_s` seconds of simulated time.
+    pub fn schedule_in(&mut self, delay_s: f64, event: E) {
+        let at = self.now.after_secs(delay_s);
+        self.schedule(at, event);
+    }
+
+    /// Pop the next event, advancing `now`. `None` when drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.now, "time went backwards");
+            self.now = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Peek at the next event time without popping.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(1.0, ());
+        q.schedule_in(2.0, ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs_f64(1.0));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs_f64(2.0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn relative_scheduling_stacks_on_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(1.0, "first");
+        q.pop();
+        q.schedule_in(0.5, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs_f64(1.5));
+    }
+
+    #[test]
+    fn next_time_peeks() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule(SimTime::from_nanos(42), ());
+        assert_eq!(q.next_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn past_scheduling_clamps_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), "a");
+        q.pop();
+        q.schedule(SimTime::from_nanos(50), "late");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "late");
+        assert_eq!(t, SimTime::from_nanos(100));
+    }
+}

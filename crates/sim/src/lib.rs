@@ -1,0 +1,38 @@
+//! # scalpel-sim — heterogeneous edge, simulated
+//!
+//! A deterministic discrete-event simulator standing in for the paper's
+//! physical testbed (DESIGN.md §3): end devices with FIFO compute, shared
+//! wireless uplinks with path-loss + Rayleigh fading, and edge servers doing
+//! weighted processor sharing over the streams assigned to them.
+//!
+//! The simulator executes *compiled streams* ([`task::CompiledStream`]):
+//! `scalpel-core` lowers a surgery plan + resource allocation into plain
+//! numbers (device time to each exit, bytes on the wire, edge FLOPs,
+//! per-exit accuracy), and this crate measures what actually happens —
+//! queueing, contention, fading, deadline misses — under a seeded PCG
+//! stream so every run is reproducible.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cluster;
+pub mod engine;
+pub mod metrics;
+pub mod net;
+pub mod rng;
+pub mod sim;
+pub mod task;
+pub mod time;
+pub mod tracelog;
+pub mod workload;
+
+pub use cluster::{ApSpec, Cluster, DeviceSpec, ServerSpec};
+pub use engine::EventQueue;
+pub use metrics::{LatencyStats, SimReport, StreamStats};
+pub use net::LinkModel;
+pub use rng::SimRng;
+pub use sim::{EdgeSim, SimConfig};
+pub use task::{CompiledStream, StreamId};
+pub use time::SimTime;
+pub use tracelog::TaskRecord;
+pub use workload::ArrivalProcess;

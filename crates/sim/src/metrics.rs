@@ -1,0 +1,219 @@
+//! Measurement: per-stream and aggregate latency / deadline / accuracy
+//! statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Order statistics over a set of latency samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean, seconds.
+    pub mean: f64,
+    /// Median, seconds.
+    pub p50: f64,
+    /// 95th percentile, seconds.
+    pub p95: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+    /// Maximum, seconds.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Empty statistics (all zero).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Compute from raw samples (consumed; sorted internally).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        if samples.is_empty() {
+            return Self::empty();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let q = |p: f64| -> f64 {
+            // nearest-rank on the sorted sample
+            let idx = ((p * count as f64).ceil() as usize).clamp(1, count) - 1;
+            samples[idx]
+        };
+        Self {
+            count,
+            mean,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Per-stream simulation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Stream index.
+    pub stream: usize,
+    /// Completed requests measured (post-warm-up).
+    pub completed: usize,
+    /// Requests that met their deadline.
+    pub on_time: usize,
+    /// Latency distribution.
+    pub latency: LatencyStats,
+    /// Mean accuracy credited over completions.
+    pub mean_accuracy: f64,
+    /// Completions that left at a device-side exit.
+    pub early_exits: usize,
+    /// Mean seconds spent waiting in the device compute queue.
+    pub mean_device_wait: f64,
+    /// Mean seconds of device compute service.
+    pub mean_device_service: f64,
+    /// Mean seconds of uplink transmission (offloaded requests only).
+    pub mean_tx: f64,
+    /// Mean seconds on the edge server (offloaded requests only).
+    pub mean_edge: f64,
+}
+
+impl StreamStats {
+    /// Deadline satisfaction ratio in `[0, 1]`.
+    pub fn deadline_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.on_time as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Whole-run simulation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Requests generated during the measured window.
+    pub generated: usize,
+    /// Requests completed (and measured).
+    pub completed: usize,
+    /// Aggregate latency distribution.
+    pub latency: LatencyStats,
+    /// Fraction of measured completions that met their deadline.
+    pub deadline_ratio: f64,
+    /// Mean accuracy over measured completions.
+    pub mean_accuracy: f64,
+    /// Fraction of measured completions that took a device-side exit.
+    pub early_exit_fraction: f64,
+    /// Per-server busy fraction: share of the simulated timeline (up to
+    /// the last event) during which the server had ≥1 active request.
+    pub server_utilization: Vec<f64>,
+    /// Per-stream breakdown.
+    pub per_stream: Vec<StreamStats>,
+}
+
+/// Accumulates one stream's completions during a run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StreamAccum {
+    pub latencies: Vec<f64>,
+    pub on_time: usize,
+    pub acc_sum: f64,
+    pub early_exits: usize,
+    pub device_wait_sum: f64,
+    pub device_service_sum: f64,
+    pub tx_sum: f64,
+    pub tx_count: usize,
+    pub edge_sum: f64,
+}
+
+impl StreamAccum {
+    pub fn finish(self, stream: usize) -> StreamStats {
+        let completed = self.latencies.len();
+        let n = completed.max(1) as f64;
+        StreamStats {
+            stream,
+            completed,
+            on_time: self.on_time,
+            mean_accuracy: self.acc_sum / n,
+            early_exits: self.early_exits,
+            mean_device_wait: self.device_wait_sum / n,
+            mean_device_service: self.device_service_sum / n,
+            mean_tx: self.tx_sum / self.tx_count.max(1) as f64,
+            mean_edge: self.edge_sum / self.tx_count.max(1) as f64,
+            latency: LatencyStats::from_samples(self.latencies),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::from_samples(vec![]);
+        assert_eq!(s, LatencyStats::empty());
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let s = LatencyStats::from_samples(vec![0.5]);
+        assert_eq!(s.count, 1);
+        for v in [s.mean, s.p50, s.p95, s.p99, s.max] {
+            assert_eq!(v, 0.5);
+        }
+    }
+
+    #[test]
+    fn percentiles_on_uniform_grid() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from_samples(samples);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_order_invariant() {
+        let a = LatencyStats::from_samples(vec![3.0, 1.0, 2.0]);
+        let b = LatencyStats::from_samples(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let samples: Vec<f64> = (0..999).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let s = LatencyStats::from_samples(samples);
+        assert!(s.p50 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn stream_accum_finish_divides_correctly() {
+        let mut a = StreamAccum::default();
+        a.latencies = vec![0.1, 0.3];
+        a.on_time = 1;
+        a.acc_sum = 1.5;
+        a.early_exits = 1;
+        a.tx_sum = 0.2;
+        a.tx_count = 1;
+        let s = a.finish(7);
+        assert_eq!(s.stream, 7);
+        assert_eq!(s.completed, 2);
+        assert!((s.deadline_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.mean_accuracy - 0.75).abs() < 1e-12);
+        assert!((s.mean_tx - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_ratio_of_empty_stream_is_one() {
+        let s = StreamAccum::default().finish(0);
+        assert_eq!(s.deadline_ratio(), 1.0);
+    }
+}

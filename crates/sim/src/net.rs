@@ -1,0 +1,131 @@
+//! Wireless uplink model.
+//!
+//! Each device talks to its access point over a log-distance path-loss
+//! channel with Rayleigh fading; APs divide their spectrum among their
+//! devices by FDMA shares (the bandwidth-allocation knob). Because thermal
+//! noise scales with the allocated band, the SNR is independent of the
+//! share and the achievable rate is *linear* in it — which is exactly the
+//! property the convex bandwidth allocator in `scalpel-alloc` relies on.
+
+use serde::{Deserialize, Serialize};
+
+/// Thermal noise density at room temperature, dBm/Hz.
+const NOISE_DBM_PER_HZ: f64 = -174.0;
+
+/// A device↔AP link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Full AP spectrum in Hz (the share multiplies this).
+    pub bandwidth_hz: f64,
+    /// Transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Path-loss at the 1 m reference distance, dB.
+    pub ref_loss_db: f64,
+    /// Path-loss exponent (≈2 free space, 3–4 indoor).
+    pub path_loss_exp: f64,
+    /// Device–AP distance in meters.
+    pub distance_m: f64,
+}
+
+impl LinkModel {
+    /// A Wi-Fi-class link: 20 dBm transmit, 40 dB reference loss,
+    /// exponent 3.5.
+    pub fn wifi(bandwidth_hz: f64, distance_m: f64) -> Self {
+        Self {
+            bandwidth_hz,
+            tx_power_dbm: 20.0,
+            ref_loss_db: 40.0,
+            path_loss_exp: 3.5,
+            distance_m: distance_m.max(1.0),
+        }
+    }
+
+    /// Mean signal-to-noise ratio (linear) over the allocated band.
+    pub fn mean_snr(&self) -> f64 {
+        let path_loss_db = self.ref_loss_db + 10.0 * self.path_loss_exp * self.distance_m.log10();
+        let rx_dbm = self.tx_power_dbm - path_loss_db;
+        let noise_dbm = NOISE_DBM_PER_HZ + 10.0 * self.bandwidth_hz.log10();
+        10f64.powf((rx_dbm - noise_dbm) / 10.0)
+    }
+
+    /// Shannon rate in bits/s for a bandwidth `share ∈ (0,1]` under the
+    /// instantaneous fading power multiplier (unit mean).
+    pub fn rate_bps(&self, share: f64, fading_power: f64) -> f64 {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&share));
+        if share <= 0.0 {
+            return 0.0;
+        }
+        let snr = self.mean_snr() * fading_power;
+        share * self.bandwidth_hz * (1.0 + snr).log2()
+    }
+
+    /// Mean rate at unit fading — what the allocator plans with.
+    pub fn mean_rate_bps(&self, share: f64) -> f64 {
+        self.rate_bps(share, 1.0)
+    }
+
+    /// Seconds to move `bytes` at the given share and fading.
+    pub fn tx_seconds(&self, bytes: f64, share: f64, fading_power: f64) -> f64 {
+        let rate = self.rate_bps(share, fading_power);
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        bytes * 8.0 / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wifi_link_rate_is_realistic() {
+        // 10 MHz at 50 m should land in the tens of Mbit/s.
+        let l = LinkModel::wifi(10e6, 50.0);
+        let r = l.mean_rate_bps(1.0);
+        assert!(r > 20e6 && r < 200e6, "rate {r}");
+    }
+
+    #[test]
+    fn rate_is_linear_in_share() {
+        let l = LinkModel::wifi(20e6, 30.0);
+        let full = l.mean_rate_bps(1.0);
+        let half = l.mean_rate_bps(0.5);
+        assert!((half - full / 2.0).abs() < 1e-6 * full);
+    }
+
+    #[test]
+    fn rate_decreases_with_distance() {
+        let near = LinkModel::wifi(10e6, 10.0).mean_rate_bps(1.0);
+        let far = LinkModel::wifi(10e6, 100.0).mean_rate_bps(1.0);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn fading_moves_rate_monotonically() {
+        let l = LinkModel::wifi(10e6, 50.0);
+        assert!(l.rate_bps(1.0, 0.2) < l.rate_bps(1.0, 1.0));
+        assert!(l.rate_bps(1.0, 3.0) > l.rate_bps(1.0, 1.0));
+    }
+
+    #[test]
+    fn zero_share_cannot_transmit() {
+        let l = LinkModel::wifi(10e6, 50.0);
+        assert_eq!(l.rate_bps(0.0, 1.0), 0.0);
+        assert!(l.tx_seconds(1000.0, 0.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn tx_seconds_scale_with_bytes() {
+        let l = LinkModel::wifi(10e6, 50.0);
+        let one = l.tx_seconds(1e6, 1.0, 1.0);
+        let two = l.tx_seconds(2e6, 1.0, 1.0);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_clamped_to_reference() {
+        let l = LinkModel::wifi(10e6, 0.0);
+        assert_eq!(l.distance_m, 1.0);
+    }
+}

@@ -1,0 +1,919 @@
+//! The edge simulator: FIFO device compute → fading uplink → weighted
+//! processor-sharing edge server, driven by a deterministic event queue.
+
+use crate::cluster::Cluster;
+use crate::engine::EventQueue;
+use crate::metrics::{LatencyStats, SimReport, StreamAccum};
+use crate::net::LinkModel;
+use crate::rng::SimRng;
+use crate::task::{CompiledStream, RunTask};
+use crate::time::SimTime;
+use crate::tracelog::TaskRecord;
+use crate::workload::ArrivalGen;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Simulation horizon and determinism knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Stop generating arrivals after this many simulated seconds
+    /// (in-flight requests still drain).
+    pub horizon_s: f64,
+    /// Ignore requests arriving before this time (transient removal).
+    pub warmup_s: f64,
+    /// Master seed; all streams derive from it.
+    pub seed: u64,
+    /// Whether Rayleigh fading perturbs each transmission (off = planner's
+    /// mean-rate world, useful for analytic-vs-sim validation).
+    pub fading: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            horizon_s: 30.0,
+            warmup_s: 2.0,
+            seed: 1,
+            fading: true,
+        }
+    }
+}
+
+/// Events of the edge simulation.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Next request of `stream` arrives.
+    Arrive { stream: usize },
+    /// The request at the head of `device`'s compute unit finishes.
+    DeviceDone { device: usize },
+    /// The transmission at the head of `device`'s uplink finishes.
+    TxDone { device: usize },
+    /// Re-examine server `server`'s processor-sharing state.
+    ServerCheck { server: usize, gen: u64 },
+}
+
+/// A request with its accumulated timing breakdown.
+#[derive(Debug, Clone)]
+struct InFlight {
+    task: RunTask,
+    device_wait: f64,
+    device_service: f64,
+    tx_time: f64,
+}
+
+#[derive(Debug, Default)]
+struct DeviceState {
+    queue: VecDeque<InFlight>,
+    /// The request currently computing (service end handled by DeviceDone).
+    current: Option<InFlight>,
+}
+
+#[derive(Debug, Default)]
+struct UplinkState {
+    queue: VecDeque<InFlight>,
+    current: Option<InFlight>,
+}
+
+#[derive(Debug)]
+struct ActiveOnServer {
+    flight: InFlight,
+    remaining_flops: f64,
+    weight: f64,
+    entered: SimTime,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    capacity_fps: f64,
+    active: Vec<ActiveOnServer>,
+    last: SimTime,
+    gen: u64,
+    /// Seconds with ≥1 active request (for the utilization report).
+    busy_s: f64,
+}
+
+impl ServerState {
+    /// Apply processor sharing between `self.last` and `now`.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.secs_since(self.last);
+        self.last = now;
+        if dt <= 0.0 || self.active.is_empty() {
+            return;
+        }
+        self.busy_s += dt;
+        let total_w: f64 = self.active.iter().map(|a| a.weight).sum();
+        for a in &mut self.active {
+            let rate = self.capacity_fps * a.weight / total_w;
+            a.remaining_flops -= dt * rate;
+        }
+    }
+
+    /// Seconds until the next in-progress request completes.
+    fn time_to_next_completion(&self) -> Option<f64> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let total_w: f64 = self.active.iter().map(|a| a.weight).sum();
+        self.active
+            .iter()
+            .map(|a| {
+                let rate = self.capacity_fps * a.weight / total_w;
+                (a.remaining_flops / rate).max(0.0)
+            })
+            .min_by(|x, y| x.partial_cmp(y).expect("finite"))
+    }
+}
+
+/// The heterogeneous-edge discrete-event simulator.
+pub struct EdgeSim {
+    cluster: Cluster,
+    streams: Vec<CompiledStream>,
+    config: SimConfig,
+}
+
+impl EdgeSim {
+    /// Build a simulator over a validated topology and compiled streams.
+    pub fn new(
+        cluster: Cluster,
+        streams: Vec<CompiledStream>,
+        config: SimConfig,
+    ) -> Result<Self, String> {
+        cluster.validate()?;
+        for (i, s) in streams.iter().enumerate() {
+            if s.id != i {
+                return Err(format!("stream {i} has id {}", s.id));
+            }
+            if s.device >= cluster.devices.len() {
+                return Err(format!("stream {i} references missing device {}", s.device));
+            }
+            if let Some(srv) = s.server {
+                if srv >= cluster.servers.len() {
+                    return Err(format!("stream {i} references missing server {srv}"));
+                }
+            }
+            s.validate()?;
+        }
+        if config.horizon_s <= config.warmup_s {
+            return Err("horizon must exceed warmup".into());
+        }
+        Ok(Self {
+            cluster,
+            streams,
+            config,
+        })
+    }
+
+    /// Run to completion and report measured statistics.
+    pub fn run(&self) -> SimReport {
+        Runner::new(self).run().0
+    }
+
+    /// Run to completion, additionally returning one [`TaskRecord`] per
+    /// measured completion (in completion order).
+    pub fn run_traced(&self) -> (SimReport, Vec<TaskRecord>) {
+        let mut runner = Runner::new(self);
+        runner.trace = Some(Vec::new());
+        runner.run()
+    }
+}
+
+/// Internal mutable run state (kept off `EdgeSim` so `run` is `&self` and
+/// sweeps can share one immutable setup across threads).
+struct Runner<'a> {
+    sim: &'a EdgeSim,
+    queue: EventQueue<Ev>,
+    devices: Vec<DeviceState>,
+    uplinks: Vec<UplinkState>,
+    servers: Vec<ServerState>,
+    links: Vec<LinkModel>,
+    arrival_gens: Vec<ArrivalGen>,
+    arrival_rngs: Vec<SimRng>,
+    difficulty_rng: SimRng,
+    fading_rng: SimRng,
+    accums: Vec<StreamAccum>,
+    generated: usize,
+    horizon: SimTime,
+    warmup: SimTime,
+    trace: Option<Vec<TaskRecord>>,
+}
+
+impl<'a> Runner<'a> {
+    fn new(sim: &'a EdgeSim) -> Self {
+        let n_dev = sim.cluster.devices.len();
+        let devices = (0..n_dev).map(|_| DeviceState::default()).collect();
+        let uplinks = (0..n_dev).map(|_| UplinkState::default()).collect();
+        let servers = sim
+            .cluster
+            .servers
+            .iter()
+            .map(|s| ServerState {
+                capacity_fps: s.proc.flops_per_sec,
+                active: Vec::new(),
+                last: SimTime::ZERO,
+                gen: 0,
+                busy_s: 0.0,
+            })
+            .collect();
+        let links = (0..n_dev).map(|d| sim.cluster.link(d)).collect();
+        let seed = sim.config.seed;
+        Self {
+            sim,
+            queue: EventQueue::new(),
+            devices,
+            uplinks,
+            servers,
+            links,
+            arrival_gens: sim.streams.iter().map(|s| s.arrivals.generator()).collect(),
+            arrival_rngs: (0..sim.streams.len())
+                .map(|i| SimRng::new(seed, 1000 + i as u64))
+                .collect(),
+            difficulty_rng: SimRng::new(seed, 1),
+            fading_rng: SimRng::new(seed, 2),
+            accums: (0..sim.streams.len())
+                .map(|_| StreamAccum::default())
+                .collect(),
+            generated: 0,
+            horizon: SimTime::from_secs_f64(sim.config.horizon_s),
+            warmup: SimTime::from_secs_f64(sim.config.warmup_s),
+            trace: None,
+        }
+    }
+
+    fn run(mut self) -> (SimReport, Vec<TaskRecord>) {
+        // Seed the first arrival of every stream.
+        for i in 0..self.sim.streams.len() {
+            let gap = self.arrival_gens[i].next_gap(&mut self.arrival_rngs[i]);
+            self.queue
+                .schedule(SimTime::from_secs_f64(gap), Ev::Arrive { stream: i });
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Ev::Arrive { stream } => self.on_arrive(now, stream),
+                Ev::DeviceDone { device } => self.on_device_done(now, device),
+                Ev::TxDone { device } => self.on_tx_done(now, device),
+                Ev::ServerCheck { server, gen } => self.on_server_check(now, server, gen),
+            }
+        }
+        self.finish()
+    }
+
+    fn measured(&self, arrival: SimTime) -> bool {
+        arrival >= self.warmup && arrival < self.horizon
+    }
+
+    fn on_arrive(&mut self, now: SimTime, stream: usize) {
+        if now >= self.horizon {
+            return; // stop generating; the system drains
+        }
+        let s = &self.sim.streams[stream];
+        // Pre-sample the exit decision from the input's latent difficulty.
+        let u = self.difficulty_rng.open01();
+        let exit = s.behavior.sample_exit(u);
+        let accuracy = match exit {
+            Some(i) => s.acc_at_exit[i],
+            None => s.acc_full,
+        };
+        if self.measured(now) {
+            self.generated += 1;
+        }
+        let flight = InFlight {
+            task: RunTask {
+                stream,
+                arrival: now,
+                exit,
+                accuracy,
+            },
+            device_wait: 0.0,
+            device_service: 0.0,
+            tx_time: 0.0,
+        };
+        let dev = s.device;
+        self.devices[dev].queue.push_back(flight);
+        self.maybe_start_device(now, dev);
+        // Schedule the next arrival.
+        let gap = self.arrival_gens[stream].next_gap(&mut self.arrival_rngs[stream]);
+        self.queue
+            .schedule(now.after_secs(gap), Ev::Arrive { stream });
+    }
+
+    fn maybe_start_device(&mut self, now: SimTime, device: usize) {
+        if self.devices[device].current.is_some() {
+            return;
+        }
+        let Some(mut flight) = self.devices[device].queue.pop_front() else {
+            return;
+        };
+        let s = &self.sim.streams[flight.task.stream];
+        let service = match flight.task.exit {
+            Some(i) => s.device_time_to_exit[i],
+            None => s.device_full_time,
+        };
+        flight.device_wait = now.secs_since(flight.task.arrival);
+        flight.device_service = service;
+        self.devices[device].current = Some(flight);
+        self.queue
+            .schedule(now.after_secs(service), Ev::DeviceDone { device });
+    }
+
+    fn on_device_done(&mut self, now: SimTime, device: usize) {
+        let flight = self.devices[device]
+            .current
+            .take()
+            .expect("DeviceDone without a running request");
+        let s = &self.sim.streams[flight.task.stream];
+        if flight.task.exit.is_some() || s.server.is_none() {
+            // Completed on the device (early exit, or a device-only plan).
+            self.complete(now, flight, 0.0);
+        } else {
+            self.uplinks[device].queue.push_back(flight);
+            self.maybe_start_tx(now, device);
+        }
+        self.maybe_start_device(now, device);
+    }
+
+    fn maybe_start_tx(&mut self, now: SimTime, device: usize) {
+        if self.uplinks[device].current.is_some() {
+            return;
+        }
+        let Some(mut flight) = self.uplinks[device].queue.pop_front() else {
+            return;
+        };
+        let s = &self.sim.streams[flight.task.stream];
+        let fading = if self.sim.config.fading {
+            self.fading_rng.fading_power()
+        } else {
+            1.0
+        };
+        let link = &self.links[device];
+        let rtt = self.sim.cluster.aps[self.sim.cluster.devices[device].ap].rtt_s;
+        let tx = link.tx_seconds(s.tx_bytes, s.bandwidth_share, fading) + rtt / 2.0;
+        flight.tx_time = tx;
+        self.uplinks[device].current = Some(flight);
+        self.queue
+            .schedule(now.after_secs(tx), Ev::TxDone { device });
+    }
+
+    fn on_tx_done(&mut self, now: SimTime, device: usize) {
+        let flight = self.uplinks[device]
+            .current
+            .take()
+            .expect("TxDone without a transmission");
+        let s = &self.sim.streams[flight.task.stream];
+        let server = s.server.expect("offloaded request has a server");
+        let srv = &mut self.servers[server];
+        srv.advance(now);
+        srv.active.push(ActiveOnServer {
+            flight,
+            remaining_flops: s.edge_flops.max(1.0),
+            weight: s.compute_weight,
+            entered: now,
+        });
+        self.reschedule_server(now, server);
+        self.maybe_start_tx(now, device);
+    }
+
+    fn reschedule_server(&mut self, now: SimTime, server: usize) {
+        let srv = &mut self.servers[server];
+        srv.gen += 1;
+        if let Some(dt) = srv.time_to_next_completion() {
+            let gen = srv.gen;
+            // +1 ns: SimTime floors to nanoseconds, so without the nudge the
+            // check can fire marginally *early*, leave a sub-nanosecond
+            // residue of work, and respawn itself at +0 ns forever.
+            let at = now.after_secs(dt) + SimTime::from_nanos(1);
+            self.queue.schedule(at, Ev::ServerCheck { server, gen });
+        }
+    }
+
+    fn on_server_check(&mut self, now: SimTime, server: usize, gen: u64) {
+        if self.servers[server].gen != gen {
+            return; // superseded by a later arrival/departure
+        }
+        self.servers[server].advance(now);
+        // Complete everything that has (numerically) finished.
+        let mut done = Vec::new();
+        let srv = &mut self.servers[server];
+        // Anything within one nanosecond of work at full capacity counts as
+        // finished (floating-point + fixed-point-time slop).
+        let eps = (srv.capacity_fps * 1e-9).max(1.0);
+        let mut i = 0;
+        while i < srv.active.len() {
+            if srv.active[i].remaining_flops <= eps {
+                done.push(srv.active.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for a in done {
+            let edge_time = now.secs_since(a.entered);
+            self.complete(now, a.flight, edge_time);
+        }
+        self.reschedule_server(now, server);
+    }
+
+    fn complete(&mut self, now: SimTime, flight: InFlight, edge_time: f64) {
+        if !self.measured(flight.task.arrival) {
+            return;
+        }
+        let s = &self.sim.streams[flight.task.stream];
+        let latency = now.secs_since(flight.task.arrival);
+        let acc = &mut self.accums[flight.task.stream];
+        acc.latencies.push(latency);
+        if latency <= s.deadline_s {
+            acc.on_time += 1;
+        }
+        acc.acc_sum += flight.task.accuracy;
+        if flight.task.exit.is_some() {
+            acc.early_exits += 1;
+        }
+        acc.device_wait_sum += flight.device_wait;
+        acc.device_service_sum += flight.device_service;
+        if flight.tx_time > 0.0 {
+            acc.tx_sum += flight.tx_time;
+            acc.tx_count += 1;
+            acc.edge_sum += edge_time;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TaskRecord {
+                stream: flight.task.stream,
+                arrival_s: flight.task.arrival.as_secs_f64(),
+                device_wait_s: flight.device_wait,
+                device_service_s: flight.device_service,
+                tx_s: flight.tx_time,
+                edge_s: edge_time,
+                latency_s: latency,
+                exit: flight.task.exit,
+            });
+        }
+    }
+
+    fn finish(mut self) -> (SimReport, Vec<TaskRecord>) {
+        let trace = self.trace.take().unwrap_or_default();
+        let end_s = self.queue.now().as_secs_f64().max(1e-12);
+        let server_utilization: Vec<f64> = self
+            .servers
+            .iter()
+            .map(|s| (s.busy_s / end_s).clamp(0.0, 1.0))
+            .collect();
+        let mut all = Vec::new();
+        let mut on_time = 0usize;
+        let mut acc_sum = 0.0;
+        let mut early = 0usize;
+        let per_stream: Vec<_> = self
+            .accums
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                all.extend_from_slice(&a.latencies);
+                on_time += a.on_time;
+                acc_sum += a.acc_sum;
+                early += a.early_exits;
+                a.finish(i)
+            })
+            .collect();
+        let completed = all.len();
+        let n = completed.max(1) as f64;
+        let report = SimReport {
+            generated: self.generated,
+            completed,
+            latency: LatencyStats::from_samples(all),
+            deadline_ratio: on_time as f64 / n,
+            mean_accuracy: acc_sum / n,
+            early_exit_fraction: early as f64 / n,
+            server_utilization,
+            per_stream,
+        };
+        (report, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ApSpec, DeviceSpec, ServerSpec};
+    use crate::workload::ArrivalProcess;
+    use scalpel_models::{ExitBehavior, ProcessorClass};
+
+    fn one_device_cluster() -> Cluster {
+        Cluster {
+            devices: vec![DeviceSpec {
+                id: 0,
+                proc: ProcessorClass::JetsonNano.spec(),
+                ap: 0,
+                distance_m: 30.0,
+            }],
+            aps: vec![ApSpec {
+                id: 0,
+                bandwidth_hz: 20e6,
+                rtt_s: 2e-3,
+            }],
+            servers: vec![ServerSpec {
+                id: 0,
+                proc: ProcessorClass::EdgeGpuT4.spec(),
+            }],
+        }
+    }
+
+    fn no_exit_stream(rate: f64, device_time: f64, edge_flops: f64) -> CompiledStream {
+        CompiledStream {
+            id: 0,
+            device: 0,
+            server: Some(0),
+            arrivals: ArrivalProcess::Poisson { rate_hz: rate },
+            deadline_s: 0.25,
+            device_time_to_exit: vec![],
+            device_full_time: device_time,
+            tx_bytes: 100_000.0,
+            edge_flops,
+            behavior: ExitBehavior::no_exits(0.76),
+            acc_at_exit: vec![],
+            acc_full: 0.76,
+            bandwidth_share: 1.0,
+            compute_weight: 1.0,
+        }
+    }
+
+    fn base_config() -> SimConfig {
+        SimConfig {
+            horizon_s: 20.0,
+            warmup_s: 2.0,
+            seed: 42,
+            fading: false,
+        }
+    }
+
+    #[test]
+    fn light_load_latency_matches_hand_computation() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(1.0, 0.005, 1e9);
+        let sim = EdgeSim::new(cluster.clone(), vec![s.clone()], base_config()).unwrap();
+        let r = sim.run();
+        assert!(r.completed > 10);
+        // Expected: device 5ms + tx + edge service (no queueing at 1 rps).
+        let link = cluster.link(0);
+        let tx = link.tx_seconds(100_000.0, 1.0, 1.0) + 1e-3;
+        let edge = 1e9 / ProcessorClass::EdgeGpuT4.spec().flops_per_sec;
+        let expect = 0.005 + tx + edge;
+        assert!(
+            (r.latency.mean - expect).abs() < 0.1 * expect,
+            "mean {} expect {}",
+            r.latency.mean,
+            expect
+        );
+        assert_eq!(r.early_exit_fraction, 0.0);
+        assert!((r.mean_accuracy - 0.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(5.0, 0.01, 2e9);
+        let mut cfg = base_config();
+        cfg.fading = true;
+        let r1 = EdgeSim::new(cluster.clone(), vec![s.clone()], cfg.clone())
+            .unwrap()
+            .run();
+        let r2 = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.latency.mean, r2.latency.mean);
+        assert_eq!(r1.latency.p99, r2.latency.p99);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(5.0, 0.01, 2e9);
+        let mut c1 = base_config();
+        c1.seed = 1;
+        let mut c2 = base_config();
+        c2.seed = 2;
+        let r1 = EdgeSim::new(cluster.clone(), vec![s.clone()], c1)
+            .unwrap()
+            .run();
+        let r2 = EdgeSim::new(cluster, vec![s], c2).unwrap().run();
+        assert_ne!(r1.latency.mean, r2.latency.mean);
+    }
+
+    #[test]
+    fn early_exits_complete_on_device() {
+        let cluster = one_device_cluster();
+        let mut s = no_exit_stream(2.0, 0.02, 1e9);
+        // One exit at cumulative 40% coverage.
+        s.device_time_to_exit = vec![0.004];
+        s.behavior = ExitBehavior {
+            exit_probs: vec![0.4],
+            cum: vec![0.4],
+            remain_prob: 0.6,
+            expected_accuracy: 0.75,
+        };
+        s.acc_at_exit = vec![0.73];
+        let r = EdgeSim::new(cluster, vec![s], base_config()).unwrap().run();
+        assert!(
+            (r.early_exit_fraction - 0.4).abs() < 0.08,
+            "early fraction {}",
+            r.early_exit_fraction
+        );
+        // Early-exit requests are much faster than offloaded ones, so p50
+        // under light load splits the two bands.
+        assert!(r.latency.mean > 0.004);
+    }
+
+    #[test]
+    fn device_only_plan_never_touches_network() {
+        let cluster = one_device_cluster();
+        let mut s = no_exit_stream(2.0, 0.03, 0.0);
+        s.server = None;
+        let r = EdgeSim::new(cluster, vec![s], base_config()).unwrap().run();
+        assert!(r.completed > 10);
+        assert_eq!(r.per_stream[0].mean_tx, 0.0);
+        assert!((r.latency.p50 - 0.03).abs() < 5e-3);
+    }
+
+    #[test]
+    fn overload_violates_deadlines() {
+        let cluster = one_device_cluster();
+        // Device service 0.5 s at 10 rps: utterly overloaded.
+        let mut s = no_exit_stream(10.0, 0.5, 1e9);
+        s.server = None;
+        let mut cfg = base_config();
+        cfg.horizon_s = 10.0;
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        assert!(r.deadline_ratio < 0.1, "ratio {}", r.deadline_ratio);
+        assert!(r.latency.p99 > 1.0);
+    }
+
+    #[test]
+    fn ps_server_shares_capacity_between_streams() {
+        let mut cluster = one_device_cluster();
+        cluster.devices.push(DeviceSpec {
+            id: 1,
+            proc: ProcessorClass::JetsonNano.spec(),
+            ap: 0,
+            distance_m: 30.0,
+        });
+        // Two heavy streams on one server: each should see roughly half
+        // the capacity under load, i.e. service times stretch.
+        let cap = ProcessorClass::EdgeGpuT4.spec().flops_per_sec;
+        let flops = cap * 0.03; // 30 ms alone
+        let mk = |id: usize, dev: usize| {
+            let mut s = no_exit_stream(8.0, 0.001, flops);
+            s.id = id;
+            s.device = dev;
+            s.bandwidth_share = 0.5;
+            s
+        };
+        let r = EdgeSim::new(cluster, vec![mk(0, 0), mk(1, 1)], base_config())
+            .unwrap()
+            .run();
+        // Mean edge time must exceed the isolated 30 ms service time due to
+        // sharing, but not blow up (utilization = 2*8*0.03 = 0.48).
+        let edge = r.per_stream[0].mean_edge;
+        assert!(edge > 0.030, "edge {edge}");
+        assert!(edge < 0.30, "edge {edge}");
+    }
+
+    #[test]
+    fn invalid_stream_is_rejected_up_front() {
+        let cluster = one_device_cluster();
+        let mut s = no_exit_stream(1.0, 0.01, 1e9);
+        s.device = 5;
+        assert!(EdgeSim::new(cluster.clone(), vec![s], base_config()).is_err());
+        let mut s = no_exit_stream(1.0, 0.01, 1e9);
+        s.server = Some(3);
+        assert!(EdgeSim::new(cluster.clone(), vec![s], base_config()).is_err());
+        let mut s = no_exit_stream(1.0, 0.01, 1e9);
+        s.id = 4;
+        assert!(EdgeSim::new(cluster, vec![s], base_config()).is_err());
+    }
+
+    #[test]
+    fn warmup_requests_are_not_measured() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(10.0, 0.001, 1e8);
+        let mut cfg = base_config();
+        cfg.horizon_s = 12.0;
+        cfg.warmup_s = 2.0;
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        // ~10 rps over a 10 s measured window.
+        assert!(r.generated > 60 && r.generated < 140, "{}", r.generated);
+        assert_eq!(r.completed, r.generated);
+    }
+
+    fn two_ap_cluster() -> Cluster {
+        Cluster {
+            devices: (0..4)
+                .map(|id| DeviceSpec {
+                    id,
+                    proc: ProcessorClass::JetsonNano.spec(),
+                    ap: id / 2,
+                    distance_m: 30.0,
+                })
+                .collect(),
+            aps: (0..2)
+                .map(|id| ApSpec {
+                    id,
+                    bandwidth_hz: 20e6,
+                    rtt_s: 2e-3,
+                })
+                .collect(),
+            servers: (0..2)
+                .map(|id| ServerSpec {
+                    id,
+                    proc: ProcessorClass::EdgeGpuT4.spec(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn multi_ap_streams_run_independently() {
+        let cluster = two_ap_cluster();
+        let streams: Vec<CompiledStream> = (0..4)
+            .map(|k| {
+                let mut s = no_exit_stream(3.0, 0.005, 5e8);
+                s.id = k;
+                s.device = k;
+                s.server = Some(k % 2);
+                s.bandwidth_share = 0.5;
+                s
+            })
+            .collect();
+        let r = EdgeSim::new(cluster, streams, base_config()).unwrap().run();
+        assert_eq!(r.per_stream.len(), 4);
+        for ss in &r.per_stream {
+            assert!(ss.completed > 10, "stream {} starved", ss.stream);
+        }
+    }
+
+    #[test]
+    fn busier_ap_sees_higher_latency() {
+        // AP 0 hosts two heavy transmitters, AP 1 one: same share each, so
+        // the AP-0 devices queue more (each share is of its own AP).
+        let cluster = two_ap_cluster();
+        let mk = |id: usize, dev: usize, share: f64| {
+            let mut s = no_exit_stream(4.0, 0.001, 1e8);
+            s.id = id;
+            s.device = dev;
+            s.server = Some(0);
+            s.tx_bytes = 1.5e6;
+            s.bandwidth_share = share;
+            s
+        };
+        // device 0 & 1 on AP0 with half share each; device 2 on AP1 alone
+        // with FULL share.
+        let streams = vec![mk(0, 0, 0.5), mk(1, 1, 0.5), mk(2, 2, 1.0)];
+        let r = EdgeSim::new(cluster, streams, base_config()).unwrap().run();
+        let shared = r.per_stream[0].latency.mean;
+        let alone = r.per_stream[2].latency.mean;
+        assert!(
+            shared > alone * 1.5,
+            "shared {shared} not clearly worse than alone {alone}"
+        );
+    }
+
+    #[test]
+    fn trace_arrivals_execute_exactly() {
+        let cluster = one_device_cluster();
+        let mut s = no_exit_stream(1.0, 0.002, 1e8);
+        s.server = None;
+        s.arrivals = ArrivalProcess::Trace {
+            gaps: vec![1.0, 1.0, 1.0, 1.0],
+        };
+        let mut cfg = base_config();
+        cfg.horizon_s = 10.5;
+        cfg.warmup_s = 0.0;
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        // arrivals at t = 1, 2, ..., 10 -> 10 measured requests.
+        assert_eq!(r.generated, 10);
+        assert_eq!(r.completed, 10);
+    }
+
+    #[test]
+    fn heavier_weight_gets_faster_edge_service() {
+        let mut cluster = one_device_cluster();
+        cluster.devices.push(DeviceSpec {
+            id: 1,
+            proc: ProcessorClass::JetsonNano.spec(),
+            ap: 0,
+            distance_m: 30.0,
+        });
+        let cap = ProcessorClass::EdgeGpuT4.spec().flops_per_sec;
+        let mk = |id: usize, dev: usize, weight: f64| {
+            let mut s = no_exit_stream(6.0, 0.001, cap * 0.05);
+            s.id = id;
+            s.device = dev;
+            s.bandwidth_share = 0.5;
+            s.compute_weight = weight;
+            s
+        };
+        let r = EdgeSim::new(cluster, vec![mk(0, 0, 4.0), mk(1, 1, 1.0)], base_config())
+            .unwrap()
+            .run();
+        let heavy = r.per_stream[0].mean_edge;
+        let light = r.per_stream[1].mean_edge;
+        assert!(
+            heavy < light,
+            "weight-4 stream ({heavy}) should outpace weight-1 ({light})"
+        );
+    }
+
+    #[test]
+    fn server_utilization_reflects_load() {
+        let cluster = one_device_cluster();
+        // Unused server in a 2-server variant.
+        let mut cluster2 = cluster.clone();
+        cluster2.servers.push(ServerSpec {
+            id: 1,
+            proc: ProcessorClass::EdgeGpuT4.spec(),
+        });
+        let cap = ProcessorClass::EdgeGpuT4.spec().flops_per_sec;
+        // ~60% utilization target: 6 rps × 0.1 s of edge work.
+        let s = no_exit_stream(6.0, 0.0005, cap * 0.1);
+        let r = EdgeSim::new(cluster2, vec![s], base_config())
+            .unwrap()
+            .run();
+        assert_eq!(r.server_utilization.len(), 2);
+        assert!(
+            (r.server_utilization[0] - 0.6).abs() < 0.15,
+            "util {}",
+            r.server_utilization[0]
+        );
+        assert_eq!(r.server_utilization[1], 0.0);
+    }
+
+    #[test]
+    fn idle_cluster_reports_zero_utilization() {
+        let cluster = one_device_cluster();
+        let mut s = no_exit_stream(1.0, 0.001, 0.0);
+        s.server = None; // device-only: server never touched
+        let r = EdgeSim::new(cluster, vec![s], base_config()).unwrap().run();
+        assert_eq!(r.server_utilization, vec![0.0]);
+    }
+
+    #[test]
+    fn trace_records_are_consistent_with_report() {
+        let cluster = one_device_cluster();
+        let mut s = no_exit_stream(3.0, 0.004, 1e9);
+        s.device_time_to_exit = vec![0.002];
+        s.behavior = ExitBehavior {
+            exit_probs: vec![0.3],
+            cum: vec![0.3],
+            remain_prob: 0.7,
+            expected_accuracy: 0.75,
+        };
+        s.acc_at_exit = vec![0.73];
+        let sim = EdgeSim::new(cluster, vec![s], base_config()).unwrap();
+        let (report, trace) = sim.run_traced();
+        assert_eq!(trace.len(), report.completed);
+        // Trace mean latency must equal the report's.
+        let mean = trace.iter().map(|r| r.latency_s).sum::<f64>() / trace.len() as f64;
+        assert!((mean - report.latency.mean).abs() < 1e-9);
+        // Exit counts agree.
+        let exits = trace.iter().filter(|r| r.exit.is_some()).count();
+        assert!((exits as f64 / trace.len() as f64 - report.early_exit_fraction).abs() < 1e-9);
+        for r in &trace {
+            // Components never exceed the end-to-end latency (uplink
+            // queueing is the untracked remainder)...
+            assert!(r.component_sum_s() <= r.latency_s + 1e-9, "{r:?}");
+            // ...and on-device completions decompose exactly.
+            if r.on_device() {
+                assert!(
+                    (r.device_wait_s + r.device_service_s - r.latency_s).abs() < 1e-9,
+                    "{r:?}"
+                );
+                assert!(r.exit.is_some());
+            }
+            assert!(r.arrival_s >= base_config().warmup_s);
+        }
+    }
+
+    #[test]
+    fn untraced_run_matches_traced_report() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(4.0, 0.003, 1e9);
+        let sim = EdgeSim::new(cluster, vec![s], base_config()).unwrap();
+        let plain = sim.run();
+        let (traced, _) = sim.run_traced();
+        assert_eq!(plain.latency.mean, traced.latency.mean);
+        assert_eq!(plain.completed, traced.completed);
+    }
+
+    #[test]
+    fn fading_increases_latency_variance() {
+        let cluster = one_device_cluster();
+        // Transmission-dominated stream.
+        let mut s = no_exit_stream(2.0, 0.001, 1e8);
+        s.tx_bytes = 2e6;
+        let mut on = base_config();
+        on.fading = true;
+        let mut off = base_config();
+        off.fading = false;
+        let r_on = EdgeSim::new(cluster.clone(), vec![s.clone()], on)
+            .unwrap()
+            .run();
+        let r_off = EdgeSim::new(cluster, vec![s], off).unwrap().run();
+        let spread_on = r_on.latency.p99 - r_on.latency.p50;
+        let spread_off = r_off.latency.p99 - r_off.latency.p50;
+        assert!(spread_on > spread_off, "{spread_on} vs {spread_off}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Compiled streams — the simulator's execution contract.
+//!
+//! `scalpel-core` lowers (surgery plan × resource allocation × topology)
+//! into a [`CompiledStream`] of plain numbers. Keeping the simulator blind
+//! to *how* the plan was chosen means every optimizer and baseline is
+//! measured by exactly the same machinery.
+
+use crate::time::SimTime;
+use crate::workload::ArrivalProcess;
+use scalpel_models::ExitBehavior;
+use serde::{Deserialize, Serialize};
+
+/// Stream index.
+pub type StreamId = usize;
+
+/// Everything the simulator needs to execute one inference stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledStream {
+    /// Stream index (== position in the simulator's stream table).
+    pub id: StreamId,
+    /// Device the stream's requests originate on.
+    pub device: usize,
+    /// Edge server running the suffix; `None` for device-only plans.
+    pub server: Option<usize>,
+    /// Request arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Relative deadline per request, seconds.
+    pub deadline_s: f64,
+    /// Device compute seconds for a request leaving at exit `i`
+    /// (backbone prefix through the host + heads 0..=i), ascending.
+    pub device_time_to_exit: Vec<f64>,
+    /// Device compute seconds when no device exit fires (full prefix +
+    /// every device-side head). For device-only plans this is the whole
+    /// model.
+    pub device_full_time: f64,
+    /// Bytes transmitted to the edge when no device exit fires.
+    pub tx_bytes: f64,
+    /// Edge-side FLOPs when no device exit fires.
+    pub edge_flops: f64,
+    /// Exit behavior restricted to device-side exits.
+    pub behavior: ExitBehavior,
+    /// Conditional accuracy of each device-side exit.
+    pub acc_at_exit: Vec<f64>,
+    /// Accuracy of the full path (through the edge suffix).
+    pub acc_full: f64,
+    /// Fraction of the AP's spectrum allocated to this stream's device.
+    pub bandwidth_share: f64,
+    /// Weighted-PS weight on the server (relative share of capacity).
+    pub compute_weight: f64,
+}
+
+impl CompiledStream {
+    /// Sanity-check internal consistency. Called by the simulator at
+    /// start-up so mis-compiled plans fail loudly rather than distort
+    /// results.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.deadline_s <= 0.0 {
+            return Err(format!("stream {}: non-positive deadline", self.id));
+        }
+        if self.device_time_to_exit.len() != self.behavior.exit_probs.len() {
+            return Err(format!(
+                "stream {}: {} exit times vs {} exit probs",
+                self.id,
+                self.device_time_to_exit.len(),
+                self.behavior.exit_probs.len()
+            ));
+        }
+        if self.acc_at_exit.len() != self.behavior.exit_probs.len() {
+            return Err(format!("stream {}: accuracy/exit arity mismatch", self.id));
+        }
+        let mut prev = 0.0;
+        for (i, &t) in self.device_time_to_exit.iter().enumerate() {
+            if t < prev {
+                return Err(format!("stream {}: exit time {i} not ascending", self.id));
+            }
+            prev = t;
+        }
+        if self.device_full_time + 1e-12 < prev {
+            return Err(format!(
+                "stream {}: full device time below last exit time",
+                self.id
+            ));
+        }
+        if self.server.is_some() {
+            if !(0.0..=1.0 + 1e-9).contains(&self.bandwidth_share) || self.bandwidth_share <= 0.0 {
+                return Err(format!(
+                    "stream {}: bandwidth share {} outside (0,1]",
+                    self.id, self.bandwidth_share
+                ));
+            }
+            if self.compute_weight <= 0.0 {
+                return Err(format!("stream {}: non-positive compute weight", self.id));
+            }
+            if self.tx_bytes < 0.0 || self.edge_flops < 0.0 {
+                return Err(format!("stream {}: negative edge demand", self.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Probability a request completes on the device (early exit).
+    pub fn device_exit_prob(&self) -> f64 {
+        if self.server.is_none() {
+            1.0
+        } else {
+            1.0 - self.behavior.remain_prob
+        }
+    }
+}
+
+/// One in-flight request.
+#[derive(Debug, Clone)]
+pub struct RunTask {
+    /// Stream this request belongs to.
+    pub stream: StreamId,
+    /// Arrival timestamp.
+    pub arrival: SimTime,
+    /// Pre-sampled exit decision: `Some(i)` leaves at device exit `i`,
+    /// `None` runs the full path.
+    pub exit: Option<usize>,
+    /// Accuracy value credited on completion (conditional accuracy of the
+    /// taken path).
+    pub accuracy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_stream() -> CompiledStream {
+        CompiledStream {
+            id: 0,
+            device: 0,
+            server: Some(0),
+            arrivals: ArrivalProcess::Poisson { rate_hz: 5.0 },
+            deadline_s: 0.2,
+            device_time_to_exit: vec![0.01, 0.02],
+            device_full_time: 0.03,
+            tx_bytes: 50_000.0,
+            edge_flops: 1e9,
+            behavior: ExitBehavior {
+                exit_probs: vec![0.3, 0.2],
+                cum: vec![0.3, 0.5],
+                remain_prob: 0.5,
+                expected_accuracy: 0.74,
+            },
+            acc_at_exit: vec![0.70, 0.73],
+            acc_full: 0.76,
+            bandwidth_share: 0.25,
+            compute_weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn valid_stream_passes() {
+        assert!(base_stream().validate().is_ok());
+    }
+
+    #[test]
+    fn arity_mismatches_fail() {
+        let mut s = base_stream();
+        s.device_time_to_exit.pop();
+        assert!(s.validate().is_err());
+        let mut s = base_stream();
+        s.acc_at_exit.pop();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn non_ascending_exit_times_fail() {
+        let mut s = base_stream();
+        s.device_time_to_exit = vec![0.02, 0.01];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn full_time_below_last_exit_fails() {
+        let mut s = base_stream();
+        s.device_full_time = 0.015;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn offloaded_stream_needs_positive_shares() {
+        let mut s = base_stream();
+        s.bandwidth_share = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = base_stream();
+        s.compute_weight = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn device_only_streams_skip_share_checks() {
+        let mut s = base_stream();
+        s.server = None;
+        s.bandwidth_share = 0.0;
+        s.compute_weight = 0.0;
+        assert!(s.validate().is_ok());
+        assert_eq!(s.device_exit_prob(), 1.0);
+    }
+
+    #[test]
+    fn device_exit_prob_complements_remain() {
+        let s = base_stream();
+        assert!((s.device_exit_prob() - 0.5).abs() < 1e-12);
+    }
+}

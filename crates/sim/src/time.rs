@@ -1,0 +1,132 @@
+//! Fixed-point simulation time.
+//!
+//! Nanosecond-resolution `u64` — no float drift in event ordering, ~584
+//! simulated years of range. Floats only appear at the API edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future (used as an "infinite" horizon sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From seconds (saturating, non-negative; NaN treated as zero).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimTime(0);
+        }
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference in seconds (`self - earlier`).
+    #[inline]
+    pub fn secs_since(self, earlier: SimTime) -> f64 {
+        (self.0.saturating_sub(earlier.0)) as f64 / 1e9
+    }
+
+    /// Advance by `s` seconds (saturating).
+    #[inline]
+    pub fn after_secs(self, s: f64) -> SimTime {
+        self + SimTime::from_secs_f64(s)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_seconds() {
+        let t = SimTime::from_secs_f64(1.25);
+        assert_eq!(t.as_nanos(), 1_250_000_000);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(SimTime::MAX + SimTime::from_nanos(1), SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimTime::from_nanos(5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(11);
+        assert!(a < b);
+        assert_eq!(b.secs_since(a), 1e-9);
+        assert_eq!(a.secs_since(b), 0.0); // saturating
+    }
+
+    #[test]
+    fn huge_seconds_saturate() {
+        assert_eq!(SimTime::from_secs_f64(1e300), SimTime::MAX);
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-request trace records (optional run output).
+//!
+//! [`crate::EdgeSim::run_traced`] returns, besides the aggregate report,
+//! one [`TaskRecord`] per measured completion with its full timing
+//! decomposition — the raw material for debugging, latency-breakdown
+//! plots, and the cross-stage invariant tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing decomposition of one completed request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Stream the request belongs to.
+    pub stream: usize,
+    /// Absolute arrival time, seconds.
+    pub arrival_s: f64,
+    /// Seconds queued before device compute started.
+    pub device_wait_s: f64,
+    /// Device compute service seconds.
+    pub device_service_s: f64,
+    /// Uplink transmission seconds (0 for on-device completions; excludes
+    /// uplink queueing).
+    pub tx_s: f64,
+    /// Edge residence seconds (time from entering the server to finishing,
+    /// including processor-sharing slowdown; 0 for on-device completions).
+    pub edge_s: f64,
+    /// End-to-end seconds.
+    pub latency_s: f64,
+    /// Device-side exit taken, if any.
+    pub exit: Option<usize>,
+}
+
+impl TaskRecord {
+    /// Sum of the measured stage components. Always ≤ `latency_s` (uplink
+    /// queueing is the only stage not individually tracked); equals it
+    /// exactly for requests that never touch the network.
+    pub fn component_sum_s(&self) -> f64 {
+        self.device_wait_s + self.device_service_s + self.tx_s + self.edge_s
+    }
+
+    /// Whether this request completed on the device.
+    pub fn on_device(&self) -> bool {
+        self.tx_s == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_sum_and_on_device() {
+        let r = TaskRecord {
+            stream: 0,
+            arrival_s: 1.0,
+            device_wait_s: 0.01,
+            device_service_s: 0.02,
+            tx_s: 0.0,
+            edge_s: 0.0,
+            latency_s: 0.03,
+            exit: Some(0),
+        };
+        assert!((r.component_sum_s() - 0.03).abs() < 1e-12);
+        assert!(r.on_device());
+        let mut off = r.clone();
+        off.tx_s = 0.005;
+        assert!(!off.on_device());
+    }
+}

@@ -1,0 +1,200 @@
+//! Arrival processes for inference request streams.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// How a stream generates requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate_hz` requests per second.
+    Poisson {
+        /// Mean arrival rate, requests/s.
+        rate_hz: f64,
+    },
+    /// Near-periodic arrivals (camera-style) with uniform jitter.
+    Periodic {
+        /// Nominal inter-frame period, seconds.
+        period_s: f64,
+        /// Jitter as a fraction of the period (`0.0` = strictly periodic).
+        jitter_frac: f64,
+    },
+    /// Two-state Markov-modulated Poisson process (bursty traffic).
+    Mmpp2 {
+        /// Arrival rate in the calm state, requests/s.
+        rate_low: f64,
+        /// Arrival rate in the bursty state, requests/s.
+        rate_high: f64,
+        /// Rate of switching between states, 1/s.
+        switch_rate: f64,
+    },
+    /// Replay of recorded inter-arrival gaps (cycled).
+    Trace {
+        /// Inter-arrival gaps in seconds; must be non-empty.
+        gaps: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Long-run mean arrival rate in requests/s.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_hz } => *rate_hz,
+            ArrivalProcess::Periodic { period_s, .. } => 1.0 / period_s,
+            ArrivalProcess::Mmpp2 {
+                rate_low,
+                rate_high,
+                ..
+            } => 0.5 * (rate_low + rate_high),
+            ArrivalProcess::Trace { gaps } => {
+                let total: f64 = gaps.iter().sum();
+                if total > 0.0 {
+                    gaps.len() as f64 / total
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Stateful generator for this process.
+    pub fn generator(&self) -> ArrivalGen {
+        ArrivalGen {
+            process: self.clone(),
+            mmpp_high: false,
+            mmpp_residual: 0.0,
+            trace_pos: 0,
+        }
+    }
+}
+
+/// Stateful arrival generator (owned per stream by the simulator).
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    mmpp_high: bool,
+    mmpp_residual: f64,
+    trace_pos: usize,
+}
+
+impl ArrivalGen {
+    /// Sample the next inter-arrival gap in seconds.
+    pub fn next_gap(&mut self, rng: &mut SimRng) -> f64 {
+        match &self.process {
+            ArrivalProcess::Poisson { rate_hz } => rng.exponential(*rate_hz),
+            ArrivalProcess::Periodic {
+                period_s,
+                jitter_frac,
+            } => {
+                let j = jitter_frac.clamp(0.0, 1.0);
+                period_s * (1.0 + rng.uniform(-j, j))
+            }
+            ArrivalProcess::Mmpp2 {
+                rate_low,
+                rate_high,
+                switch_rate,
+            } => {
+                // Competing exponentials: next arrival vs next state switch.
+                let mut gap = self.mmpp_residual;
+                self.mmpp_residual = 0.0;
+                loop {
+                    let rate = if self.mmpp_high {
+                        *rate_high
+                    } else {
+                        *rate_low
+                    };
+                    let to_arrival = rng.exponential(rate);
+                    let to_switch = rng.exponential(*switch_rate);
+                    if to_arrival <= to_switch {
+                        return gap + to_arrival;
+                    }
+                    gap += to_switch;
+                    self.mmpp_high = !self.mmpp_high;
+                }
+            }
+            ArrivalProcess::Trace { gaps } => {
+                debug_assert!(!gaps.is_empty(), "empty trace");
+                if gaps.is_empty() {
+                    return f64::INFINITY;
+                }
+                let g = gaps[self.trace_pos % gaps.len()];
+                self.trace_pos += 1;
+                g
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_gap(p: &ArrivalProcess, n: usize) -> f64 {
+        let mut rng = SimRng::new(7, 0);
+        let mut g = p.generator();
+        (0..n).map(|_| g.next_gap(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let p = ArrivalProcess::Poisson { rate_hz: 8.0 };
+        assert!((mean_gap(&p, 100_000) - 0.125).abs() < 0.005);
+        assert_eq!(p.mean_rate(), 8.0);
+    }
+
+    #[test]
+    fn periodic_stays_within_jitter() {
+        let p = ArrivalProcess::Periodic {
+            period_s: 0.1,
+            jitter_frac: 0.2,
+        };
+        let mut rng = SimRng::new(1, 0);
+        let mut g = p.generator();
+        for _ in 0..1000 {
+            let gap = g.next_gap(&mut rng);
+            assert!((0.08..=0.12).contains(&gap), "gap {gap}");
+        }
+        assert!((p.mean_rate() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_mean_rate_between_states() {
+        let p = ArrivalProcess::Mmpp2 {
+            rate_low: 2.0,
+            rate_high: 18.0,
+            switch_rate: 1.0,
+        };
+        let m = mean_gap(&p, 200_000);
+        // long-run rate = 10/s -> mean gap 0.1 s
+        assert!((m - 0.1).abs() < 0.01, "mean gap {m}");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        let poisson = ArrivalProcess::Poisson { rate_hz: 10.0 };
+        let mmpp = ArrivalProcess::Mmpp2 {
+            rate_low: 2.0,
+            rate_high: 18.0,
+            switch_rate: 0.5,
+        };
+        let var = |p: &ArrivalProcess| {
+            let mut rng = SimRng::new(3, 0);
+            let mut g = p.generator();
+            let gaps: Vec<f64> = (0..100_000).map(|_| g.next_gap(&mut rng)).collect();
+            let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            gaps.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / gaps.len() as f64
+        };
+        assert!(var(&mmpp) > var(&poisson));
+    }
+
+    #[test]
+    fn trace_replays_and_cycles() {
+        let p = ArrivalProcess::Trace {
+            gaps: vec![0.1, 0.2, 0.3],
+        };
+        let mut rng = SimRng::new(1, 0);
+        let mut g = p.generator();
+        let got: Vec<f64> = (0..6).map(|_| g.next_gap(&mut rng)).collect();
+        assert_eq!(got, vec![0.1, 0.2, 0.3, 0.1, 0.2, 0.3]);
+        assert!((p.mean_rate() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,575 @@
+//! The exit-setting dynamic program.
+//!
+//! Given candidate exit hosts inside a device prefix, pick at most
+//! `max_exits` of them and one confidence threshold so that *expected*
+//! end-to-end latency is minimized subject to an accuracy floor.
+//!
+//! With a common threshold `t`, coverage is monotone in depth, so the
+//! expected cost and accuracy of a selection decompose over *consecutive
+//! selected pairs* — which admits an exact `O(E·m²)` DP per threshold with
+//! Pareto fronts over `(cost, accuracy)` per state (the accuracy constraint
+//! makes the problem bi-criteria). This mirrors the low-complexity
+//! exit-setting algorithm of the LEIME line of work.
+
+use scalpel_models::{DifficultyModel, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One possible exit host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExitCandidate {
+    /// Backbone node id of the host.
+    pub node: NodeId,
+    /// Fraction of backbone FLOPs completed at the host.
+    pub depth_fraction: f64,
+    /// Device seconds to compute the backbone through the host.
+    pub time_to_host_s: f64,
+    /// Device seconds to evaluate this host's head.
+    pub head_time_s: f64,
+}
+
+/// An exit-setting instance for one (stream, cut) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExitSettingProblem {
+    /// Candidate hosts in ascending depth order.
+    pub hosts: Vec<ExitCandidate>,
+    /// Device seconds for the full prefix when no exit fires.
+    pub full_prefix_time_s: f64,
+    /// Seconds paid *after* the prefix by non-exiting inputs (transmission
+    /// + edge compute + queueing estimate).
+    pub rest_time_s: f64,
+    /// Maximum number of exits surgery may attach.
+    pub max_exits: usize,
+    /// Minimum acceptable expected accuracy.
+    pub accuracy_floor: f64,
+    /// Accuracy of the full path (after pruning, if any).
+    pub acc_full: f64,
+    /// Difficulty calibration.
+    pub difficulty: DifficultyModel,
+    /// Thresholds to sweep.
+    pub threshold_grid: Vec<f64>,
+}
+
+impl ExitSettingProblem {
+    /// The default threshold sweep.
+    pub fn default_grid() -> Vec<f64> {
+        vec![0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+    }
+}
+
+/// The chosen exits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExitSettingSolution {
+    /// Indices into `problem.hosts`, ascending. Empty = no exits.
+    pub selected: Vec<usize>,
+    /// The common threshold.
+    pub threshold: f64,
+    /// Expected end-to-end seconds under the plan.
+    pub expected_latency_s: f64,
+    /// Expected accuracy under the plan.
+    pub expected_accuracy: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    cost: f64,
+    acc: f64,
+    parent: Option<(usize, usize)>, // (host j, entry index in dp[j][k-1])
+}
+
+/// Keep only Pareto-optimal `(cost ↓, acc ↑)` entries.
+fn pareto_prune(mut entries: Vec<Entry>) -> Vec<Entry> {
+    entries.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+    let mut out: Vec<Entry> = Vec::with_capacity(entries.len());
+    let mut best_acc = f64::NEG_INFINITY;
+    for e in entries {
+        if e.acc > best_acc + 1e-15 {
+            best_acc = e.acc;
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Solve by DP over thresholds; always returns a solution (the empty
+/// selection when no exit helps or none is feasible *and* the empty
+/// selection itself clears the floor; if even `acc_full` is below the
+/// floor, returns the empty selection anyway — callers treat that plan as
+/// infeasible downstream).
+pub fn solve(p: &ExitSettingProblem) -> ExitSettingSolution {
+    let no_exit = ExitSettingSolution {
+        selected: Vec::new(),
+        threshold: 1.0,
+        expected_latency_s: p.full_prefix_time_s + p.rest_time_s,
+        expected_accuracy: p.acc_full,
+    };
+    if p.hosts.is_empty() || p.max_exits == 0 {
+        return no_exit;
+    }
+    let mut best = no_exit;
+    for &t in &p.threshold_grid {
+        if let Some(sol) = solve_fixed_threshold(p, t) {
+            let best_feasible = best.expected_accuracy + 1e-12 >= p.accuracy_floor;
+            if sol.expected_accuracy + 1e-12 >= p.accuracy_floor
+                && (!best_feasible || sol.expected_latency_s < best.expected_latency_s)
+            {
+                best = sol;
+            }
+        }
+    }
+    best
+}
+
+/// DP for one threshold; returns the feasible min-latency selection if any
+/// non-empty selection is feasible.
+fn solve_fixed_threshold(p: &ExitSettingProblem, t: f64) -> Option<ExitSettingSolution> {
+    let m = p.hosts.len();
+    let e_max = p.max_exits.min(m);
+    let cov: Vec<f64> = p
+        .hosts
+        .iter()
+        .map(|h| p.difficulty.coverage(h.depth_fraction, t))
+        .collect();
+    let acc: Vec<f64> = p
+        .hosts
+        .iter()
+        .map(|h| p.difficulty.conditional_accuracy(h.depth_fraction, t))
+        .collect();
+    // dp[i][k]: Pareto entries for selections of k exits ending at host i.
+    let mut dp: Vec<Vec<Vec<Entry>>> = vec![vec![Vec::new(); e_max + 1]; m];
+    for i in 0..m {
+        dp[i][1] = vec![Entry {
+            cost: cov[i] * (p.hosts[i].time_to_host_s + p.hosts[i].head_time_s)
+                + (1.0 - cov[i]) * p.hosts[i].head_time_s,
+            acc: cov[i] * acc[i],
+            parent: None,
+        }];
+        // equivalently: cov*t_i + head*1.0 — every input reaching exit i
+        // (here: all of them, it's the first exit) evaluates the head.
+        for k in 2..=e_max {
+            let mut entries = Vec::new();
+            for j in 0..i {
+                for (idx, e) in dp[j][k - 1].iter().enumerate() {
+                    let mass = (cov[i] - cov[j]).max(0.0);
+                    let survivors = 1.0 - cov[j];
+                    entries.push(Entry {
+                        cost: e.cost
+                            + mass * p.hosts[i].time_to_host_s
+                            + survivors * p.hosts[i].head_time_s,
+                        acc: e.acc + mass * acc[i],
+                        parent: Some((j, idx)),
+                    });
+                }
+            }
+            dp[i][k] = pareto_prune(entries);
+        }
+        dp[i][1] = pareto_prune(std::mem::take(&mut dp[i][1]));
+    }
+    // Close each state with the non-exiting tail and pick the feasible best.
+    let mut best: Option<(f64, f64, usize, usize, usize)> = None; // (cost, acc, i, k, idx)
+    for i in 0..m {
+        for k in 1..=e_max {
+            for (idx, e) in dp[i][k].iter().enumerate() {
+                let remain = 1.0 - cov[i];
+                let cost = e.cost + remain * (p.full_prefix_time_s + p.rest_time_s);
+                let a = e.acc + remain * p.acc_full;
+                if a + 1e-12 < p.accuracy_floor {
+                    continue;
+                }
+                if best.is_none_or(|(c, _, _, _, _)| cost < c) {
+                    best = Some((cost, a, i, k, idx));
+                }
+            }
+        }
+    }
+    let (cost, a, mut i, mut k, mut idx) = best?;
+    // Reconstruct the selection.
+    let mut selected = vec![i];
+    while let Some((j, pidx)) = dp[i][k].get(idx).and_then(|e| e.parent) {
+        selected.push(j);
+        i = j;
+        k -= 1;
+        idx = pidx;
+    }
+    selected.reverse();
+    Some(ExitSettingSolution {
+        selected,
+        threshold: t,
+        expected_latency_s: cost,
+        expected_accuracy: a,
+    })
+}
+
+/// Exhaustive reference solver (small instances only; used by tests to
+/// certify the DP).
+pub fn solve_exhaustive(p: &ExitSettingProblem) -> ExitSettingSolution {
+    let m = p.hosts.len();
+    assert!(m <= 16, "exhaustive solver is for small instances");
+    let mut best = ExitSettingSolution {
+        selected: Vec::new(),
+        threshold: 1.0,
+        expected_latency_s: p.full_prefix_time_s + p.rest_time_s,
+        expected_accuracy: p.acc_full,
+    };
+    for &t in &p.threshold_grid {
+        for mask in 1u32..(1 << m) {
+            if mask.count_ones() as usize > p.max_exits {
+                continue;
+            }
+            let sel: Vec<usize> = (0..m).filter(|&i| mask & (1 << i) != 0).collect();
+            let (cost, acc) = evaluate_selection(p, &sel, t);
+            if acc + 1e-12 >= p.accuracy_floor && cost < best.expected_latency_s {
+                best = ExitSettingSolution {
+                    selected: sel,
+                    threshold: t,
+                    expected_latency_s: cost,
+                    expected_accuracy: acc,
+                };
+            }
+        }
+    }
+    best
+}
+
+/// Expected (latency, accuracy) of a selection with *per-exit* thresholds
+/// (`thresholds[i]` belongs to `sel[i]`). Coverage uses the running
+/// maximum, so non-monotone threshold patterns are handled consistently.
+pub fn evaluate_selection_multi(
+    p: &ExitSettingProblem,
+    sel: &[usize],
+    thresholds: &[f64],
+) -> (f64, f64) {
+    assert_eq!(sel.len(), thresholds.len());
+    let mut cost = 0.0;
+    let mut acc = 0.0;
+    let mut cov_prev = 0.0;
+    for (&i, &t) in sel.iter().zip(thresholds) {
+        let h = &p.hosts[i];
+        let c = p.difficulty.coverage(h.depth_fraction, t).max(cov_prev);
+        let mass = c - cov_prev;
+        let survivors_before = 1.0 - cov_prev;
+        cost += mass * h.time_to_host_s + survivors_before * h.head_time_s;
+        acc += mass * p.difficulty.conditional_accuracy(h.depth_fraction, t);
+        cov_prev = c;
+    }
+    let remain = 1.0 - cov_prev;
+    cost += remain * (p.full_prefix_time_s + p.rest_time_s);
+    acc += remain * p.acc_full;
+    (cost, acc)
+}
+
+/// Refine a uniform-threshold solution by coordinate ascent on individual
+/// exit thresholds (each exit tries every grid value while the others stay
+/// fixed; accept only feasible strict improvements). Returns per-exit
+/// thresholds and the refined (latency, accuracy). The result is never
+/// worse than the input solution.
+pub fn refine_thresholds(
+    p: &ExitSettingProblem,
+    sol: &ExitSettingSolution,
+) -> (Vec<f64>, f64, f64) {
+    let mut thresholds = vec![sol.threshold; sol.selected.len()];
+    if sol.selected.is_empty() {
+        return (thresholds, sol.expected_latency_s, sol.expected_accuracy);
+    }
+    let (mut best_cost, mut best_acc) = evaluate_selection_multi(p, &sol.selected, &thresholds);
+    let max_rounds = 8;
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for i in 0..thresholds.len() {
+            let mut current = thresholds[i];
+            for &t in &p.threshold_grid {
+                if t == current {
+                    continue;
+                }
+                thresholds[i] = t;
+                let (cost, acc) = evaluate_selection_multi(p, &sol.selected, &thresholds);
+                if acc + 1e-12 >= p.accuracy_floor && cost < best_cost - 1e-12 {
+                    best_cost = cost;
+                    best_acc = acc;
+                    current = t;
+                    improved = true;
+                } else {
+                    thresholds[i] = current;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (thresholds, best_cost, best_acc)
+}
+
+/// Expected (latency, accuracy) of an explicit selection at threshold `t`.
+pub fn evaluate_selection(p: &ExitSettingProblem, sel: &[usize], t: f64) -> (f64, f64) {
+    let mut cost = 0.0;
+    let mut acc = 0.0;
+    let mut cov_prev = 0.0;
+    for &i in sel {
+        let h = &p.hosts[i];
+        let c = p.difficulty.coverage(h.depth_fraction, t).max(cov_prev);
+        let mass = c - cov_prev;
+        let survivors_before = 1.0 - cov_prev;
+        cost += mass * h.time_to_host_s + survivors_before * h.head_time_s;
+        acc += mass * p.difficulty.conditional_accuracy(h.depth_fraction, t);
+        cov_prev = c;
+    }
+    let remain = 1.0 - cov_prev;
+    cost += remain * (p.full_prefix_time_s + p.rest_time_s);
+    acc += remain * p.acc_full;
+    (cost, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem(rest: f64, floor: f64) -> ExitSettingProblem {
+        // Five hosts spread over a 100 ms prefix; heads cost 1 ms.
+        let hosts = (1..=5)
+            .map(|i| ExitCandidate {
+                node: i * 2,
+                depth_fraction: i as f64 * 0.15,
+                time_to_host_s: i as f64 * 0.020,
+                head_time_s: 0.001,
+            })
+            .collect();
+        ExitSettingProblem {
+            hosts,
+            full_prefix_time_s: 0.100,
+            rest_time_s: rest,
+            max_exits: 3,
+            accuracy_floor: floor,
+            acc_full: 0.76,
+            difficulty: DifficultyModel::default(),
+            threshold_grid: ExitSettingProblem::default_grid(),
+        }
+    }
+
+    #[test]
+    fn exits_help_when_rest_is_expensive() {
+        let p = problem(0.5, 0.70);
+        let s = solve(&p);
+        assert!(!s.selected.is_empty());
+        assert!(s.expected_latency_s < p.full_prefix_time_s + p.rest_time_s);
+        assert!(s.expected_accuracy >= 0.70);
+    }
+
+    #[test]
+    fn no_exits_when_heads_cannot_pay_off() {
+        // Nothing after the prefix (device-only, rest = 0) and heads cost
+        // time: the best selection may still exit early to skip prefix
+        // remainder... make prefix cheap too so exits can't win.
+        let mut p = problem(0.0, 0.0);
+        for h in &mut p.hosts {
+            h.time_to_host_s = 0.0999; // exits barely before the end
+            h.head_time_s = 0.01; // expensive heads
+        }
+        let s = solve(&p);
+        assert!(s.selected.is_empty(), "selected {:?}", s.selected);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive() {
+        for rest in [0.0, 0.05, 0.2, 1.0] {
+            for floor in [0.0, 0.72, 0.75] {
+                let p = problem(rest, floor);
+                let dp = solve(&p);
+                let ex = solve_exhaustive(&p);
+                assert!(
+                    (dp.expected_latency_s - ex.expected_latency_s).abs() < 1e-9,
+                    "rest={rest} floor={floor}: dp {} vs exhaustive {} (dp sel {:?}, ex sel {:?})",
+                    dp.expected_latency_s,
+                    ex.expected_latency_s,
+                    dp.selected,
+                    ex.selected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_floor_binds() {
+        let loose = solve(&problem(0.5, 0.0));
+        let tight = solve(&problem(0.5, 0.759));
+        assert!(tight.expected_accuracy >= 0.759 - 1e-9);
+        assert!(tight.expected_latency_s >= loose.expected_latency_s - 1e-12);
+    }
+
+    #[test]
+    fn impossible_floor_returns_empty_selection() {
+        let p = problem(0.5, 0.99);
+        let s = solve(&p);
+        assert!(s.selected.is_empty());
+        assert_eq!(s.expected_accuracy, 0.76);
+    }
+
+    #[test]
+    fn max_exits_zero_means_no_exits() {
+        let mut p = problem(0.5, 0.0);
+        p.max_exits = 0;
+        assert!(solve(&p).selected.is_empty());
+    }
+
+    #[test]
+    fn selection_is_sorted_and_within_bounds() {
+        let p = problem(0.3, 0.72);
+        let s = solve(&p);
+        assert!(s.selected.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.selected.len() <= p.max_exits);
+        assert!(s.selected.iter().all(|&i| i < p.hosts.len()));
+    }
+
+    #[test]
+    fn evaluate_selection_consistent_with_solution() {
+        let p = problem(0.4, 0.70);
+        let s = solve(&p);
+        if !s.selected.is_empty() {
+            let (cost, acc) = evaluate_selection(&p, &s.selected, s.threshold);
+            assert!((cost - s.expected_latency_s).abs() < 1e-9);
+            assert!((acc - s.expected_accuracy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refinement_never_hurts_and_respects_floor() {
+        for rest in [0.05, 0.2, 0.8] {
+            for floor in [0.0, 0.73, 0.755] {
+                let p = problem(rest, floor);
+                let sol = solve(&p);
+                let (thresholds, cost, acc) = refine_thresholds(&p, &sol);
+                assert_eq!(thresholds.len(), sol.selected.len());
+                assert!(
+                    cost <= sol.expected_latency_s + 1e-12,
+                    "rest={rest} floor={floor}: refined {cost} worse than {}",
+                    sol.expected_latency_s
+                );
+                if !sol.selected.is_empty() && floor > 0.0 {
+                    assert!(acc + 1e-9 >= floor, "floor violated: {acc} < {floor}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_can_strictly_improve_mixed_instances() {
+        // Heads of very different costs at very different depths benefit
+        // from per-exit thresholds: the cheap early exit can afford a loose
+        // threshold while the deep one stays tight.
+        let mut p = problem(0.6, 0.73);
+        p.hosts[0].head_time_s = 0.0001;
+        p.hosts[4].head_time_s = 0.004;
+        let sol = solve(&p);
+        let (thresholds, cost, _) = refine_thresholds(&p, &sol);
+        if sol.selected.len() >= 2 {
+            // Either a strict improvement or already optimal with uniform
+            // thresholds; both acceptable, but the refined cost must never
+            // exceed the DP cost.
+            assert!(cost <= sol.expected_latency_s + 1e-12);
+            let distinct = thresholds.windows(2).any(|w| w[0] != w[1]);
+            if cost < sol.expected_latency_s - 1e-9 {
+                assert!(distinct, "improvement without distinct thresholds");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_threshold_evaluation_matches_uniform_case() {
+        let p = problem(0.4, 0.0);
+        let sol = solve(&p);
+        if !sol.selected.is_empty() {
+            let uniform = vec![sol.threshold; sol.selected.len()];
+            let (c1, a1) = evaluate_selection(&p, &sol.selected, sol.threshold);
+            let (c2, a2) = evaluate_selection_multi(&p, &sol.selected, &uniform);
+            assert!((c1 - c2).abs() < 1e-12);
+            assert!((a1 - a2).abs() < 1e-12);
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn random_problem() -> impl Strategy<Value = ExitSettingProblem> {
+            (
+                prop::collection::vec((0.01f64..0.95, 0.0001f64..0.05, 0.0001f64..0.005), 1..8),
+                0.0f64..1.0,  // rest time
+                0.0f64..0.77, // accuracy floor
+                1usize..4,    // max exits
+            )
+                .prop_map(|(mut hosts_raw, rest, floor, max_exits)| {
+                    hosts_raw.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                    let hosts: Vec<ExitCandidate> = hosts_raw
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(x, _, head))| ExitCandidate {
+                            node: i * 3,
+                            depth_fraction: x,
+                            // times must be nondecreasing in depth
+                            time_to_host_s: x * 0.2
+                                + hosts_raw[..=i].iter().map(|h| h.1).sum::<f64>() * 0.1,
+                            head_time_s: head,
+                        })
+                        .collect();
+                    let full = hosts.last().map(|h| h.time_to_host_s).unwrap_or(0.0) + 0.05;
+                    ExitSettingProblem {
+                        hosts,
+                        full_prefix_time_s: full,
+                        rest_time_s: rest,
+                        max_exits,
+                        accuracy_floor: floor,
+                        acc_full: 0.76,
+                        difficulty: DifficultyModel::default(),
+                        threshold_grid: vec![0.5, 0.7, 0.9],
+                    }
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// The DP is certified against brute force on random instances.
+            #[test]
+            fn dp_equals_exhaustive_on_random_instances(p in random_problem()) {
+                let dp = solve(&p);
+                let ex = solve_exhaustive(&p);
+                prop_assert!(
+                    (dp.expected_latency_s - ex.expected_latency_s).abs() < 1e-9,
+                    "dp {} vs exhaustive {} (sel {:?} vs {:?})",
+                    dp.expected_latency_s, ex.expected_latency_s,
+                    dp.selected, ex.selected
+                );
+            }
+
+            /// Solutions are always internally consistent and feasible
+            /// whenever a feasible point exists.
+            #[test]
+            fn solutions_are_consistent(p in random_problem()) {
+                let sol = solve(&p);
+                prop_assert!(sol.selected.len() <= p.max_exits);
+                prop_assert!(sol.selected.windows(2).all(|w| w[0] < w[1]));
+                if !sol.selected.is_empty() {
+                    let (cost, acc) = evaluate_selection(&p, &sol.selected, sol.threshold);
+                    prop_assert!((cost - sol.expected_latency_s).abs() < 1e-9);
+                    prop_assert!((acc - sol.expected_accuracy).abs() < 1e-9);
+                }
+                // Refinement never worsens and keeps feasibility.
+                let (_, cost, acc) = refine_thresholds(&p, &sol);
+                prop_assert!(cost <= sol.expected_latency_s + 1e-9);
+                if sol.expected_accuracy + 1e-12 >= p.accuracy_floor {
+                    prop_assert!(acc + 1e-9 >= p.accuracy_floor);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_allowed_exits_never_hurts() {
+        let mut p1 = problem(0.5, 0.70);
+        p1.max_exits = 1;
+        let mut p3 = problem(0.5, 0.70);
+        p3.max_exits = 3;
+        let s1 = solve(&p1);
+        let s3 = solve(&p3);
+        assert!(s3.expected_latency_s <= s1.expected_latency_s + 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! # scalpel-surgery — model surgery
+//!
+//! Restructures a backbone DNN for one stream of a heterogeneous edge
+//! system:
+//!
+//! * [`plan`] — the [`SurgeryPlan`] type: a cut boundary, a set of early
+//!   exits with thresholds, and a structured-pruning level;
+//! * [`pruning`] — the pruning levels and their compute/accuracy trades;
+//! * [`partition`] — cut-point candidate selection (downsampling dense cut
+//!   lists to a manageable, well-spread set);
+//! * [`exit_setting`] — the exit-setting dynamic program (LEIME-style):
+//!   pick ≤E exit hosts and a threshold minimizing expected latency subject
+//!   to an accuracy floor;
+//! * [`pareto`] — dominated-plan elimination;
+//! * [`candidates`] — the full candidate-generation pipeline producing the
+//!   per-stream plan menus the joint optimizer searches over.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod candidates;
+pub mod exit_setting;
+pub mod pareto;
+pub mod partition;
+pub mod plan;
+pub mod pruning;
+
+pub use candidates::{CandidatePlan, PlanProfile, ReferenceEnv};
+pub use exit_setting::{ExitCandidate, ExitSettingProblem, ExitSettingSolution};
+pub use pareto::pareto_filter;
+pub use plan::SurgeryPlan;
+pub use pruning::PruneLevel;

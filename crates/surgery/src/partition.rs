@@ -1,0 +1,120 @@
+//! Cut-point candidate selection.
+//!
+//! Deep chains (VGG-16 has 38 boundaries) would blow up the joint search if
+//! every boundary were a candidate; this module thins the list while
+//! keeping it *well spread in compute depth* — the property that matters
+//! for partitioning — and always keeping the two extremes (full offload,
+//! device-only).
+
+use scalpel_models::{CutPoint, ModelGraph};
+
+/// Select up to `max_cuts` single-tensor boundaries, always including
+/// boundary 0 and boundary n, spread as evenly as possible over the
+/// model's *FLOPs depth* (not layer index — late FC layers are cheap and
+/// would otherwise crowd the menu).
+pub fn candidate_cuts(model: &ModelGraph, max_cuts: usize) -> Vec<CutPoint> {
+    let all = model.cut_points();
+    assert!(max_cuts >= 2, "need at least the two extreme cuts");
+    if all.len() <= max_cuts {
+        return all;
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(max_cuts); // indices into `all`
+    chosen.push(0);
+    // Greedy farthest-point selection on depth fraction.
+    let depth: Vec<f64> = all
+        .iter()
+        .map(|c| model.depth_fraction(c.boundary))
+        .collect();
+    chosen.push(all.len() - 1);
+    while chosen.len() < max_cuts {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..all.len() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let dist = chosen
+                .iter()
+                .map(|&j| (depth[i] - depth[j]).abs())
+                .fold(f64::INFINITY, f64::min);
+            if best.is_none_or(|(_, d)| dist > d) {
+                best = Some((i, dist));
+            }
+        }
+        match best {
+            Some((i, _)) => chosen.push(i),
+            None => break,
+        }
+    }
+    chosen.sort_unstable();
+    chosen.into_iter().map(|i| all[i].clone()).collect()
+}
+
+/// The cut whose crossing tensor is smallest among interior cuts — a
+/// common transmission-friendly heuristic starting point.
+pub fn min_bytes_interior_cut(model: &ModelGraph) -> Option<CutPoint> {
+    model
+        .cut_points()
+        .into_iter()
+        .filter(|c| c.boundary != 0 && c.boundary != model.len())
+        .min_by_key(|c| c.bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalpel_models::zoo;
+
+    #[test]
+    fn extremes_always_kept() {
+        for name in zoo::ALL_NAMES {
+            let g = zoo::by_name(name).unwrap();
+            let cuts = candidate_cuts(&g, 6);
+            assert!(cuts.iter().any(|c| c.boundary == 0), "{name}");
+            assert!(cuts.iter().any(|c| c.boundary == g.len()), "{name}");
+            assert!(cuts.len() <= 6, "{name}: {}", cuts.len());
+        }
+    }
+
+    #[test]
+    fn small_lists_pass_through() {
+        let g = zoo::lenet5(10);
+        let all = g.cut_points();
+        let cuts = candidate_cuts(&g, 100);
+        assert_eq!(cuts.len(), all.len());
+    }
+
+    #[test]
+    fn selection_is_spread_in_depth() {
+        let g = zoo::vgg16(1000);
+        let cuts = candidate_cuts(&g, 8);
+        let depths: Vec<f64> = cuts.iter().map(|c| g.depth_fraction(c.boundary)).collect();
+        // Maximum gap between consecutive chosen depths should be well
+        // below 1 (i.e. we didn't cluster everything at one end).
+        let max_gap = depths.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max);
+        assert!(max_gap < 0.5, "max depth gap {max_gap}: {depths:?}");
+    }
+
+    #[test]
+    fn results_sorted_by_boundary() {
+        let g = zoo::resnet18(1000);
+        let cuts = candidate_cuts(&g, 7);
+        assert!(cuts.windows(2).all(|w| w[0].boundary < w[1].boundary));
+    }
+
+    #[test]
+    fn min_bytes_cut_is_interior_and_minimal() {
+        let g = zoo::alexnet(1000);
+        let c = min_bytes_interior_cut(&g).unwrap();
+        assert!(c.boundary != 0 && c.boundary != g.len());
+        for other in g.cut_points() {
+            if other.boundary != 0 && other.boundary != g.len() {
+                assert!(c.bytes <= other.bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn lenet_min_cut_exists() {
+        assert!(min_bytes_interior_cut(&zoo::lenet5(10)).is_some());
+    }
+}

@@ -1,0 +1,34 @@
+//! Model inspector: print a Keras-style layer table for any zoo model and
+//! emit a Graphviz DOT file with cut points highlighted.
+//!
+//! ```sh
+//! cargo run --release --example model_inspector [model] [dot-output.dot]
+//! ```
+
+use scalpel::models::{summary, zoo};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "googlenet".into());
+    let model = zoo::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model {name}; options: {:?}", zoo::ALL_NAMES);
+        std::process::exit(2);
+    });
+    print!("{}", summary::layer_table(&model));
+
+    println!("\npartition candidates (single-tensor cuts):");
+    for cut in model.cut_points() {
+        println!(
+            "  after node {:>3}: {:>7.1} KB crossing, {:>5.1}% of FLOPs on device",
+            cut.boundary.saturating_sub(1),
+            cut.bytes as f64 / 1024.0,
+            model.depth_fraction(cut.boundary) * 100.0
+        );
+    }
+
+    if let Some(path) = std::env::args().nth(2) {
+        std::fs::write(&path, summary::to_dot(&model)).expect("write dot file");
+        println!("\nDOT graph written to {path} (render with `dot -Tsvg`)");
+    }
+}

@@ -1,0 +1,75 @@
+//! Surgery explorer: what model surgery does to one backbone in one
+//! environment — every cut point, the candidate menu the optimizer would
+//! see, and the expected effect of each plan.
+//!
+//! ```sh
+//! cargo run --release --example surgery_explorer [model]
+//! # model ∈ {lenet5, alexnet, vgg11, vgg16, resnet18, resnet34,
+//! #          resnet50, mobilenet_v2, googlenet}; default resnet18
+//! ```
+
+use scalpel::models::{zoo, ProcessorClass};
+use scalpel::surgery::candidates::{self, CandidateConfig, ReferenceEnv};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "resnet18".into());
+    let model = zoo::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model {name}; try one of {:?}", zoo::ALL_NAMES);
+        std::process::exit(2);
+    });
+    println!(
+        "{}: {} layers, {:.2} GFLOPs, {:.2} M params",
+        model.name(),
+        model.len(),
+        model.total_flops() as f64 / 1e9,
+        model.total_params() as f64 / 1e6
+    );
+
+    // Every valid single-tensor partition point.
+    println!("\ncut points (boundary, depth %, crossing KB):");
+    for cut in model.cut_points() {
+        println!(
+            "  boundary {:>3}  depth {:>5.1}%  tx {:>8.1} KB",
+            cut.boundary,
+            model.depth_fraction(cut.boundary) * 100.0,
+            cut.bytes as f64 / 1024.0
+        );
+    }
+
+    // The environment: a Jetson Nano behind a 10 MHz link, sharing a T4.
+    let nano = ProcessorClass::JetsonNano.spec();
+    let env = ReferenceEnv {
+        device_sec_per_flop: 1.0 / nano.flops_per_sec,
+        tx_sec_per_byte: 8.0 / 60e6, // ~60 Mbit/s uplink
+        edge_sec_per_flop: 4.0 / ProcessorClass::EdgeGpuT4.spec().flops_per_sec,
+        rtt_s: 2e-3,
+    };
+    let cfg = CandidateConfig::default();
+    let menu = candidates::generate(&model, &env, &cfg);
+    println!(
+        "\ncandidate menu after Pareto filtering ({} plans; Jetson Nano, \
+         60 Mbit/s uplink, shared T4):",
+        menu.len()
+    );
+    println!(
+        "  {:<5} {:<18} {:<8} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "cut", "exits", "prune", "dev GF", "tx KB", "edge GF", "lat ms", "acc"
+    );
+    for c in &menu {
+        let p = &c.profile;
+        println!(
+            "  {:<5} {:<18} {:<8} {:>10.3} {:>10.1} {:>10.3} {:>9.1} {:>8.3}",
+            c.plan.cut,
+            format!(
+                "{:?}",
+                c.plan.exits.iter().map(|(h, _)| *h).collect::<Vec<_>>()
+            ),
+            format!("{:?}", c.plan.prune),
+            p.expected_device_flops / 1e9,
+            p.tx_bytes * p.remain_prob / 1024.0,
+            p.edge_flops * p.remain_prob / 1e9,
+            p.reference_latency_s * 1e3,
+            p.expected_accuracy
+        );
+    }
+}

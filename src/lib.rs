@@ -1,0 +1,36 @@
+//! # scalpel — joint model surgery and resource allocation for
+//! latency-sensitive DNN inference in heterogeneous edge
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! quickstart and DESIGN.md for the architecture.
+//!
+//! ```
+//! use scalpel::core::baselines::{solve_with, Method};
+//! use scalpel::core::config::ScenarioConfig;
+//! use scalpel::core::evaluator::Evaluator;
+//! use scalpel::core::optimizer::OptimizerConfig;
+//!
+//! // A tiny scenario: 1 AP, 2 devices, heterogeneous servers.
+//! let mut scenario = ScenarioConfig::default();
+//! scenario.num_aps = 1;
+//! scenario.devices_per_ap = 2;
+//! let problem = scenario.build();
+//!
+//! // Build per-stream surgery menus and solve jointly.
+//! let evaluator = Evaluator::new(&problem, None);
+//! let opt = OptimizerConfig { rounds: 2, gibbs_iters: 10, ..Default::default() };
+//! let solution = solve_with(&evaluator, Method::Joint, &opt);
+//! assert!(solution.result.objective.is_finite());
+//!
+//! // Joint never loses to full offload on the priced objective.
+//! let edge_only = solve_with(&evaluator, Method::EdgeOnly, &opt);
+//! assert!(solution.result.objective <= edge_only.result.objective + 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use scalpel_alloc as alloc;
+pub use scalpel_core as core;
+pub use scalpel_models as models;
+pub use scalpel_sim as sim;
+pub use scalpel_surgery as surgery;

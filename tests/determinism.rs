@@ -1,0 +1,96 @@
+//! Reproducibility: the entire pipeline — scenario build, menu generation,
+//! joint search, simulation — is a pure function of its seeds.
+
+use scalpel::core::baselines::{solve_with, Method};
+use scalpel::core::config::ScenarioConfig;
+use scalpel::core::evaluator::Evaluator;
+use scalpel::core::optimizer::OptimizerConfig;
+use scalpel::core::runner;
+use scalpel::sim::SimConfig;
+
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::default();
+    cfg.num_aps = 1;
+    cfg.devices_per_ap = 4;
+    cfg.arrival_rate_hz = 6.0;
+    cfg.sim = SimConfig {
+        horizon_s: 6.0,
+        warmup_s: 1.0,
+        seed: 77,
+        fading: true,
+    };
+    cfg
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let problem = scenario().build();
+        let ev = Evaluator::new(&problem, None);
+        let sol = solve_with(
+            &ev,
+            Method::Joint,
+            &OptimizerConfig {
+                rounds: 2,
+                gibbs_iters: 30,
+                ..Default::default()
+            },
+        );
+        let reports = runner::run_solution_seeds(&problem, &ev, &sol, scenario().sim, &[1, 2]);
+        (
+            sol.assignment.plan_idx.clone(),
+            sol.assignment.placement.clone(),
+            sol.result.objective,
+            reports.iter().map(|r| r.latency.mean).collect::<Vec<_>>(),
+            reports.iter().map(|r| r.completed).collect::<Vec<_>>(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "plan choices differ");
+    assert_eq!(a.1, b.1, "placements differ");
+    assert_eq!(a.2, b.2, "objectives differ");
+    assert_eq!(a.3, b.3, "simulated latencies differ");
+    assert_eq!(a.4, b.4, "completion counts differ");
+}
+
+#[test]
+fn optimizer_seed_changes_gibbs_exploration_only_deterministically() {
+    let problem = scenario().build();
+    let ev = Evaluator::new(&problem, None);
+    let solve_seeded = |seed: u64| {
+        solve_with(
+            &ev,
+            Method::Joint,
+            &OptimizerConfig {
+                rounds: 1,
+                gibbs_iters: 50,
+                seed,
+                ..Default::default()
+            },
+        )
+        .result
+        .objective
+    };
+    let a1 = solve_seeded(1);
+    let a2 = solve_seeded(1);
+    assert_eq!(a1, a2);
+}
+
+#[test]
+fn simulation_seed_isolation() {
+    // Changing only the sim seed must not change the solution, just the
+    // measured sample.
+    let problem = scenario().build();
+    let ev = Evaluator::new(&problem, None);
+    let sol = solve_with(&ev, Method::Neurosurgeon, &OptimizerConfig::default());
+    let r1 = runner::run_solution_seeds(&problem, &ev, &sol, scenario().sim, &[1]);
+    let r2 = runner::run_solution_seeds(&problem, &ev, &sol, scenario().sim, &[2]);
+    assert_ne!(r1[0].latency.mean, r2[0].latency.mean);
+    // but both measure the same system: means within a factor of 2
+    let ratio = r1[0].latency.mean / r2[0].latency.mean;
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "seeds diverge too much: {ratio}"
+    );
+}
