@@ -160,16 +160,16 @@ pub fn best_response(
     let max_rounds = 100 * streams.len().max(1);
     for _ in 0..max_rounds {
         let mut improved = false;
-        for k in 0..streams.len() {
-            let cur = assignment[k];
+        for (k, slot) in assignment.iter_mut().enumerate() {
+            let cur = *slot;
             let cur_cost = model.ell[k][cur] * loads[cur];
             let mut best = (cur, cur_cost);
-            for s in 0..servers.len() {
+            for (s, &load) in loads.iter().enumerate() {
                 if s == cur {
                     continue;
                 }
                 let l = model.ell[k][s];
-                let cost = l * (loads[s] + l);
+                let cost = l * (load + l);
                 if cost < best.1 - tol {
                     best = (s, cost);
                 }
@@ -177,7 +177,7 @@ pub fn best_response(
             if best.0 != cur {
                 loads[cur] -= model.ell[k][cur];
                 loads[best.0] += model.ell[k][best.0];
-                assignment[k] = best.0;
+                *slot = best.0;
                 moves += 1;
                 improved = true;
             }
@@ -241,16 +241,15 @@ mod tests {
         let model = ServerLoadModel::new(&st, &sv);
         let loads = model.loads_for(&a);
         // No stream can strictly improve by unilateral deviation.
-        for k in 0..st.len() {
-            let cur = a[k];
+        for (k, &cur) in a.iter().enumerate() {
             let cur_cost = model.ell[k][cur] * loads[cur];
-            for s in 0..sv.len() {
+            for (s, &load) in loads.iter().enumerate() {
                 if s == cur {
                     continue;
                 }
                 let l = model.ell[k][s];
                 assert!(
-                    l * (loads[s] + l) >= cur_cost - 1e-9,
+                    l * (load + l) >= cur_cost - 1e-9,
                     "stream {k} would deviate {cur}->{s}"
                 );
             }

@@ -7,9 +7,11 @@ use scalpel_core::evaluator::{AllocPolicies, Evaluator};
 use scalpel_core::optimizer::{self, OptimizerConfig};
 
 fn evaluator_for(n_streams: usize) -> Evaluator {
-    let mut scfg = ScenarioConfig::default();
-    scfg.num_aps = 4;
-    scfg.devices_per_ap = n_streams.div_ceil(4);
+    let scfg = ScenarioConfig {
+        num_aps: 4,
+        devices_per_ap: n_streams.div_ceil(4),
+        ..ScenarioConfig::default()
+    };
     Evaluator::new(&scfg.build(), None)
 }
 
@@ -41,9 +43,11 @@ fn bench_single_evaluation(c: &mut Criterion) {
 fn bench_menu_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("menu_build");
     g.sample_size(10);
-    let mut scfg = ScenarioConfig::default();
-    scfg.num_aps = 4;
-    scfg.devices_per_ap = 10;
+    let scfg = ScenarioConfig {
+        num_aps: 4,
+        devices_per_ap: 10,
+        ..ScenarioConfig::default()
+    };
     let problem = scfg.build();
     g.bench_function("evaluator_new_40_streams", |b| {
         b.iter(|| Evaluator::new(&problem, None))

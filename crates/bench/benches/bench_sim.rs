@@ -13,14 +13,17 @@ fn bench_simulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("edge_sim");
     g.sample_size(10);
     for &devices in &[8usize, 40] {
-        let mut scfg = ScenarioConfig::default();
-        scfg.num_aps = 4;
-        scfg.devices_per_ap = devices.div_ceil(4);
-        scfg.sim = SimConfig {
-            horizon_s: 10.0,
-            warmup_s: 1.0,
-            seed: 1,
-            fading: true,
+        let scfg = ScenarioConfig {
+            num_aps: 4,
+            devices_per_ap: devices.div_ceil(4),
+            sim: SimConfig {
+                horizon_s: 10.0,
+                warmup_s: 1.0,
+                seed: 1,
+                fading: true,
+                ..SimConfig::default()
+            },
+            ..ScenarioConfig::default()
         };
         let problem = scfg.build();
         let ev = Evaluator::new(&problem, None);

@@ -26,9 +26,11 @@ pub fn run(quick: bool) {
         "objective",
     ]);
     for &n in sizes {
-        let mut scfg = ScenarioConfig::default();
-        scfg.num_aps = 4;
-        scfg.devices_per_ap = n.div_ceil(4);
+        let scfg = ScenarioConfig {
+            num_aps: 4,
+            devices_per_ap: n.div_ceil(4),
+            ..ScenarioConfig::default()
+        };
         let problem = scfg.build();
         let t0 = Instant::now();
         let ev = Evaluator::new(&problem, None);

@@ -18,7 +18,7 @@ pub fn run(quick: bool) {
     } else {
         ScenarioConfig::default()
     };
-    let seeds: &[u64] = if quick { &[101] } else { &[101] };
+    let seeds: &[u64] = &[101];
     let rows = compare_methods(&scfg, &harness::default_optimizer(), Method::ALL, seeds);
     let mut t = Table::new(vec![
         "method",

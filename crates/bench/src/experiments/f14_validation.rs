@@ -30,15 +30,18 @@ pub fn run(quick: bool) {
     ]);
     for &rate in rates {
         for fading in [false, true] {
-            let mut scfg = ScenarioConfig::default();
-            scfg.num_aps = 2;
-            scfg.devices_per_ap = if quick { 3 } else { 5 };
-            scfg.arrival_rate_hz = rate;
-            scfg.sim = SimConfig {
-                horizon_s: if quick { 10.0 } else { 30.0 },
-                warmup_s: 2.0,
-                seed: 17,
-                fading,
+            let scfg = ScenarioConfig {
+                num_aps: 2,
+                devices_per_ap: if quick { 3 } else { 5 },
+                arrival_rate_hz: rate,
+                sim: SimConfig {
+                    horizon_s: if quick { 10.0 } else { 30.0 },
+                    warmup_s: 2.0,
+                    seed: 17,
+                    fading,
+                    ..SimConfig::default()
+                },
+                ..ScenarioConfig::default()
             };
             let problem = scfg.build();
             let ev = Evaluator::new(&problem, None);

@@ -20,8 +20,10 @@ pub fn run(quick: bool) {
             .collect::<Vec<_>>(),
     );
     for &rate in rates {
-        let mut scfg = ScenarioConfig::default();
-        scfg.arrival_rate_hz = rate;
+        let mut scfg = ScenarioConfig {
+            arrival_rate_hz: rate,
+            ..ScenarioConfig::default()
+        };
         if quick {
             scfg.num_aps = 2;
             scfg.devices_per_ap = 4;

@@ -20,8 +20,10 @@ pub fn run(quick: bool) {
             .collect::<Vec<_>>(),
     );
     for &bw in mhz {
-        let mut scfg = ScenarioConfig::default();
-        scfg.ap_bandwidth_hz = bw * 1e6;
+        let mut scfg = ScenarioConfig {
+            ap_bandwidth_hz: bw * 1e6,
+            ..ScenarioConfig::default()
+        };
         if quick {
             scfg.num_aps = 2;
             scfg.devices_per_ap = 4;

@@ -31,11 +31,13 @@ pub fn run(quick: bool) {
             .collect::<Vec<_>>(),
     );
     for &cv in cvs {
-        let mut scfg = ScenarioConfig::default();
-        scfg.servers = ServerMix::Synthetic {
-            count: 4,
-            mean_fps: 2.0e12,
-            cv,
+        let mut scfg = ScenarioConfig {
+            servers: ServerMix::Synthetic {
+                count: 4,
+                mean_fps: 2.0e12,
+                cv,
+            },
+            ..ScenarioConfig::default()
         };
         if quick {
             scfg.num_aps = 2;

@@ -26,8 +26,10 @@ pub fn run(quick: bool) {
         "early-exit",
     ]);
     for &drop in drops {
-        let mut scfg = ScenarioConfig::default();
-        scfg.accuracy_floor_drop = drop;
+        let mut scfg = ScenarioConfig {
+            accuracy_floor_drop: drop,
+            ..ScenarioConfig::default()
+        };
         if quick {
             scfg.num_aps = 2;
             scfg.devices_per_ap = 4;

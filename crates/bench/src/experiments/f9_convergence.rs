@@ -16,10 +16,12 @@ use scalpel_surgery::PruneLevel;
 pub fn run(quick: bool) {
     println!("\n== F9: convergence & optimality gap ==");
     // Small instance for the exhaustive reference.
-    let mut scfg = ScenarioConfig::default();
-    scfg.num_aps = 1;
-    scfg.devices_per_ap = if quick { 2 } else { 3 };
-    scfg.arrival_rate_hz = 5.0;
+    let scfg = ScenarioConfig {
+        num_aps: 1,
+        devices_per_ap: if quick { 2 } else { 3 },
+        arrival_rate_hz: 5.0,
+        ..ScenarioConfig::default()
+    };
     let problem = scfg.build();
     let menu_cfg = CandidateConfig {
         max_cuts: 4,

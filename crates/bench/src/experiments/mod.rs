@@ -11,6 +11,7 @@ pub mod f12_burstiness;
 pub mod f13_energy;
 pub mod f14_validation;
 pub mod f15_dynamics;
+pub mod f16_faults;
 pub mod f4_scalability;
 pub mod f5_arrival;
 pub mod f6_bandwidth;
@@ -38,5 +39,6 @@ pub fn run_all(quick: bool) {
     f13_energy::run(quick);
     f14_validation::run(quick);
     f15_dynamics::run(quick);
+    f16_faults::run(quick);
     a1_design_ablation::run(quick);
 }

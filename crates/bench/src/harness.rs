@@ -62,10 +62,12 @@ pub fn default_optimizer() -> OptimizerConfig {
 
 /// A faster scenario for smoke tests and CI.
 pub fn smoke_scenario() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default();
-    cfg.num_aps = 1;
-    cfg.devices_per_ap = 4;
-    cfg.arrival_rate_hz = 4.0;
+    let mut cfg = ScenarioConfig {
+        num_aps: 1,
+        devices_per_ap: 4,
+        arrival_rate_hz: 4.0,
+        ..ScenarioConfig::default()
+    };
     cfg.sim.horizon_s = 8.0;
     cfg.sim.warmup_s = 1.0;
     cfg

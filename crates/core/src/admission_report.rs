@@ -104,10 +104,12 @@ mod tests {
     use crate::optimizer::OptimizerConfig;
 
     fn setup() -> (Evaluator, OptimizerConfig) {
-        let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 2;
-        cfg.devices_per_ap = 3;
-        cfg.arrival_rate_hz = 4.0;
+        let cfg = ScenarioConfig {
+            num_aps: 2,
+            devices_per_ap: 3,
+            arrival_rate_hz: 4.0,
+            ..ScenarioConfig::default()
+        };
         (
             Evaluator::new(&cfg.build(), None),
             OptimizerConfig::default(),

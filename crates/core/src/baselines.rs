@@ -229,10 +229,12 @@ mod tests {
     use crate::config::ScenarioConfig;
 
     fn evaluator() -> Evaluator {
-        let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 1;
-        cfg.devices_per_ap = 4;
-        cfg.arrival_rate_hz = 4.0;
+        let cfg = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 4,
+            arrival_rate_hz: 4.0,
+            ..ScenarioConfig::default()
+        };
         Evaluator::new(&cfg.build(), None)
     }
 

@@ -63,10 +63,12 @@ mod tests {
     use scalpel_sim::{EdgeSim, SimConfig};
 
     fn setup() -> (JointProblem, Evaluator) {
-        let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 1;
-        cfg.devices_per_ap = 4;
-        cfg.arrival_rate_hz = 3.0;
+        let cfg = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 4,
+            arrival_rate_hz: 3.0,
+            ..ScenarioConfig::default()
+        };
         let p = cfg.build();
         let ev = Evaluator::new(&p, None);
         (p, ev)
@@ -148,6 +150,7 @@ mod tests {
                 warmup_s: 1.0,
                 seed: 3,
                 fading: false,
+                ..SimConfig::default()
             },
         );
         assert!(sim.is_ok(), "{:?}", sim.err());
@@ -160,15 +163,18 @@ mod tests {
         // With fading off and light load, the simulator should land within
         // a factor ~2 of the analytic expectation (queueing corrections are
         // approximations, not exact).
-        let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 1;
-        cfg.devices_per_ap = 2;
-        cfg.arrival_rate_hz = 1.0;
-        cfg.sim = SimConfig {
-            horizon_s: 30.0,
-            warmup_s: 2.0,
-            seed: 5,
-            fading: false,
+        let cfg = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 2,
+            arrival_rate_hz: 1.0,
+            sim: SimConfig {
+                horizon_s: 30.0,
+                warmup_s: 2.0,
+                seed: 5,
+                fading: false,
+                ..SimConfig::default()
+            },
+            ..ScenarioConfig::default()
         };
         let p = cfg.build();
         let ev = Evaluator::new(&p, None);

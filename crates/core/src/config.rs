@@ -11,7 +11,9 @@ use crate::problem::{JointProblem, StreamSpec};
 use scalpel_models::zoo;
 use scalpel_models::{DifficultyModel, ProcessorClass, ProcessorSpec};
 use scalpel_sim::SimRng;
-use scalpel_sim::{ApSpec, ArrivalProcess, Cluster, DeviceSpec, ServerSpec, SimConfig};
+use scalpel_sim::{
+    ApSpec, ArrivalProcess, Cluster, DeviceSpec, FaultPlan, FaultProfile, ServerSpec, SimConfig,
+};
 use serde::{Deserialize, Serialize};
 
 /// How server capacities are drawn.
@@ -74,6 +76,7 @@ impl Default for ScenarioConfig {
                 warmup_s: 3.0,
                 seed: 7,
                 fading: true,
+                ..SimConfig::default()
             },
         }
     }
@@ -87,6 +90,31 @@ impl ScenarioConfig {
     /// Total number of devices (== streams).
     pub fn num_devices(&self) -> usize {
         self.num_aps * self.devices_per_ap
+    }
+
+    /// Number of servers the scenario will instantiate.
+    pub fn num_servers(&self) -> usize {
+        match &self.servers {
+            ServerMix::Standard => 4,
+            ServerMix::Synthetic { count, .. } => *count,
+        }
+    }
+
+    /// Generate the fault plan a profile produces for this topology
+    /// (a pure function of the profile seed and the scenario dimensions).
+    pub fn fault_plan(&self, profile: &FaultProfile) -> FaultPlan {
+        profile.plan(
+            self.num_devices(),
+            self.num_aps,
+            self.num_servers(),
+            self.sim.horizon_s,
+        )
+    }
+
+    /// Install the plan a profile generates into `self.sim.faults`, so
+    /// every simulation of this scenario runs under it.
+    pub fn apply_fault_profile(&mut self, profile: &FaultProfile) {
+        self.sim.faults = self.fault_plan(profile);
     }
 
     /// Materialize the topology and streams.
@@ -232,8 +260,10 @@ mod tests {
     #[test]
     fn seeds_change_topology() {
         let a = ScenarioConfig::default().build();
-        let mut cfg = ScenarioConfig::default();
-        cfg.seed = 99;
+        let cfg = ScenarioConfig {
+            seed: 99,
+            ..ScenarioConfig::default()
+        };
         let b = cfg.build();
         let same = a
             .cluster
@@ -247,11 +277,13 @@ mod tests {
 
     #[test]
     fn synthetic_servers_honor_count_and_cv_zero() {
-        let mut cfg = ScenarioConfig::default();
-        cfg.servers = ServerMix::Synthetic {
-            count: 6,
-            mean_fps: 1e12,
-            cv: 0.0,
+        let cfg = ScenarioConfig {
+            servers: ServerMix::Synthetic {
+                count: 6,
+                mean_fps: 1e12,
+                cv: 0.0,
+            },
+            ..ScenarioConfig::default()
         };
         let p = cfg.build();
         assert_eq!(p.cluster.servers.len(), 6);
@@ -262,11 +294,13 @@ mod tests {
 
     #[test]
     fn synthetic_cv_spreads_capacities() {
-        let mut cfg = ScenarioConfig::default();
-        cfg.servers = ServerMix::Synthetic {
-            count: 16,
-            mean_fps: 1e12,
-            cv: 0.5,
+        let cfg = ScenarioConfig {
+            servers: ServerMix::Synthetic {
+                count: 16,
+                mean_fps: 1e12,
+                cv: 0.5,
+            },
+            ..ScenarioConfig::default()
         };
         let p = cfg.build();
         let caps: Vec<f64> = p
@@ -291,10 +325,30 @@ mod tests {
     }
 
     #[test]
-    fn device_class_mix_is_roughly_40_30_20_10() {
+    fn fault_profile_wiring_sizes_to_topology() {
         let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 10;
-        cfg.devices_per_ap = 40; // 400 devices for tight statistics
+        let profile = FaultProfile {
+            rate_hz: 0.5,
+            ..FaultProfile::default()
+        };
+        let plan = cfg.fault_plan(&profile);
+        assert!(!plan.is_empty());
+        // Every target the generator picked exists in the built topology.
+        assert!(plan.validate(&cfg.build().cluster).is_ok());
+        // Installing the profile is the same as generating the plan.
+        cfg.apply_fault_profile(&profile);
+        assert_eq!(cfg.sim.faults, plan);
+        // And the same profile regenerates the same plan (purity).
+        assert_eq!(cfg.fault_plan(&profile), plan);
+    }
+
+    #[test]
+    fn device_class_mix_is_roughly_40_30_20_10() {
+        let cfg = ScenarioConfig {
+            num_aps: 10,
+            devices_per_ap: 40, // 400 devices for tight statistics
+            ..ScenarioConfig::default()
+        };
         let p = cfg.build();
         let count = |name: &str| {
             p.cluster

@@ -346,8 +346,7 @@ impl Evaluator {
         let mut dev_lambda: HashMap<usize, f64> = HashMap::new();
         let mut dev_es2: HashMap<usize, f64> = HashMap::new(); // Λ·E[S²] accumulator
         let mut dev_rho: HashMap<usize, f64> = HashMap::new();
-        for k in 0..n {
-            let p = plans[k];
+        for (k, &p) in plans.iter().enumerate() {
             let mut es2 = p.behavior.remain_prob * p.dev_full * p.dev_full;
             for (i, &q) in p.behavior.exit_probs.iter().enumerate() {
                 es2 += q * p.dev_to_exit[i] * p.dev_to_exit[i];
@@ -474,10 +473,10 @@ impl Evaluator {
         }
         let mut objective = 0.0;
         let mut misses = 0usize;
-        for k in 0..n {
-            let norm = latency[k] / self.deadline_s[k];
+        for (k, &lat) in latency.iter().enumerate() {
+            let norm = lat / self.deadline_s[k];
             objective += norm;
-            if latency[k] > self.deadline_s[k] {
+            if lat > self.deadline_s[k] {
                 misses += 1;
                 objective += 10.0 * (norm - 1.0);
             }
@@ -514,10 +513,12 @@ mod tests {
     use crate::problem::JointProblem;
 
     fn small_problem() -> JointProblem {
-        let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 1;
-        cfg.devices_per_ap = 4;
-        cfg.arrival_rate_hz = 4.0;
+        let cfg = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 4,
+            arrival_rate_hz: 4.0,
+            ..ScenarioConfig::default()
+        };
         cfg.build()
     }
 
@@ -675,8 +676,7 @@ mod tests {
                 let rho_tx = (lam_tx * tx).min(0.99);
                 let w_tx = lam_tx * tx * tx / (2.0 * (1.0 - rho_tx));
                 let srv = asg.placement[k];
-                let edge = p.edge_flops
-                    / (ev.server_caps()[srv] * r.compute_shares[k].max(1e-9));
+                let edge = p.edge_flops / (ev.server_caps()[srv] * r.compute_shares[k].max(1e-9));
                 let rho_edge = (ev.rate(k) * p.remain * edge).min(0.99);
                 full += w_tx + tx + 1e-3 + edge / (1.0 - rho_edge); // rtt 2ms / 2
             }
@@ -743,10 +743,12 @@ mod tests {
 
     #[test]
     fn higher_load_prices_worse() {
-        let mut cfg_lo = ScenarioConfig::default();
-        cfg_lo.num_aps = 1;
-        cfg_lo.devices_per_ap = 4;
-        cfg_lo.arrival_rate_hz = 2.0;
+        let cfg_lo = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 4,
+            arrival_rate_hz: 2.0,
+            ..ScenarioConfig::default()
+        };
         let mut cfg_hi = cfg_lo.clone();
         cfg_hi.arrival_rate_hz = 16.0;
         let ev_lo = Evaluator::new(&cfg_lo.build(), None);

@@ -9,6 +9,8 @@
 
 use crate::evaluator::{Assignment, Evaluator};
 use crate::optimizer::{self, OptimizerConfig, Solution};
+use crate::problem::JointProblem;
+use scalpel_sim::{FaultKind, FaultPlan};
 use scalpel_surgery::SurgeryPlan;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -77,6 +79,35 @@ pub fn remap_assignment(old_ev: &Evaluator, new_ev: &Evaluator, asg: &Assignment
     }
 }
 
+/// Steady-state view of a faulted environment: the problem with every
+/// sustained degradation in `plan` applied at its *worst* level — each
+/// AP's bandwidth scaled by its deepest `LinkDegrade`, each server's
+/// capacity by its deepest `ServerThrottle`. Transient churn (device and
+/// AP up/down cycles) is not representable in the static problem and is
+/// left to the simulator; what this gives the [`OnlineController`] is the
+/// environment to re-solve against when degradations persist.
+pub fn faulted_problem(problem: &JointProblem, plan: &FaultPlan) -> JointProblem {
+    let mut degraded = problem.clone();
+    for ev in &plan.events {
+        match ev.kind {
+            FaultKind::LinkDegrade { ap, factor } => {
+                if let Some(spec) = degraded.cluster.aps.get_mut(ap) {
+                    let nominal = problem.cluster.aps[ap].bandwidth_hz;
+                    spec.bandwidth_hz = spec.bandwidth_hz.min(nominal * factor);
+                }
+            }
+            FaultKind::ServerThrottle { server, factor } => {
+                if let Some(spec) = degraded.cluster.servers.get_mut(server) {
+                    let nominal = problem.cluster.servers[server].proc.flops_per_sec;
+                    spec.proc.flops_per_sec = spec.proc.flops_per_sec.min(nominal * factor);
+                }
+            }
+            _ => {}
+        }
+    }
+    degraded
+}
+
 /// The online controller: owns the current solution for one environment.
 pub struct OnlineController {
     solution: Solution,
@@ -136,12 +167,13 @@ mod tests {
     use crate::config::ScenarioConfig;
 
     fn scenario(bandwidth_mhz: f64) -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 1;
-        cfg.devices_per_ap = 4;
-        cfg.arrival_rate_hz = 4.0;
-        cfg.ap_bandwidth_hz = bandwidth_mhz * 1e6;
-        cfg
+        ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 4,
+            arrival_rate_hz: 4.0,
+            ap_bandwidth_hz: bandwidth_mhz * 1e6,
+            ..ScenarioConfig::default()
+        }
     }
 
     #[test]
@@ -187,6 +219,68 @@ mod tests {
         );
         // And quality stays comparable.
         assert!(report.adapted_objective <= cold.result.objective * 1.15 + 1e-9);
+    }
+
+    #[test]
+    fn faulted_problem_applies_worst_sustained_degradation() {
+        use scalpel_sim::FaultEvent;
+        let problem = scenario(20.0).build();
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at_s: 3.0,
+                    kind: FaultKind::LinkDegrade { ap: 0, factor: 0.5 },
+                },
+                FaultEvent {
+                    at_s: 6.0,
+                    kind: FaultKind::LinkDegrade {
+                        ap: 0,
+                        factor: 0.25,
+                    },
+                },
+                FaultEvent {
+                    at_s: 9.0,
+                    kind: FaultKind::ServerThrottle {
+                        server: 1,
+                        factor: 0.4,
+                    },
+                },
+                // Churn does not alter the static problem.
+                FaultEvent {
+                    at_s: 10.0,
+                    kind: FaultKind::DeviceDown { device: 0 },
+                },
+            ],
+        };
+        let degraded = faulted_problem(&problem, &plan);
+        let b0 = problem.cluster.aps[0].bandwidth_hz;
+        assert!((degraded.cluster.aps[0].bandwidth_hz - b0 * 0.25).abs() < 1e-6);
+        let c1 = problem.cluster.servers[1].proc.flops_per_sec;
+        assert!((degraded.cluster.servers[1].proc.flops_per_sec - c1 * 0.4).abs() < 1.0);
+        assert_eq!(
+            degraded.cluster.devices.len(),
+            problem.cluster.devices.len()
+        );
+        assert!(degraded.validate().is_ok());
+    }
+
+    #[test]
+    fn controller_adapts_to_faulted_environment() {
+        use scalpel_sim::FaultEvent;
+        let problem = scenario(20.0).build();
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 2.0,
+                kind: FaultKind::LinkDegrade { ap: 0, factor: 0.1 },
+            }],
+        };
+        let old_ev = Evaluator::new(&problem, None);
+        let new_ev = Evaluator::new(&faulted_problem(&problem, &plan), None);
+        let mut ctl = OnlineController::bootstrap(&old_ev, OptimizerConfig::default());
+        let report = ctl.adapt(&old_ev, &new_ev);
+        assert!(report.adapted_objective <= report.stale_objective + 1e-12);
+        // A 10x sustained link collapse must move at least one decision.
+        assert!(report.plans_changed + report.placements_changed > 0);
     }
 
     #[test]

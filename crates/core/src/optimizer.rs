@@ -328,10 +328,12 @@ mod tests {
     use crate::config::ScenarioConfig;
 
     fn tiny_evaluator() -> Evaluator {
-        let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 1;
-        cfg.devices_per_ap = 3;
-        cfg.arrival_rate_hz = 4.0;
+        let cfg = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 3,
+            arrival_rate_hz: 4.0,
+            ..ScenarioConfig::default()
+        };
         Evaluator::new(&cfg.build(), None)
     }
 
@@ -360,8 +362,10 @@ mod tests {
     #[test]
     fn gibbs_never_loses_the_best() {
         let ev = tiny_evaluator();
-        let mut cfg = OptimizerConfig::default();
-        cfg.gibbs_iters = 60;
+        let cfg = OptimizerConfig {
+            gibbs_iters: 60,
+            ..OptimizerConfig::default()
+        };
         let descended = coordinate_descent(&ev, &cfg);
         let d_obj = descended.result.objective;
         let refined = gibbs_refine(&ev, &cfg, descended);
@@ -370,14 +374,18 @@ mod tests {
 
     #[test]
     fn full_solve_close_to_exhaustive_on_tiny_instance() {
-        let mut scfg = ScenarioConfig::default();
-        scfg.num_aps = 1;
-        scfg.devices_per_ap = 2;
-        scfg.arrival_rate_hz = 4.0;
+        let scfg = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 2,
+            arrival_rate_hz: 4.0,
+            ..ScenarioConfig::default()
+        };
         let p = scfg.build();
-        let mut menu_cfg = scalpel_surgery::candidates::CandidateConfig::default();
-        menu_cfg.max_cuts = 4;
-        menu_cfg.prune_levels = vec![scalpel_surgery::PruneLevel::None];
+        let menu_cfg = scalpel_surgery::candidates::CandidateConfig {
+            max_cuts: 4,
+            prune_levels: vec![scalpel_surgery::PruneLevel::None],
+            ..Default::default()
+        };
         let ev = Evaluator::new(&p, Some(menu_cfg));
         let cfg = OptimizerConfig::default();
         let ex = exhaustive(&ev, &cfg, 100_000);

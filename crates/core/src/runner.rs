@@ -10,7 +10,7 @@ use crate::evaluator::{Assignment, EvalResult, Evaluator};
 use crate::optimizer::Solution;
 use crate::problem::JointProblem;
 use rayon::prelude::*;
-use scalpel_sim::{EdgeSim, LatencyStats, SimConfig, SimReport};
+use scalpel_sim::{EdgeSim, FaultPlan, LatencyStats, SimConfig, SimReport};
 use serde::{Deserialize, Serialize};
 
 /// A method's end-to-end measured outcome (possibly seed-averaged).
@@ -36,6 +36,14 @@ pub struct MethodOutcome {
     pub device_energy_j: f64,
     /// Mean expected total energy per request, joules (analytic).
     pub total_energy_j: f64,
+    /// Requests lost to faults across all seeds (stranded + stalled;
+    /// zero for fault-free runs).
+    pub fault_lost: usize,
+    /// Deadline misses completed while a fault was active, across seeds.
+    pub fault_misses: usize,
+    /// Mean observed fault recovery time, seconds (mean over seeds that
+    /// observed ≥1 recovery).
+    pub mean_recovery_s: f64,
 }
 
 /// Run one solution once.
@@ -68,6 +76,23 @@ pub fn run_solution_seeds(
             run_solution(problem, ev, &sol.assignment, &sol.result, cfg)
         })
         .collect()
+}
+
+/// Run one solution over several seeds, all under the same fault plan —
+/// the resilience counterpart of [`run_solution_seeds`]. The plan is
+/// shared across seeds so every method and seed faces the identical
+/// disruption schedule.
+pub fn run_solution_seeds_faulted(
+    problem: &JointProblem,
+    ev: &Evaluator,
+    sol: &Solution,
+    base_sim: SimConfig,
+    faults: &FaultPlan,
+    seeds: &[u64],
+) -> Vec<SimReport> {
+    let mut cfg = base_sim;
+    cfg.faults = faults.clone();
+    run_solution_seeds(problem, ev, sol, cfg, seeds)
 }
 
 /// Aggregate seed reports into one outcome row.
@@ -104,6 +129,19 @@ pub fn aggregate(method: Method, sol: &Solution, reports: &[SimReport]) -> Metho
     let mean_of = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     let device_energy_j = mean_of(&sol.result.device_energy_j);
     let total_energy_j = mean_of(&sol.result.total_energy_j);
+    let fault_lost = reports.iter().map(|r| r.faults.lost()).sum();
+    let fault_misses = reports.iter().map(|r| r.faults.misses_during_fault).sum();
+    let recovered: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.faults.recoveries > 0)
+        .map(|r| r.faults.mean_recovery_s)
+        .collect();
+    // An empty f64 sum is -0.0, which would print as "-0.00".
+    let mean_recovery_s = if recovered.is_empty() {
+        0.0
+    } else {
+        mean_of(&recovered)
+    };
     MethodOutcome {
         method,
         analytic_objective: sol.result.objective,
@@ -115,6 +153,9 @@ pub fn aggregate(method: Method, sol: &Solution, reports: &[SimReport]) -> Metho
         completed,
         device_energy_j,
         total_energy_j,
+        fault_lost,
+        fault_misses,
+        mean_recovery_s,
     }
 }
 
@@ -126,15 +167,18 @@ mod tests {
     use crate::optimizer::OptimizerConfig;
 
     fn quick_scenario() -> (JointProblem, Evaluator, SimConfig) {
-        let mut cfg = ScenarioConfig::default();
-        cfg.num_aps = 1;
-        cfg.devices_per_ap = 4;
-        cfg.arrival_rate_hz = 4.0;
-        cfg.sim = SimConfig {
-            horizon_s: 8.0,
-            warmup_s: 1.0,
-            seed: 3,
-            fading: true,
+        let cfg = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 4,
+            arrival_rate_hz: 4.0,
+            sim: SimConfig {
+                horizon_s: 8.0,
+                warmup_s: 1.0,
+                seed: 3,
+                fading: true,
+                ..SimConfig::default()
+            },
+            ..ScenarioConfig::default()
         };
         let p = cfg.build();
         let ev = Evaluator::new(&p, None);
@@ -171,6 +215,44 @@ mod tests {
         assert_eq!(a[0].latency.mean, b[0].latency.mean);
         let c = run_solution_seeds(&p, &ev, &sol, sim, &[8]);
         assert_ne!(a[0].latency.mean, c[0].latency.mean);
+    }
+
+    #[test]
+    fn faulted_runs_conserve_requests_and_fill_outcome() {
+        use scalpel_sim::FaultProfile;
+        let (p, ev, sim) = quick_scenario();
+        let sol = solve_with(&ev, Method::Joint, &OptimizerConfig::default());
+        let plan = FaultProfile {
+            rate_hz: 0.6,
+            mean_outage_s: 1.5,
+            start_s: 1.0,
+            ..FaultProfile::default()
+        }
+        .plan(
+            p.cluster.devices.len(),
+            p.cluster.aps.len(),
+            p.cluster.servers.len(),
+            sim.horizon_s,
+        );
+        assert!(!plan.is_empty());
+        let reports = run_solution_seeds_faulted(&p, &ev, &sol, sim, &plan, &[1, 2]);
+        for r in &reports {
+            assert_eq!(r.generated, r.completed + r.faults.lost());
+            assert!(r.faults.injected > 0);
+        }
+        let outcome = aggregate(Method::Joint, &sol, &reports);
+        assert_eq!(
+            outcome.fault_lost,
+            reports.iter().map(|r| r.faults.lost()).sum::<usize>()
+        );
+        // The identical plan under the same seed reproduces bit-for-bit.
+        let again = run_solution_seeds_faulted(&p, &ev, &sol, outcome_sim(), &plan, &[1, 2]);
+        assert_eq!(reports[0].latency.mean, again[0].latency.mean);
+        assert_eq!(reports[0].faults, again[0].faults);
+    }
+
+    fn outcome_sim() -> SimConfig {
+        quick_scenario().2
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a schedule of disruptions — device churn, AP radio
+//! outages, link-bandwidth collapses, server compute throttling — that the
+//! simulator executes as first-class events alongside arrivals and
+//! completions. Everything is a pure function of its seeds: a plan can be
+//! written out explicitly or generated from a [`FaultProfile`], and the
+//! same `(scenario seed, sim seed, fault plan)` triple always reproduces
+//! the same run bit-for-bit.
+//!
+//! Semantics (see DESIGN.md §"Fault model" for the rationale):
+//!
+//! - **Device down** — the device powers off. Requests queued or computing
+//!   on it are *stranded* (counted, never silently dropped), its arrival
+//!   process stops, and data waiting on its uplink is lost. Requests its
+//!   streams already handed to an edge server still complete there.
+//!   **Device up** resumes the arrival processes.
+//! - **AP down** — the radio goes dark. In-flight transmissions are
+//!   re-queued (the data survives on the device) and uplinks stall until
+//!   **AP up**, when transmission restarts with a fresh fading draw.
+//! - **Link degrade** — the effective uplink rate of every device on the
+//!   AP collapses to `factor` of nominal (interference, rain fade);
+//!   transmissions already in the air are unaffected. **Link restore**
+//!   returns to nominal.
+//! - **Server throttle** — the server's processor-sharing capacity drops
+//!   to `factor` of nominal (thermal throttling, co-tenant pressure);
+//!   in-progress work continues at the degraded rate. **Server restore**
+//!   returns to full capacity.
+
+use crate::cluster::Cluster;
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Broad class of an injectable fault — the aggregation key for the
+/// robustness metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Devices leaving and rejoining.
+    DeviceChurn,
+    /// Access-point radio outages.
+    ApOutage,
+    /// Sustained uplink-bandwidth degradation.
+    LinkDegradation,
+    /// Edge-server capacity throttling.
+    ComputeThrottle,
+}
+
+impl FaultClass {
+    /// Every class, in metrics order.
+    pub const ALL: &'static [FaultClass] = &[
+        FaultClass::DeviceChurn,
+        FaultClass::ApOutage,
+        FaultClass::LinkDegradation,
+        FaultClass::ComputeThrottle,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::DeviceChurn => "device-churn",
+            FaultClass::ApOutage => "ap-outage",
+            FaultClass::LinkDegradation => "link-degradation",
+            FaultClass::ComputeThrottle => "compute-throttle",
+        }
+    }
+
+    /// Position in [`FaultClass::ALL`] (for per-class accumulators).
+    pub fn index(self) -> usize {
+        match self {
+            FaultClass::DeviceChurn => 0,
+            FaultClass::ApOutage => 1,
+            FaultClass::LinkDegradation => 2,
+            FaultClass::ComputeThrottle => 3,
+        }
+    }
+}
+
+/// One injectable state change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Device powers off: its queued/computing/waiting-to-transmit
+    /// requests are stranded and its arrivals stop.
+    DeviceDown {
+        /// Device index.
+        device: usize,
+    },
+    /// Device returns; arrival processes resume.
+    DeviceUp {
+        /// Device index.
+        device: usize,
+    },
+    /// AP radio outage: uplinks through it stall (in-flight transmissions
+    /// are re-queued, not lost).
+    ApDown {
+        /// Access-point index.
+        ap: usize,
+    },
+    /// AP radio recovers; stalled uplinks restart.
+    ApUp {
+        /// Access-point index.
+        ap: usize,
+    },
+    /// Effective uplink rate on the AP collapses to `factor` of nominal.
+    LinkDegrade {
+        /// Access-point index.
+        ap: usize,
+        /// Remaining fraction of the nominal rate, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Uplink rate on the AP returns to nominal.
+    LinkRestore {
+        /// Access-point index.
+        ap: usize,
+    },
+    /// Server processor-sharing capacity drops to `factor` of nominal.
+    ServerThrottle {
+        /// Server index.
+        server: usize,
+        /// Remaining fraction of nominal capacity, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Server capacity returns to nominal.
+    ServerRestore {
+        /// Server index.
+        server: usize,
+    },
+}
+
+impl FaultKind {
+    /// The class this event belongs to.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::DeviceDown { .. } | FaultKind::DeviceUp { .. } => FaultClass::DeviceChurn,
+            FaultKind::ApDown { .. } | FaultKind::ApUp { .. } => FaultClass::ApOutage,
+            FaultKind::LinkDegrade { .. } | FaultKind::LinkRestore { .. } => {
+                FaultClass::LinkDegradation
+            }
+            FaultKind::ServerThrottle { .. } | FaultKind::ServerRestore { .. } => {
+                FaultClass::ComputeThrottle
+            }
+        }
+    }
+
+    /// Check target indices and factors against a topology.
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), String> {
+        let check_factor = |f: f64| -> Result<(), String> {
+            if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                return Err(format!("fault factor {f} outside (0, 1]"));
+            }
+            Ok(())
+        };
+        match *self {
+            FaultKind::DeviceDown { device } | FaultKind::DeviceUp { device } => {
+                if device >= cluster.devices.len() {
+                    return Err(format!("fault references missing device {device}"));
+                }
+            }
+            FaultKind::ApDown { ap } | FaultKind::ApUp { ap } | FaultKind::LinkRestore { ap } => {
+                if ap >= cluster.aps.len() {
+                    return Err(format!("fault references missing AP {ap}"));
+                }
+            }
+            FaultKind::LinkDegrade { ap, factor } => {
+                if ap >= cluster.aps.len() {
+                    return Err(format!("fault references missing AP {ap}"));
+                }
+                check_factor(factor)?;
+            }
+            FaultKind::ServerRestore { server } => {
+                if server >= cluster.servers.len() {
+                    return Err(format!("fault references missing server {server}"));
+                }
+            }
+            FaultKind::ServerThrottle { server, factor } => {
+                if server >= cluster.servers.len() {
+                    return Err(format!("fault references missing server {server}"));
+                }
+                check_factor(factor)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute injection time, seconds.
+    pub at_s: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events.
+///
+/// Redundant events (downing an already-down device, restoring a nominal
+/// link) are executed as no-ops and reported as injected-but-not-applied,
+/// so any event sequence is a valid plan.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Events in injection order (sorted by time at construction).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (fault-free run).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Check every event against a topology, plus time sanity.
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            if !ev.at_s.is_finite() || ev.at_s < 0.0 {
+                return Err(format!("fault event {i} has invalid time {}", ev.at_s));
+            }
+            ev.kind
+                .validate(cluster)
+                .map_err(|e| format!("fault event {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Sort events by time, keeping insertion order within a timestamp.
+    pub fn sort(&mut self) {
+        self.events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+    }
+}
+
+/// Seeded random fault-plan generator: the "fault intensity" knob of the
+/// resilience experiments. The generated plan is a pure function of the
+/// profile and the topology dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Seed of the fault stream (independent of scenario and sim seeds).
+    pub seed: u64,
+    /// Mean fault injections per simulated second.
+    pub rate_hz: f64,
+    /// Mean duration of each outage/degradation, seconds.
+    pub mean_outage_s: f64,
+    /// No faults before this time (lets the warm-up window stay clean).
+    pub start_s: f64,
+    /// Enabled classes; empty means all of [`FaultClass::ALL`].
+    pub classes: Vec<FaultClass>,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            rate_hz: 0.2,
+            mean_outage_s: 2.0,
+            start_s: 0.0,
+            classes: Vec::new(),
+        }
+    }
+}
+
+/// Dedicated RNG stream id for fault-plan generation (outside the
+/// simulator's arrival/difficulty/fading stream range).
+const FAULT_STREAM: u64 = 0xFA_17;
+
+impl FaultProfile {
+    /// Generate the plan for a topology of the given dimensions over
+    /// `horizon_s` seconds of injections (recoveries may land later, while
+    /// the system drains).
+    pub fn plan(
+        &self,
+        n_devices: usize,
+        n_aps: usize,
+        n_servers: usize,
+        horizon_s: f64,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        if self.rate_hz <= 0.0 || n_devices == 0 {
+            return plan;
+        }
+        let enabled: Vec<FaultClass> = if self.classes.is_empty() {
+            FaultClass::ALL.to_vec()
+        } else {
+            self.classes.clone()
+        };
+        // Drop classes with no possible target in this topology.
+        let enabled: Vec<FaultClass> = enabled
+            .into_iter()
+            .filter(|c| match c {
+                FaultClass::DeviceChurn => n_devices > 0,
+                FaultClass::ApOutage | FaultClass::LinkDegradation => n_aps > 0,
+                FaultClass::ComputeThrottle => n_servers > 0,
+            })
+            .collect();
+        if enabled.is_empty() {
+            return plan;
+        }
+        let mut rng = SimRng::new(self.seed, FAULT_STREAM);
+        let mut t = self.start_s.max(0.0);
+        loop {
+            t += rng.exponential(self.rate_hz);
+            if t >= horizon_s {
+                break;
+            }
+            let duration = rng.exponential(1.0 / self.mean_outage_s.max(1e-6));
+            let recover_at = t + duration;
+            let (down, up) = match enabled[rng.index(enabled.len())] {
+                FaultClass::DeviceChurn => {
+                    let device = rng.index(n_devices);
+                    (
+                        FaultKind::DeviceDown { device },
+                        FaultKind::DeviceUp { device },
+                    )
+                }
+                FaultClass::ApOutage => {
+                    let ap = rng.index(n_aps);
+                    (FaultKind::ApDown { ap }, FaultKind::ApUp { ap })
+                }
+                FaultClass::LinkDegradation => {
+                    let ap = rng.index(n_aps);
+                    let factor = rng.uniform(0.1, 0.6);
+                    (
+                        FaultKind::LinkDegrade { ap, factor },
+                        FaultKind::LinkRestore { ap },
+                    )
+                }
+                FaultClass::ComputeThrottle => {
+                    let server = rng.index(n_servers);
+                    let factor = rng.uniform(0.2, 0.7);
+                    (
+                        FaultKind::ServerThrottle { server, factor },
+                        FaultKind::ServerRestore { server },
+                    )
+                }
+            };
+            plan.events.push(FaultEvent {
+                at_s: t,
+                kind: down,
+            });
+            plan.events.push(FaultEvent {
+                at_s: recover_at,
+                kind: up,
+            });
+        }
+        plan.sort();
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ApSpec, DeviceSpec, ServerSpec};
+    use scalpel_models::ProcessorClass;
+
+    fn cluster() -> Cluster {
+        Cluster {
+            devices: vec![DeviceSpec {
+                id: 0,
+                proc: ProcessorClass::JetsonNano.spec(),
+                ap: 0,
+                distance_m: 30.0,
+            }],
+            aps: vec![ApSpec {
+                id: 0,
+                bandwidth_hz: 20e6,
+                rtt_s: 2e-3,
+            }],
+            servers: vec![ServerSpec {
+                id: 0,
+                proc: ProcessorClass::EdgeGpuT4.spec(),
+            }],
+        }
+    }
+
+    #[test]
+    fn profile_plans_are_deterministic_per_seed() {
+        let p = FaultProfile::default();
+        let a = p.plan(4, 2, 2, 30.0);
+        let b = p.plan(4, 2, 2, 30.0);
+        assert_eq!(a, b);
+        let p2 = FaultProfile {
+            seed: 2,
+            ..FaultProfile::default()
+        };
+        assert_ne!(a, p2.plan(4, 2, 2, 30.0));
+    }
+
+    #[test]
+    fn generated_plans_validate_and_pair_events() {
+        let plan = FaultProfile {
+            rate_hz: 1.0,
+            ..FaultProfile::default()
+        }
+        .plan(1, 1, 1, 30.0);
+        assert!(!plan.is_empty());
+        assert!(plan.validate(&cluster()).is_ok());
+        // Every injection carries a matching recovery, so counts are even.
+        assert_eq!(plan.events.len() % 2, 0);
+        // Sorted by time.
+        for w in plan.events.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s);
+        }
+    }
+
+    #[test]
+    fn zero_rate_gives_empty_plan() {
+        let p = FaultProfile {
+            rate_hz: 0.0,
+            ..FaultProfile::default()
+        };
+        assert!(p.plan(4, 2, 2, 30.0).is_empty());
+    }
+
+    #[test]
+    fn start_offset_delays_first_injection() {
+        let p = FaultProfile {
+            rate_hz: 2.0,
+            start_s: 5.0,
+            ..FaultProfile::default()
+        };
+        let plan = p.plan(4, 2, 2, 30.0);
+        assert!(plan.events.iter().all(|e| e.at_s >= 5.0));
+    }
+
+    #[test]
+    fn out_of_range_targets_fail_validation() {
+        let c = cluster();
+        for kind in [
+            FaultKind::DeviceDown { device: 9 },
+            FaultKind::ApDown { ap: 9 },
+            FaultKind::ServerThrottle {
+                server: 9,
+                factor: 0.5,
+            },
+        ] {
+            assert!(kind.validate(&c).is_err(), "{kind:?}");
+        }
+        for bad in [0.0, -0.1, 1.5, f64::NAN] {
+            assert!(FaultKind::LinkDegrade { ap: 0, factor: bad }
+                .validate(&c)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn classes_cover_and_name_uniquely() {
+        assert_eq!(FaultClass::ALL.len(), 4);
+        for (i, c) in FaultClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let mut names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn class_filter_restricts_generated_kinds() {
+        let p = FaultProfile {
+            rate_hz: 2.0,
+            classes: vec![FaultClass::ComputeThrottle],
+            ..FaultProfile::default()
+        };
+        let plan = p.plan(4, 2, 2, 30.0);
+        assert!(!plan.is_empty());
+        assert!(plan
+            .events
+            .iter()
+            .all(|e| e.kind.class() == FaultClass::ComputeThrottle));
+    }
+}

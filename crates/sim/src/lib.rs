@@ -17,6 +17,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod net;
 pub mod rng;
@@ -28,11 +29,12 @@ pub mod workload;
 
 pub use cluster::{ApSpec, Cluster, DeviceSpec, ServerSpec};
 pub use engine::EventQueue;
-pub use metrics::{LatencyStats, SimReport, StreamStats};
+pub use faults::{FaultClass, FaultEvent, FaultKind, FaultPlan, FaultProfile};
+pub use metrics::{FaultClassStats, FaultMetrics, LatencyStats, SimReport, StreamStats};
 pub use net::LinkModel;
 pub use rng::SimRng;
 pub use sim::{EdgeSim, SimConfig};
 pub use task::{CompiledStream, StreamId};
 pub use time::SimTime;
-pub use tracelog::TaskRecord;
+pub use tracelog::{FaultRecord, RunTrace, TaskRecord};
 pub use workload::ArrivalProcess;

@@ -1,6 +1,7 @@
 //! Measurement: per-stream and aggregate latency / deadline / accuracy
-//! statistics.
+//! statistics, plus fault-robustness counters for injected-fault runs.
 
+use crate::faults::FaultClass;
 use serde::{Deserialize, Serialize};
 
 /// Order statistics over a set of latency samples.
@@ -93,6 +94,87 @@ impl StreamStats {
     }
 }
 
+/// Robustness counters for one fault class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultClassStats {
+    /// The class these counters aggregate.
+    pub class: FaultClass,
+    /// Events of this class in the plan (including redundant ones).
+    pub injected: usize,
+    /// Events that actually changed simulator state.
+    pub applied: usize,
+    /// Measured requests stranded by events of this class.
+    pub stranded: usize,
+    /// Measured deadline misses completed while a fault of this class was
+    /// active (a miss under several concurrent classes counts once per
+    /// active class).
+    pub misses_during: usize,
+}
+
+/// Whole-run robustness outcome of the fault-injection layer. All request
+/// counters cover *measured* requests only (arrivals inside the
+/// warm-up..horizon window), matching [`SimReport::generated`]; the
+/// conservation law `generated == completed + faults.lost()` holds for
+/// every run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultMetrics {
+    /// Fault events executed (the plan may extend past the horizon).
+    pub injected: usize,
+    /// Fault events that changed state (e.g. a `DeviceDown` on an
+    /// already-down device injects but does not apply).
+    pub applied: usize,
+    /// Measured requests dropped outright by a fault (device departure
+    /// takes its queued/computing/untransmitted requests with it).
+    pub stranded: usize,
+    /// Measured requests still queued when the run ended — typically stuck
+    /// behind an outage that never recovered. Counted so nothing is
+    /// silently dropped.
+    pub stalled: usize,
+    /// Measured completions that finished while ≥1 fault was active.
+    pub completions_during_fault: usize,
+    /// Measured deadline misses that completed while ≥1 fault was active —
+    /// the SLO violations attributable to disruption.
+    pub misses_during_fault: usize,
+    /// Observed fault→recovery pairs.
+    pub recoveries: usize,
+    /// Mean seconds from a fault being applied to its recovery being
+    /// applied (0 when no recovery was observed).
+    pub mean_recovery_s: f64,
+    /// Per-class breakdown, in [`FaultClass::ALL`] order.
+    pub per_class: Vec<FaultClassStats>,
+}
+
+impl FaultMetrics {
+    /// Metrics of a fault-free run (all counters zero).
+    pub fn empty() -> Self {
+        Self {
+            injected: 0,
+            applied: 0,
+            stranded: 0,
+            stalled: 0,
+            completions_during_fault: 0,
+            misses_during_fault: 0,
+            recoveries: 0,
+            mean_recovery_s: 0.0,
+            per_class: FaultClass::ALL
+                .iter()
+                .map(|&class| FaultClassStats {
+                    class,
+                    injected: 0,
+                    applied: 0,
+                    stranded: 0,
+                    misses_during: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Measured requests that never completed because of faults.
+    pub fn lost(&self) -> usize {
+        self.stranded + self.stalled
+    }
+}
+
 /// Whole-run simulation outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -113,6 +195,8 @@ pub struct SimReport {
     pub server_utilization: Vec<f64>,
     /// Per-stream breakdown.
     pub per_stream: Vec<StreamStats>,
+    /// Fault-robustness counters (all zero for fault-free runs).
+    pub faults: FaultMetrics,
 }
 
 /// Accumulates one stream's completions during a run.
@@ -196,13 +280,15 @@ mod tests {
 
     #[test]
     fn stream_accum_finish_divides_correctly() {
-        let mut a = StreamAccum::default();
-        a.latencies = vec![0.1, 0.3];
-        a.on_time = 1;
-        a.acc_sum = 1.5;
-        a.early_exits = 1;
-        a.tx_sum = 0.2;
-        a.tx_count = 1;
+        let a = StreamAccum {
+            latencies: vec![0.1, 0.3],
+            on_time: 1,
+            acc_sum: 1.5,
+            early_exits: 1,
+            tx_sum: 0.2,
+            tx_count: 1,
+            ..StreamAccum::default()
+        };
         let s = a.finish(7);
         assert_eq!(s.stream, 7);
         assert_eq!(s.completed, 2);
@@ -215,5 +301,24 @@ mod tests {
     fn deadline_ratio_of_empty_stream_is_one() {
         let s = StreamAccum::default().finish(0);
         assert_eq!(s.deadline_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_fault_metrics_cover_every_class() {
+        let f = FaultMetrics::empty();
+        assert_eq!(f.per_class.len(), FaultClass::ALL.len());
+        for (stats, &class) in f.per_class.iter().zip(FaultClass::ALL) {
+            assert_eq!(stats.class, class);
+            assert_eq!(stats.injected + stats.applied + stats.stranded, 0);
+        }
+        assert_eq!(f.lost(), 0);
+    }
+
+    #[test]
+    fn lost_sums_stranded_and_stalled() {
+        let mut f = FaultMetrics::empty();
+        f.stranded = 3;
+        f.stalled = 2;
+        assert_eq!(f.lost(), 5);
     }
 }

@@ -6,16 +6,41 @@
 //! perturbs the draws of another — experiments stay comparable across code
 //! changes and sweep points.
 
-use rand::distributions::Open01;
-use rand::Rng;
-use rand_pcg::Pcg64Mcg;
-
 /// SplitMix64 finalizer — decorrelates nearby seeds.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// PCG64-MCG (`mcg_xsl_rr_128_64`): a 128-bit multiplicative congruential
+/// state with an XSL-RR output permutation. Implemented inline so the
+/// simulator has zero external dependencies; matches the construction of
+/// `rand_pcg::Pcg64Mcg`.
+#[derive(Debug, Clone)]
+struct Pcg64Mcg {
+    state: u128,
+}
+
+impl Pcg64Mcg {
+    /// PCG's default 128-bit MCG multiplier.
+    const MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+    /// Seed the stream. MCG state must be odd; the low bit is forced.
+    fn new(state: u128) -> Self {
+        Self { state: state | 1 }
+    }
+
+    /// Next 64-bit output: advance the MCG, then xor-fold and
+    /// randomly-rotate the halves (XSL-RR).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(Self::MULTIPLIER);
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
 }
 
 /// A named deterministic random stream.
@@ -33,10 +58,11 @@ impl SimRng {
         }
     }
 
-    /// Uniform draw in the open interval (0, 1).
+    /// Uniform draw in the open interval (0, 1): 53 mantissa bits centered
+    /// half a ulp away from both endpoints.
     #[inline]
     pub fn open01(&mut self) -> f64 {
-        self.inner.sample(Open01)
+        ((self.inner.next_u64() >> 11) as f64 + 0.5) * (1.0 / 9_007_199_254_740_992.0)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -57,7 +83,9 @@ impl SimRng {
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        // Modulo bias is < n / 2^64 — negligible for the simulator's small
+        // index domains.
+        (self.inner.next_u64() % n as u64) as usize
     }
 
     /// Rayleigh-fading power multiplier: Exp(1) (unit mean), clamped away

@@ -3,12 +3,13 @@
 
 use crate::cluster::Cluster;
 use crate::engine::EventQueue;
-use crate::metrics::{LatencyStats, SimReport, StreamAccum};
+use crate::faults::{FaultClass, FaultKind, FaultPlan};
+use crate::metrics::{FaultClassStats, FaultMetrics, LatencyStats, SimReport, StreamAccum};
 use crate::net::LinkModel;
 use crate::rng::SimRng;
 use crate::task::{CompiledStream, RunTask};
 use crate::time::SimTime;
-use crate::tracelog::TaskRecord;
+use crate::tracelog::{FaultRecord, RunTrace, TaskRecord};
 use crate::workload::ArrivalGen;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -26,6 +27,8 @@ pub struct SimConfig {
     /// Whether Rayleigh fading perturbs each transmission (off = planner's
     /// mean-rate world, useful for analytic-vs-sim validation).
     pub fading: bool,
+    /// Fault schedule executed alongside the workload (empty = clean run).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -35,6 +38,7 @@ impl Default for SimConfig {
             warmup_s: 2.0,
             seed: 1,
             fading: true,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -45,11 +49,15 @@ enum Ev {
     /// Next request of `stream` arrives.
     Arrive { stream: usize },
     /// The request at the head of `device`'s compute unit finishes.
-    DeviceDone { device: usize },
+    /// Stale generations (device went down mid-service) are ignored.
+    DeviceDone { device: usize, gen: u64 },
     /// The transmission at the head of `device`'s uplink finishes.
-    TxDone { device: usize },
+    /// Stale generations (AP outage re-queued the data) are ignored.
+    TxDone { device: usize, gen: u64 },
     /// Re-examine server `server`'s processor-sharing state.
     ServerCheck { server: usize, gen: u64 },
+    /// Execute fault event `idx` of the plan.
+    Fault { idx: usize },
 }
 
 /// A request with its accumulated timing breakdown.
@@ -85,6 +93,8 @@ struct ActiveOnServer {
 #[derive(Debug)]
 struct ServerState {
     capacity_fps: f64,
+    /// Nominal capacity; `capacity_fps` drops below it while throttled.
+    base_fps: f64,
     active: Vec<ActiveOnServer>,
     last: SimTime,
     gen: u64,
@@ -156,6 +166,7 @@ impl EdgeSim {
         if config.horizon_s <= config.warmup_s {
             return Err("horizon must exceed warmup".into());
         }
+        config.faults.validate(&cluster)?;
         Ok(Self {
             cluster,
             streams,
@@ -171,9 +182,66 @@ impl EdgeSim {
     /// Run to completion, additionally returning one [`TaskRecord`] per
     /// measured completion (in completion order).
     pub fn run_traced(&self) -> (SimReport, Vec<TaskRecord>) {
+        let (report, trace) = self.run_logged();
+        (report, trace.tasks)
+    }
+
+    /// Run to completion with full event logging: per-completion timing
+    /// records plus one [`FaultRecord`] per executed fault event.
+    pub fn run_logged(&self) -> (SimReport, RunTrace) {
         let mut runner = Runner::new(self);
         runner.trace = Some(Vec::new());
+        runner.fault_trace = Some(Vec::new());
         runner.run()
+    }
+}
+
+/// Robustness counters accumulated while faults execute.
+#[derive(Debug, Default)]
+struct FaultAccum {
+    injected: usize,
+    applied: usize,
+    stranded: usize,
+    stalled: usize,
+    completions_during: usize,
+    misses_during: usize,
+    recovery_sum_s: f64,
+    recoveries: usize,
+    per_injected: [usize; 4],
+    per_applied: [usize; 4],
+    per_stranded: [usize; 4],
+    per_misses: [usize; 4],
+}
+
+impl FaultAccum {
+    fn finish(self) -> FaultMetrics {
+        FaultMetrics {
+            injected: self.injected,
+            applied: self.applied,
+            stranded: self.stranded,
+            stalled: self.stalled,
+            completions_during_fault: self.completions_during,
+            misses_during_fault: self.misses_during,
+            recoveries: self.recoveries,
+            mean_recovery_s: if self.recoveries > 0 {
+                self.recovery_sum_s / self.recoveries as f64
+            } else {
+                0.0
+            },
+            per_class: FaultClass::ALL
+                .iter()
+                .map(|&class| {
+                    let i = class.index();
+                    FaultClassStats {
+                        class,
+                        injected: self.per_injected[i],
+                        applied: self.per_applied[i],
+                        stranded: self.per_stranded[i],
+                        misses_during: self.per_misses[i],
+                    }
+                })
+                .collect(),
+        }
     }
 }
 
@@ -195,11 +263,38 @@ struct Runner<'a> {
     horizon: SimTime,
     warmup: SimTime,
     trace: Option<Vec<TaskRecord>>,
+    // --- fault-injection state ---
+    /// Whether each device is powered on.
+    device_up: Vec<bool>,
+    /// Generation counter invalidating in-flight `DeviceDone` events.
+    dev_gen: Vec<u64>,
+    /// Whether each AP's radio is up.
+    ap_up: Vec<bool>,
+    /// Effective-rate multiplier per AP (1.0 = nominal).
+    ap_bw_factor: Vec<f64>,
+    /// Generation counter invalidating in-flight `TxDone` events.
+    tx_gen: Vec<u64>,
+    /// Whether each stream has an `Arrive` event in the queue (suppressed
+    /// while its device is down; restarted on `DeviceUp`).
+    arrival_pending: Vec<bool>,
+    /// Stream ids hosted on each device.
+    streams_by_device: Vec<Vec<usize>>,
+    /// Currently-active fault count per class (attribution of misses).
+    active_faults: [usize; 4],
+    /// Outage start times, for recovery-time accounting.
+    device_down_at: Vec<Option<SimTime>>,
+    ap_down_at: Vec<Option<SimTime>>,
+    ap_degraded_at: Vec<Option<SimTime>>,
+    server_throttled_at: Vec<Option<SimTime>>,
+    fa: FaultAccum,
+    fault_trace: Option<Vec<FaultRecord>>,
 }
 
 impl<'a> Runner<'a> {
     fn new(sim: &'a EdgeSim) -> Self {
         let n_dev = sim.cluster.devices.len();
+        let n_ap = sim.cluster.aps.len();
+        let n_srv = sim.cluster.servers.len();
         let devices = (0..n_dev).map(|_| DeviceState::default()).collect();
         let uplinks = (0..n_dev).map(|_| UplinkState::default()).collect();
         let servers = sim
@@ -208,6 +303,7 @@ impl<'a> Runner<'a> {
             .iter()
             .map(|s| ServerState {
                 capacity_fps: s.proc.flops_per_sec,
+                base_fps: s.proc.flops_per_sec,
                 active: Vec::new(),
                 last: SimTime::ZERO,
                 gen: 0,
@@ -215,6 +311,10 @@ impl<'a> Runner<'a> {
             })
             .collect();
         let links = (0..n_dev).map(|d| sim.cluster.link(d)).collect();
+        let mut streams_by_device: Vec<Vec<usize>> = vec![Vec::new(); n_dev];
+        for (i, s) in sim.streams.iter().enumerate() {
+            streams_by_device[s.device].push(i);
+        }
         let seed = sim.config.seed;
         Self {
             sim,
@@ -236,22 +336,43 @@ impl<'a> Runner<'a> {
             horizon: SimTime::from_secs_f64(sim.config.horizon_s),
             warmup: SimTime::from_secs_f64(sim.config.warmup_s),
             trace: None,
+            device_up: vec![true; n_dev],
+            dev_gen: vec![0; n_dev],
+            ap_up: vec![true; n_ap],
+            ap_bw_factor: vec![1.0; n_ap],
+            tx_gen: vec![0; n_dev],
+            arrival_pending: vec![false; sim.streams.len()],
+            streams_by_device,
+            active_faults: [0; 4],
+            device_down_at: vec![None; n_dev],
+            ap_down_at: vec![None; n_ap],
+            ap_degraded_at: vec![None; n_ap],
+            server_throttled_at: vec![None; n_srv],
+            fa: FaultAccum::default(),
+            fault_trace: None,
         }
     }
 
-    fn run(mut self) -> (SimReport, Vec<TaskRecord>) {
+    fn run(mut self) -> (SimReport, RunTrace) {
         // Seed the first arrival of every stream.
         for i in 0..self.sim.streams.len() {
             let gap = self.arrival_gens[i].next_gap(&mut self.arrival_rngs[i]);
+            self.arrival_pending[i] = true;
             self.queue
                 .schedule(SimTime::from_secs_f64(gap), Ev::Arrive { stream: i });
+        }
+        // Schedule the fault plan as first-class events.
+        for (idx, fe) in self.sim.config.faults.events.iter().enumerate() {
+            self.queue
+                .schedule(SimTime::from_secs_f64(fe.at_s), Ev::Fault { idx });
         }
         while let Some((now, ev)) = self.queue.pop() {
             match ev {
                 Ev::Arrive { stream } => self.on_arrive(now, stream),
-                Ev::DeviceDone { device } => self.on_device_done(now, device),
-                Ev::TxDone { device } => self.on_tx_done(now, device),
+                Ev::DeviceDone { device, gen } => self.on_device_done(now, device, gen),
+                Ev::TxDone { device, gen } => self.on_tx_done(now, device, gen),
                 Ev::ServerCheck { server, gen } => self.on_server_check(now, server, gen),
+                Ev::Fault { idx } => self.on_fault(now, idx),
             }
         }
         self.finish()
@@ -262,10 +383,16 @@ impl<'a> Runner<'a> {
     }
 
     fn on_arrive(&mut self, now: SimTime, stream: usize) {
+        self.arrival_pending[stream] = false;
         if now >= self.horizon {
             return; // stop generating; the system drains
         }
         let s = &self.sim.streams[stream];
+        if !self.device_up[s.device] {
+            // The device is away: its arrival process pauses here and is
+            // restarted by the matching DeviceUp event.
+            return;
+        }
         // Pre-sample the exit decision from the input's latent difficulty.
         let u = self.difficulty_rng.open01();
         let exit = s.behavior.sample_exit(u);
@@ -292,12 +419,13 @@ impl<'a> Runner<'a> {
         self.maybe_start_device(now, dev);
         // Schedule the next arrival.
         let gap = self.arrival_gens[stream].next_gap(&mut self.arrival_rngs[stream]);
+        self.arrival_pending[stream] = true;
         self.queue
             .schedule(now.after_secs(gap), Ev::Arrive { stream });
     }
 
     fn maybe_start_device(&mut self, now: SimTime, device: usize) {
-        if self.devices[device].current.is_some() {
+        if !self.device_up[device] || self.devices[device].current.is_some() {
             return;
         }
         let Some(mut flight) = self.devices[device].queue.pop_front() else {
@@ -311,11 +439,16 @@ impl<'a> Runner<'a> {
         flight.device_wait = now.secs_since(flight.task.arrival);
         flight.device_service = service;
         self.devices[device].current = Some(flight);
+        self.dev_gen[device] += 1;
+        let gen = self.dev_gen[device];
         self.queue
-            .schedule(now.after_secs(service), Ev::DeviceDone { device });
+            .schedule(now.after_secs(service), Ev::DeviceDone { device, gen });
     }
 
-    fn on_device_done(&mut self, now: SimTime, device: usize) {
+    fn on_device_done(&mut self, now: SimTime, device: usize, gen: u64) {
+        if gen != self.dev_gen[device] {
+            return; // the device went down mid-service; the work is gone
+        }
         let flight = self.devices[device]
             .current
             .take()
@@ -332,6 +465,10 @@ impl<'a> Runner<'a> {
     }
 
     fn maybe_start_tx(&mut self, now: SimTime, device: usize) {
+        let ap = self.sim.cluster.devices[device].ap;
+        if !self.device_up[device] || !self.ap_up[ap] {
+            return; // the radio is dark: data waits in the uplink queue
+        }
         if self.uplinks[device].current.is_some() {
             return;
         }
@@ -345,15 +482,23 @@ impl<'a> Runner<'a> {
             1.0
         };
         let link = &self.links[device];
-        let rtt = self.sim.cluster.aps[self.sim.cluster.devices[device].ap].rtt_s;
-        let tx = link.tx_seconds(s.tx_bytes, s.bandwidth_share, fading) + rtt / 2.0;
+        let rtt = self.sim.cluster.aps[ap].rtt_s;
+        // A degraded link stretches airtime by 1/factor (effective-rate
+        // collapse); propagation (rtt) is unaffected.
+        let air = link.tx_seconds(s.tx_bytes, s.bandwidth_share, fading) / self.ap_bw_factor[ap];
+        let tx = air + rtt / 2.0;
         flight.tx_time = tx;
         self.uplinks[device].current = Some(flight);
+        self.tx_gen[device] += 1;
+        let gen = self.tx_gen[device];
         self.queue
-            .schedule(now.after_secs(tx), Ev::TxDone { device });
+            .schedule(now.after_secs(tx), Ev::TxDone { device, gen });
     }
 
-    fn on_tx_done(&mut self, now: SimTime, device: usize) {
+    fn on_tx_done(&mut self, now: SimTime, device: usize, gen: u64) {
+        if gen != self.tx_gen[device] {
+            return; // superseded: an AP outage re-queued this transmission
+        }
         let flight = self.uplinks[device]
             .current
             .take()
@@ -411,16 +556,213 @@ impl<'a> Runner<'a> {
         self.reschedule_server(now, server);
     }
 
+    /// Execute fault event `idx` of the plan. Redundant events (e.g. a
+    /// `DeviceDown` on an already-down device) are counted as injected but
+    /// not applied, so arbitrary event sequences stay well-defined.
+    fn on_fault(&mut self, now: SimTime, idx: usize) {
+        let kind = self.sim.config.faults.events[idx].kind.clone();
+        let class = kind.class();
+        let ci = class.index();
+        self.fa.injected += 1;
+        self.fa.per_injected[ci] += 1;
+        let mut stranded_here = 0usize;
+        let applied = match kind.clone() {
+            FaultKind::DeviceDown { device } => {
+                if self.device_up[device] {
+                    self.device_up[device] = false;
+                    self.device_down_at[device] = Some(now);
+                    self.active_faults[ci] += 1;
+                    stranded_here = self.strand_device(device, class);
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::DeviceUp { device } => {
+                if !self.device_up[device] {
+                    self.device_up[device] = true;
+                    if let Some(t) = self.device_down_at[device].take() {
+                        self.record_recovery(now, t);
+                    }
+                    self.active_faults[ci] -= 1;
+                    self.resume_device_arrivals(now, device);
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::ApDown { ap } => {
+                if self.ap_up[ap] {
+                    self.ap_up[ap] = false;
+                    self.ap_down_at[ap] = Some(now);
+                    self.active_faults[ci] += 1;
+                    // In-flight transmissions are re-queued, not lost: the
+                    // data survives on the device and retransmits on ApUp.
+                    for dev in self.sim.cluster.devices_on_ap(ap) {
+                        if let Some(flight) = self.uplinks[dev].current.take() {
+                            self.tx_gen[dev] += 1; // cancel the pending TxDone
+                            self.uplinks[dev].queue.push_front(flight);
+                        }
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::ApUp { ap } => {
+                if !self.ap_up[ap] {
+                    self.ap_up[ap] = true;
+                    if let Some(t) = self.ap_down_at[ap].take() {
+                        self.record_recovery(now, t);
+                    }
+                    self.active_faults[ci] -= 1;
+                    for dev in self.sim.cluster.devices_on_ap(ap) {
+                        self.maybe_start_tx(now, dev);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::LinkDegrade { ap, factor } => {
+                if (self.ap_bw_factor[ap] - factor).abs() > f64::EPSILON {
+                    if self.ap_bw_factor[ap] >= 1.0 {
+                        // Entering the degraded state (vs. re-degrading).
+                        self.ap_degraded_at[ap] = Some(now);
+                        self.active_faults[ci] += 1;
+                    }
+                    self.ap_bw_factor[ap] = factor;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::LinkRestore { ap } => {
+                if self.ap_bw_factor[ap] < 1.0 {
+                    self.ap_bw_factor[ap] = 1.0;
+                    if let Some(t) = self.ap_degraded_at[ap].take() {
+                        self.record_recovery(now, t);
+                    }
+                    self.active_faults[ci] -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::ServerThrottle { server, factor } => {
+                let target = self.servers[server].base_fps * factor;
+                if (self.servers[server].capacity_fps - target).abs() > 1e-9 {
+                    if self.servers[server].capacity_fps >= self.servers[server].base_fps {
+                        self.server_throttled_at[server] = Some(now);
+                        self.active_faults[ci] += 1;
+                    }
+                    // Settle processor sharing at the old rate first, then
+                    // continue in-progress work at the degraded one.
+                    self.servers[server].advance(now);
+                    self.servers[server].capacity_fps = target;
+                    self.reschedule_server(now, server);
+                    true
+                } else {
+                    false
+                }
+            }
+            FaultKind::ServerRestore { server } => {
+                if self.servers[server].capacity_fps < self.servers[server].base_fps {
+                    self.servers[server].advance(now);
+                    self.servers[server].capacity_fps = self.servers[server].base_fps;
+                    if let Some(t) = self.server_throttled_at[server].take() {
+                        self.record_recovery(now, t);
+                    }
+                    self.active_faults[ci] -= 1;
+                    self.reschedule_server(now, server);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if applied {
+            self.fa.applied += 1;
+            self.fa.per_applied[ci] += 1;
+        }
+        if let Some(log) = &mut self.fault_trace {
+            log.push(FaultRecord {
+                at_s: now.as_secs_f64(),
+                kind,
+                applied,
+                stranded: stranded_here,
+            });
+        }
+    }
+
+    /// Drop everything the departing device was holding: queued and
+    /// in-service compute, plus data waiting on (or in) its uplink. Work
+    /// its streams already handed to an edge server still completes there.
+    /// Returns the number of *measured* requests stranded.
+    fn strand_device(&mut self, device: usize, class: FaultClass) -> usize {
+        let mut flights: Vec<InFlight> = Vec::new();
+        self.dev_gen[device] += 1; // invalidate any pending DeviceDone
+        self.tx_gen[device] += 1; // invalidate any pending TxDone
+        if let Some(f) = self.devices[device].current.take() {
+            flights.push(f);
+        }
+        flights.extend(self.devices[device].queue.drain(..));
+        if let Some(f) = self.uplinks[device].current.take() {
+            flights.push(f);
+        }
+        flights.extend(self.uplinks[device].queue.drain(..));
+        let stranded = flights
+            .iter()
+            .filter(|f| self.measured(f.task.arrival))
+            .count();
+        self.fa.stranded += stranded;
+        self.fa.per_stranded[class.index()] += stranded;
+        stranded
+    }
+
+    /// Restart the arrival process of every stream on a returning device.
+    fn resume_device_arrivals(&mut self, now: SimTime, device: usize) {
+        if now >= self.horizon {
+            return; // past the generation window: nothing to resume
+        }
+        for k in 0..self.streams_by_device[device].len() {
+            let stream = self.streams_by_device[device][k];
+            if !self.arrival_pending[stream] {
+                let gap = self.arrival_gens[stream].next_gap(&mut self.arrival_rngs[stream]);
+                self.arrival_pending[stream] = true;
+                self.queue
+                    .schedule(now.after_secs(gap), Ev::Arrive { stream });
+            }
+        }
+    }
+
+    fn record_recovery(&mut self, now: SimTime, since: SimTime) {
+        self.fa.recovery_sum_s += now.secs_since(since);
+        self.fa.recoveries += 1;
+    }
+
     fn complete(&mut self, now: SimTime, flight: InFlight, edge_time: f64) {
         if !self.measured(flight.task.arrival) {
             return;
         }
         let s = &self.sim.streams[flight.task.stream];
         let latency = now.secs_since(flight.task.arrival);
+        let under_fault = self.active_faults.iter().any(|&c| c > 0);
+        if under_fault {
+            self.fa.completions_during += 1;
+        }
         let acc = &mut self.accums[flight.task.stream];
         acc.latencies.push(latency);
         if latency <= s.deadline_s {
             acc.on_time += 1;
+        } else if under_fault {
+            // Attribute the SLO violation to every currently-active class.
+            self.fa.misses_during += 1;
+            for (ci, &n) in self.active_faults.iter().enumerate() {
+                if n > 0 {
+                    self.fa.per_misses[ci] += 1;
+                }
+            }
         }
         acc.acc_sum += flight.task.accuracy;
         if flight.task.exit.is_some() {
@@ -447,8 +789,33 @@ impl<'a> Runner<'a> {
         }
     }
 
-    fn finish(mut self) -> (SimReport, Vec<TaskRecord>) {
-        let trace = self.trace.take().unwrap_or_default();
+    fn finish(mut self) -> (SimReport, RunTrace) {
+        let trace = RunTrace {
+            tasks: self.trace.take().unwrap_or_default(),
+            faults: self.fault_trace.take().unwrap_or_default(),
+        };
+        // Requests still queued when the event queue drained are stalled
+        // behind an unrecovered fault (a clean run always drains fully).
+        // Count them so nothing is silently dropped.
+        let mut stalled = 0usize;
+        for d in 0..self.devices.len() {
+            stalled += self.devices[d]
+                .queue
+                .iter()
+                .chain(self.devices[d].current.iter())
+                .chain(self.uplinks[d].queue.iter())
+                .chain(self.uplinks[d].current.iter())
+                .filter(|f| self.measured(f.task.arrival))
+                .count();
+        }
+        for srv in &self.servers {
+            stalled += srv
+                .active
+                .iter()
+                .filter(|a| self.measured(a.flight.task.arrival))
+                .count();
+        }
+        self.fa.stalled = stalled;
         let end_s = self.queue.now().as_secs_f64().max(1e-12);
         let server_utilization: Vec<f64> = self
             .servers
@@ -482,6 +849,7 @@ impl<'a> Runner<'a> {
             early_exit_fraction: early as f64 / n,
             server_utilization,
             per_stream,
+            faults: self.fa.finish(),
         };
         (report, trace)
     }
@@ -539,6 +907,7 @@ mod tests {
             warmup_s: 2.0,
             seed: 42,
             fading: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -896,6 +1265,245 @@ mod tests {
         let (traced, _) = sim.run_traced();
         assert_eq!(plain.latency.mean, traced.latency.mean);
         assert_eq!(plain.completed, traced.completed);
+    }
+
+    use crate::faults::{FaultEvent, FaultProfile};
+
+    fn fault_cfg(events: Vec<FaultEvent>) -> SimConfig {
+        let mut cfg = base_config();
+        cfg.faults = FaultPlan { events };
+        cfg
+    }
+
+    fn at(at_s: f64, kind: FaultKind) -> FaultEvent {
+        FaultEvent { at_s, kind }
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_clean_run_exactly() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(5.0, 0.01, 2e9);
+        let clean = EdgeSim::new(cluster.clone(), vec![s.clone()], base_config())
+            .unwrap()
+            .run();
+        let faulted = EdgeSim::new(cluster, vec![s], fault_cfg(vec![]))
+            .unwrap()
+            .run();
+        assert_eq!(clean.completed, faulted.completed);
+        assert_eq!(clean.latency.mean, faulted.latency.mean);
+        assert_eq!(faulted.faults, FaultMetrics::empty());
+    }
+
+    #[test]
+    fn device_outage_strands_and_conserves_requests() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(8.0, 0.01, 1e9);
+        let cfg = fault_cfg(vec![
+            at(6.0, FaultKind::DeviceDown { device: 0 }),
+            at(9.0, FaultKind::DeviceUp { device: 0 }),
+        ]);
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        // The outage cuts ~3 s out of an ~18 s window; arrivals resume after.
+        assert!(r.completed > 0);
+        assert_eq!(r.generated, r.completed + r.faults.lost());
+        assert_eq!(r.faults.injected, 2);
+        assert_eq!(r.faults.applied, 2);
+        assert_eq!(r.faults.recoveries, 1);
+        assert!((r.faults.mean_recovery_s - 3.0).abs() < 1e-9);
+        let churn = &r.faults.per_class[FaultClass::DeviceChurn.index()];
+        assert_eq!(churn.applied, 2);
+        assert_eq!(churn.stranded, r.faults.stranded);
+    }
+
+    #[test]
+    fn redundant_fault_events_inject_but_do_not_apply() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(2.0, 0.005, 1e9);
+        let cfg = fault_cfg(vec![
+            at(3.0, FaultKind::DeviceUp { device: 0 }), // already up
+            at(4.0, FaultKind::LinkRestore { ap: 0 }),  // already nominal
+            at(5.0, FaultKind::ServerRestore { server: 0 }), // already nominal
+        ]);
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        assert_eq!(r.faults.injected, 3);
+        assert_eq!(r.faults.applied, 0);
+        assert_eq!(r.generated, r.completed);
+    }
+
+    #[test]
+    fn ap_outage_delays_but_never_drops() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(4.0, 0.002, 5e8);
+        let clean = EdgeSim::new(cluster.clone(), vec![s.clone()], base_config())
+            .unwrap()
+            .run();
+        let cfg = fault_cfg(vec![
+            at(5.0, FaultKind::ApDown { ap: 0 }),
+            at(8.0, FaultKind::ApUp { ap: 0 }),
+        ]);
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        // Data queues during the outage and retransmits afterwards: every
+        // request still completes, but tail latency grows past the ~3 s gap.
+        assert_eq!(r.generated, r.completed);
+        assert_eq!(r.faults.stranded, 0);
+        assert!(r.latency.max >= 2.0, "max {}", r.latency.max);
+        assert!(r.latency.max > clean.latency.max);
+        assert!(r.deadline_ratio < clean.deadline_ratio);
+    }
+
+    #[test]
+    fn unrecovered_ap_outage_stalls_queued_requests() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(4.0, 0.002, 5e8);
+        let cfg = fault_cfg(vec![at(5.0, FaultKind::ApDown { ap: 0 })]);
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        // Everything after the outage piles up in the uplink queue forever.
+        assert!(r.faults.stalled > 0);
+        assert_eq!(r.generated, r.completed + r.faults.lost());
+    }
+
+    #[test]
+    fn link_degradation_stretches_transmissions() {
+        let cluster = one_device_cluster();
+        let mut s = no_exit_stream(2.0, 0.001, 1e8);
+        s.tx_bytes = 1e6; // transmission-dominated
+        let clean = EdgeSim::new(cluster.clone(), vec![s.clone()], base_config())
+            .unwrap()
+            .run();
+        let cfg = fault_cfg(vec![at(
+            2.0,
+            FaultKind::LinkDegrade {
+                ap: 0,
+                factor: 0.25,
+            },
+        )]);
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        assert_eq!(r.generated, r.completed);
+        assert!(
+            r.per_stream[0].mean_tx > 2.0 * clean.per_stream[0].mean_tx,
+            "degraded tx {} vs clean {}",
+            r.per_stream[0].mean_tx,
+            clean.per_stream[0].mean_tx
+        );
+    }
+
+    #[test]
+    fn server_throttle_slows_edge_service() {
+        let cluster = one_device_cluster();
+        let cap = ProcessorClass::EdgeGpuT4.spec().flops_per_sec;
+        let s = no_exit_stream(2.0, 0.001, cap * 0.02); // 20 ms alone
+        let clean = EdgeSim::new(cluster.clone(), vec![s.clone()], base_config())
+            .unwrap()
+            .run();
+        let cfg = fault_cfg(vec![at(
+            2.0,
+            FaultKind::ServerThrottle {
+                server: 0,
+                factor: 0.25,
+            },
+        )]);
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        assert_eq!(r.generated, r.completed);
+        assert!(
+            r.per_stream[0].mean_edge > 3.0 * clean.per_stream[0].mean_edge,
+            "throttled edge {} vs clean {}",
+            r.per_stream[0].mean_edge,
+            clean.per_stream[0].mean_edge
+        );
+    }
+
+    #[test]
+    fn fault_log_records_every_event() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(4.0, 0.005, 1e9);
+        let cfg = fault_cfg(vec![
+            at(4.0, FaultKind::DeviceDown { device: 0 }),
+            at(5.0, FaultKind::DeviceDown { device: 0 }), // redundant
+            at(6.0, FaultKind::DeviceUp { device: 0 }),
+        ]);
+        let (report, trace) = EdgeSim::new(cluster, vec![s], cfg).unwrap().run_logged();
+        assert_eq!(trace.faults.len(), 3);
+        assert!(trace.faults[0].applied);
+        assert!(!trace.faults[1].applied);
+        assert!(trace.faults[2].applied);
+        assert_eq!(trace.faults[1].stranded, 0);
+        let stranded_logged: usize = trace.faults.iter().map(|f| f.stranded).sum();
+        assert_eq!(stranded_logged, report.faults.stranded);
+        assert_eq!(trace.tasks.len(), report.completed);
+    }
+
+    #[test]
+    fn misses_during_fault_are_attributed() {
+        let cluster = one_device_cluster();
+        let cap = ProcessorClass::EdgeGpuT4.spec().flops_per_sec;
+        // Edge-heavy stream with a tight deadline: a deep throttle makes
+        // every completion during the fault miss its SLO.
+        let mut s = no_exit_stream(4.0, 0.001, cap * 0.05);
+        s.deadline_s = 0.1;
+        let cfg = fault_cfg(vec![
+            at(
+                5.0,
+                FaultKind::ServerThrottle {
+                    server: 0,
+                    factor: 0.2,
+                },
+            ),
+            at(12.0, FaultKind::ServerRestore { server: 0 }),
+        ]);
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        assert!(r.faults.misses_during_fault > 0);
+        assert!(r.faults.completions_during_fault >= r.faults.misses_during_fault);
+        let throttle = &r.faults.per_class[FaultClass::ComputeThrottle.index()];
+        assert_eq!(throttle.misses_during, r.faults.misses_during_fault);
+        assert!((r.faults.mean_recovery_s - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_up_front() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(1.0, 0.01, 1e9);
+        let cfg = fault_cfg(vec![at(1.0, FaultKind::DeviceDown { device: 7 })]);
+        assert!(EdgeSim::new(cluster.clone(), vec![s.clone()], cfg).is_err());
+        let cfg = fault_cfg(vec![at(
+            1.0,
+            FaultKind::LinkDegrade {
+                ap: 0,
+                factor: -0.5,
+            },
+        )]);
+        assert!(EdgeSim::new(cluster, vec![s], cfg).is_err());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let cluster = two_ap_cluster();
+        let streams: Vec<CompiledStream> = (0..4)
+            .map(|k| {
+                let mut s = no_exit_stream(3.0, 0.005, 5e8);
+                s.id = k;
+                s.device = k;
+                s.server = Some(k % 2);
+                s.bandwidth_share = 0.5;
+                s
+            })
+            .collect();
+        let mut cfg = fault_cfg(
+            FaultProfile {
+                rate_hz: 0.5,
+                ..FaultProfile::default()
+            }
+            .plan(4, 2, 2, 20.0)
+            .events,
+        );
+        cfg.fading = true;
+        let r1 = EdgeSim::new(cluster.clone(), streams.clone(), cfg.clone())
+            .unwrap()
+            .run();
+        let r2 = EdgeSim::new(cluster, streams, cfg).unwrap().run();
+        assert!(r1.faults.injected > 0);
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.latency.mean, r2.latency.mean);
+        assert_eq!(r1.faults, r2.faults);
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! Per-request trace records (optional run output).
+//! Per-request and per-fault trace records (optional run output).
 //!
 //! [`crate::EdgeSim::run_traced`] returns, besides the aggregate report,
 //! one [`TaskRecord`] per measured completion with its full timing
 //! decomposition — the raw material for debugging, latency-breakdown
 //! plots, and the cross-stage invariant tests.
+//! [`crate::EdgeSim::run_logged`] additionally returns one [`FaultRecord`]
+//! per executed fault event, bundled in a [`RunTrace`].
 
+use crate::faults::FaultKind;
 use serde::{Deserialize, Serialize};
 
 /// Timing decomposition of one completed request.
@@ -42,6 +45,30 @@ impl TaskRecord {
     pub fn on_device(&self) -> bool {
         self.tx_s == 0.0
     }
+}
+
+/// One executed fault event, as seen by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// Execution time, seconds.
+    pub at_s: f64,
+    /// The injected state change.
+    pub kind: FaultKind,
+    /// Whether the event changed simulator state (false for redundant
+    /// events, e.g. downing an already-down device).
+    pub applied: bool,
+    /// Measured requests stranded by this event.
+    pub stranded: usize,
+}
+
+/// Full event log of one run: per-completion timing records plus the
+/// executed fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// One record per measured completion, in completion order.
+    pub tasks: Vec<TaskRecord>,
+    /// One record per executed fault event, in execution order.
+    pub faults: Vec<FaultRecord>,
 }
 
 #[cfg(test)]

@@ -99,6 +99,7 @@ proptest! {
                 warmup_s: 1.0,
                 seed,
                 fading: true,
+                ..SimConfig::default()
             },
         )
         .expect("valid streams");
@@ -130,6 +131,7 @@ proptest! {
             warmup_s: 0.5,
             seed,
             fading: true,
+            ..SimConfig::default()
         };
         let a = EdgeSim::new(cluster(1), vec![s.clone()], cfg.clone())
             .expect("valid")

@@ -167,8 +167,8 @@ fn solve_fixed_threshold(p: &ExitSettingProblem, t: f64) -> Option<ExitSettingSo
     // Close each state with the non-exiting tail and pick the feasible best.
     let mut best: Option<(f64, f64, usize, usize, usize)> = None; // (cost, acc, i, k, idx)
     for i in 0..m {
-        for k in 1..=e_max {
-            for (idx, e) in dp[i][k].iter().enumerate() {
+        for (k, states) in dp[i].iter().enumerate().skip(1) {
+            for (idx, e) in states.iter().enumerate() {
                 let remain = 1.0 - cov[i];
                 let cost = e.cost + remain * (p.full_prefix_time_s + p.rest_time_s);
                 let a = e.acc + remain * p.acc_full;

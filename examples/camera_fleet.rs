@@ -28,9 +28,11 @@ fn cameraize(problem: &mut JointProblem) {
 }
 
 fn main() {
-    let mut scenario = ScenarioConfig::default();
-    scenario.num_aps = 3;
-    scenario.devices_per_ap = 6;
+    let scenario = ScenarioConfig {
+        num_aps: 3,
+        devices_per_ap: 6,
+        ..ScenarioConfig::default()
+    };
     let mut problem = scenario.build();
     cameraize(&mut problem);
     println!(

@@ -17,9 +17,11 @@ const TARGET: f64 = 0.95;
 
 /// Measured deadline ratio for one method at one fleet size.
 fn deadline_ratio(devices_per_ap: usize, method: Method) -> f64 {
-    let mut scenario = ScenarioConfig::default();
-    scenario.num_aps = 2;
-    scenario.devices_per_ap = devices_per_ap;
+    let mut scenario = ScenarioConfig {
+        num_aps: 2,
+        devices_per_ap,
+        ..ScenarioConfig::default()
+    };
     scenario.sim.horizon_s = 15.0;
     scenario.sim.warmup_s = 2.0;
     let problem = scenario.build();

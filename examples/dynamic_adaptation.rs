@@ -14,11 +14,12 @@ use scalpel::core::online::{remap_assignment, OnlineController};
 use scalpel::core::optimizer::OptimizerConfig;
 
 fn scenario(bandwidth_mhz: f64) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default();
-    cfg.num_aps = 2;
-    cfg.devices_per_ap = 4;
-    cfg.ap_bandwidth_hz = bandwidth_mhz * 1e6;
-    cfg
+    ScenarioConfig {
+        num_aps: 2,
+        devices_per_ap: 4,
+        ap_bandwidth_hz: bandwidth_mhz * 1e6,
+        ..ScenarioConfig::default()
+    }
 }
 
 fn main() {

@@ -15,10 +15,12 @@ use scalpel::core::runner;
 fn main() {
     // 1. A scenario: 2 APs × 4 devices, heterogeneous boards and servers,
     //    Poisson 5 req/s per stream, per-model deadlines.
-    let mut scenario = ScenarioConfig::default();
-    scenario.num_aps = 2;
-    scenario.devices_per_ap = 4;
-    scenario.arrival_rate_hz = 5.0;
+    let scenario = ScenarioConfig {
+        num_aps: 2,
+        devices_per_ap: 4,
+        arrival_rate_hz: 5.0,
+        ..ScenarioConfig::default()
+    };
     let problem = scenario.build();
     println!(
         "scenario: {} devices, {} APs, {} servers, {} streams",

@@ -79,12 +79,14 @@ fn parse_flags(args: &[String]) -> Result<ScenarioFlags, String> {
 }
 
 fn scenario_from(flags: &ScenarioFlags) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default();
-    cfg.num_aps = flags.aps;
-    cfg.devices_per_ap = flags.devices / flags.aps;
-    cfg.arrival_rate_hz = flags.rate;
-    cfg.ap_bandwidth_hz = flags.bandwidth_mhz * 1e6;
-    cfg.seed = flags.seed;
+    let mut cfg = ScenarioConfig {
+        num_aps: flags.aps,
+        devices_per_ap: flags.devices / flags.aps,
+        arrival_rate_hz: flags.rate,
+        ap_bandwidth_hz: flags.bandwidth_mhz * 1e6,
+        seed: flags.seed,
+        ..ScenarioConfig::default()
+    };
     cfg.sim.seed = flags.seed;
     cfg
 }

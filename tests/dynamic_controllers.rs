@@ -10,17 +10,19 @@ use scalpel::core::optimizer::OptimizerConfig;
 use scalpel::sim::{EdgeSim, SimConfig};
 
 fn scenario(bandwidth_mhz: f64) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default();
-    cfg.num_aps = 2;
-    cfg.devices_per_ap = 3;
-    cfg.ap_bandwidth_hz = bandwidth_mhz * 1e6;
-    cfg.sim = SimConfig {
-        horizon_s: 10.0,
-        warmup_s: 1.0,
-        seed: 31,
-        fading: true,
-    };
-    cfg
+    ScenarioConfig {
+        num_aps: 2,
+        devices_per_ap: 3,
+        ap_bandwidth_hz: bandwidth_mhz * 1e6,
+        sim: SimConfig {
+            horizon_s: 10.0,
+            warmup_s: 1.0,
+            seed: 31,
+            fading: true,
+            ..SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
 }
 
 fn quick_opt() -> OptimizerConfig {

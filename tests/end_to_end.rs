@@ -9,17 +9,19 @@ use scalpel::core::runner;
 use scalpel::sim::SimConfig;
 
 fn small_scenario() -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::default();
-    cfg.num_aps = 2;
-    cfg.devices_per_ap = 3;
-    cfg.arrival_rate_hz = 5.0;
-    cfg.sim = SimConfig {
-        horizon_s: 10.0,
-        warmup_s: 1.0,
-        seed: 9,
-        fading: true,
-    };
-    cfg
+    ScenarioConfig {
+        num_aps: 2,
+        devices_per_ap: 3,
+        arrival_rate_hz: 5.0,
+        sim: SimConfig {
+            horizon_s: 10.0,
+            warmup_s: 1.0,
+            seed: 9,
+            fading: true,
+            ..SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
 }
 
 fn quick_opt() -> OptimizerConfig {

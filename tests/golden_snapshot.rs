@@ -1,0 +1,76 @@
+//! Golden-snapshot regression test: a fixed scenario + fault plan must
+//! keep producing exactly this summary. If a legitimate change to the
+//! simulator or fault layer moves these numbers, re-pin them consciously —
+//! the point is that they never move *silently*.
+
+use scalpel::core::baselines::{solve_with, Method};
+use scalpel::core::config::ScenarioConfig;
+use scalpel::core::evaluator::Evaluator;
+use scalpel::core::optimizer::OptimizerConfig;
+use scalpel::core::runner;
+use scalpel::sim::{FaultProfile, SimConfig, SimReport};
+
+/// The frozen scenario: 1 AP × 4 devices, 6 s horizon, all four fault
+/// classes injected at 0.8 faults/s from t = 1 s. Every knob is pinned.
+fn golden_report() -> SimReport {
+    let mut cfg = ScenarioConfig {
+        num_aps: 1,
+        devices_per_ap: 4,
+        arrival_rate_hz: 6.0,
+        seed: 7,
+        sim: SimConfig {
+            horizon_s: 6.0,
+            warmup_s: 1.0,
+            seed: 77,
+            fading: true,
+            ..SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    cfg.apply_fault_profile(&FaultProfile {
+        seed: 5,
+        rate_hz: 1.2,
+        mean_outage_s: 1.5,
+        start_s: 1.0,
+        classes: Vec::new(),
+    });
+    let problem = cfg.build();
+    let ev = Evaluator::new(&problem, None);
+    // Deterministic solve: descent only, no Gibbs exploration.
+    let sol = solve_with(
+        &ev,
+        Method::Neurosurgeon,
+        &OptimizerConfig {
+            rounds: 1,
+            gibbs_iters: 0,
+            ..Default::default()
+        },
+    );
+    runner::run_solution_seeds(&problem, &ev, &sol, cfg.sim, &[1])
+        .pop()
+        .expect("one seed, one report")
+}
+
+#[test]
+fn golden_faulted_run_summary_is_pinned() {
+    let r = golden_report();
+    let summary = (
+        r.generated,
+        r.completed,
+        r.faults.stranded,
+        r.faults.stalled,
+        r.faults.injected,
+        r.faults.applied,
+        r.faults.recoveries,
+        (r.latency.p99 * 1e3).round() as i64, // p99 bucket, whole ms
+    );
+    println!("golden summary: {summary:?}");
+    assert_eq!(
+        summary,
+        (95, 94, 1, 0, 16, 12, 5, 3172),
+        "golden summary moved — re-pin only if the change is intentional"
+    );
+    // Structural invariants of the pinned run (guard the pin itself).
+    assert_eq!(r.generated, r.completed + r.faults.lost());
+    assert!(r.faults.injected > 0, "the pinned plan must actually fire");
+}

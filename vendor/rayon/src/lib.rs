@@ -1,0 +1,52 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides exactly the `par_iter()` surface the workspace uses, executed
+//! sequentially. Sequential execution is a correctness-preserving (and
+//! fully deterministic) substitute: all call sites are independent
+//! map/collect pipelines with no shared mutable state. When the real rayon
+//! becomes available, switching the path dependency back restores
+//! parallelism without touching call sites.
+
+/// The traits the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    /// Sequential substitute for rayon's `IntoParallelRefIterator`:
+    /// `par_iter()` on slices and vectors yields a plain slice iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by the iterator.
+        type Item: 'data;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate (sequentially) over shared references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let s: &[i32] = &v;
+        assert_eq!(s.par_iter().sum::<i32>(), 6);
+    }
+}

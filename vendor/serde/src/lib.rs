@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so the real `serde` cannot be fetched. The workspace uses serde purely
+//! as *annotation* (`#[derive(Serialize, Deserialize)]` on config and
+//! report types); no code path serializes anything. This crate provides
+//! the two trait names and re-exports the no-op derives so every
+//! annotation site compiles unchanged. If real serialization is needed
+//! later, swapping this path dependency back to crates.io serde is a
+//! one-line change per manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// does not generate impls and nothing requires the bound at runtime).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de>: Sized {}
