@@ -84,6 +84,41 @@ pub fn screen(ids: &[usize], demands: &[HyperbolicDemand], deadlines: &[f64]) ->
     }
 }
 
+/// Breaker-aware screening: streams whose `tripped` flag is set — their
+/// target's circuit breaker is open — are shed to `rejected` up front and
+/// contribute nothing to the group's need; the survivors are screened by
+/// [`screen`] as usual. `tripped` is parallel to `ids`. This is the
+/// admission-control face of the recovery subsystem: while a breaker is
+/// open its streams should not count against the capacity the healthy
+/// ones are fighting over.
+pub fn screen_with_breakers(
+    ids: &[usize],
+    demands: &[HyperbolicDemand],
+    deadlines: &[f64],
+    tripped: &[bool],
+) -> AdmissionResult {
+    assert_eq!(ids.len(), tripped.len());
+    let mut shed: Vec<usize> = Vec::new();
+    let mut keep_ids: Vec<usize> = Vec::new();
+    let mut keep_demands: Vec<HyperbolicDemand> = Vec::new();
+    let mut keep_deadlines: Vec<f64> = Vec::new();
+    for i in 0..ids.len() {
+        if tripped[i] {
+            shed.push(ids[i]);
+        } else {
+            keep_ids.push(ids[i]);
+            keep_demands.push(demands[i]);
+            keep_deadlines.push(deadlines[i]);
+        }
+    }
+    let mut r = screen(&keep_ids, &keep_demands, &keep_deadlines);
+    // Shed ids lead the rejection list: they were refused before any
+    // need-based comparison happened.
+    shed.extend(r.rejected);
+    r.rejected = shed;
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +179,47 @@ mod tests {
     fn boundary_exactly_full_is_admitted() {
         let r = screen(&[0, 1], &[d(0.0, 0.5), d(0.0, 0.5)], &[1.0, 1.0]);
         assert!(r.all_admitted());
+    }
+
+    #[test]
+    fn tripped_streams_are_shed_before_need_comparison() {
+        // Without breakers the 0.9-need stream would evict the others;
+        // with its target tripped it is shed first and the rest fit.
+        let demands = [d(0.0, 0.9), d(0.0, 0.5), d(0.0, 0.2)];
+        let r = screen_with_breakers(
+            &[0, 1, 2],
+            &demands,
+            &[1.0, 1.0, 1.0],
+            &[true, false, false],
+        );
+        assert_eq!(r.rejected, vec![0]);
+        assert_eq!(r.admitted, vec![1, 2]);
+        assert!((r.admitted_need - 0.7).abs() < 1e-12);
+        // Shed streams do not inflate the group's reported need either.
+        assert!((r.total_need - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shed_ids_lead_the_rejection_order() {
+        // Stream 2 is shed by its breaker; stream 0 is then evicted on
+        // need. Shed comes first in the rejection list.
+        let demands = [d(0.0, 0.8), d(0.0, 0.5), d(0.0, 0.1)];
+        let r = screen_with_breakers(
+            &[0, 1, 2],
+            &demands,
+            &[1.0, 1.0, 1.0],
+            &[false, false, true],
+        );
+        assert_eq!(r.rejected, vec![2, 0]);
+        assert_eq!(r.admitted, vec![1]);
+    }
+
+    #[test]
+    fn no_breakers_matches_plain_screen() {
+        let demands = [d(0.01, 0.1), d(0.02, 0.2)];
+        let deadlines = [1.0, 1.0];
+        let plain = screen(&[7, 8], &demands, &deadlines);
+        let gated = screen_with_breakers(&[7, 8], &demands, &deadlines, &[false, false]);
+        assert_eq!(plain, gated);
     }
 }

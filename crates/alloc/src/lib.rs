@@ -25,5 +25,6 @@ pub mod compute_alloc;
 pub mod convex;
 pub mod placement;
 
+pub use admission::{screen, screen_with_breakers, AdmissionResult};
 pub use convex::{deadline_shares, minmax_shares, weighted_sum_shares, HyperbolicDemand};
 pub use placement::{PlacementStrategy, ServerLoadModel};

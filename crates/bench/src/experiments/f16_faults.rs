@@ -17,16 +17,16 @@ use scalpel_core::baselines::{solve_with, Method};
 use scalpel_core::compiler;
 use scalpel_core::config::ScenarioConfig;
 use scalpel_core::evaluator::Evaluator;
-use scalpel_core::online::{faulted_problem, OnlineController};
+use scalpel_core::online::{FaultDetector, OnlineController};
 use scalpel_core::optimizer::{OptimizerConfig, Solution};
 use scalpel_core::runner;
-use scalpel_sim::{EdgeSim, FaultPlan, FaultProfile};
+use scalpel_sim::{EdgeSim, FaultPlan, FaultProfile, RecoveryConfig};
 
 /// Seed of the fault stream — fixed so every method and intensity level
 /// reuses the same disruption pattern (scaled, not resampled).
-const FAULT_SEED: u64 = 901;
+pub(crate) const FAULT_SEED: u64 = 901;
 
-fn scenario(quick: bool) -> ScenarioConfig {
+pub(crate) fn scenario(quick: bool) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::default();
     if quick {
         cfg.num_aps = 2;
@@ -37,7 +37,7 @@ fn scenario(quick: bool) -> ScenarioConfig {
     cfg
 }
 
-fn plan_for(scfg: &ScenarioConfig, rate_hz: f64) -> FaultPlan {
+pub(crate) fn plan_for(scfg: &ScenarioConfig, rate_hz: f64) -> FaultPlan {
     if rate_hz <= 0.0 {
         return FaultPlan::none();
     }
@@ -109,11 +109,30 @@ pub fn run(quick: bool) {
                 format!("{:.2}", o.mean_recovery_s),
             ]);
         }
-        // Joint + online adaptation: re-solve against the plan's sustained
-        // degradations (worst LinkDegrade / ServerThrottle levels), then
-        // face the same faults with the adapted decisions.
+        // Joint + online adaptation, closed loop: a probe run of the
+        // deployed Joint solution faces the faults with full recovery and
+        // telemetry on; the FaultDetector reads only the emitted health
+        // snapshots (breaker states per epoch) and derates the problem
+        // accordingly — no oracle access to the fault schedule. The
+        // controller warm-starts against the derated problem and the
+        // adapted decisions face the same faults.
         if !plan.is_empty() {
-            let degraded = faulted_problem(&problem, &plan);
+            let joint = &sols
+                .iter()
+                .find(|(m, _)| matches!(m, Method::Joint))
+                .expect("Joint is in Method::ALL")
+                .1;
+            let probe_streams = compiler::compile(&problem, &ev, &joint.assignment, &joint.result);
+            let mut probe_sim = scfg.sim.clone();
+            probe_sim.seed = seeds[0];
+            probe_sim.faults = plan.clone();
+            probe_sim.recovery = RecoveryConfig::full();
+            let (_, trace) = EdgeSim::new(problem.cluster.clone(), probe_streams, probe_sim)
+                .expect("deployed streams validate")
+                .run_logged();
+            let degraded = FaultDetector::default()
+                .degraded_problem(&problem, &trace.health)
+                .unwrap_or_else(|| problem.clone());
             let new_ev = Evaluator::new(&degraded, None);
             let mut ctl = OnlineController::bootstrap(&ev, opt.clone());
             ctl.adapt(&ev, &new_ev);

@@ -1,0 +1,217 @@
+//! F17 \[extension\] — closed-loop recovery under injected faults.
+//!
+//! The Joint solution is deployed once, then faces an identical seeded
+//! path-fault schedule (AP outages, link degradation, server throttling
+//! — see [`plan_with_unrecovered_tail`] for why device churn is left to
+//! F16) under four recovery postures of escalating capability: no
+//! recovery at all, deadline-aware retries with exit-degradation,
+//! retries plus circuit breakers, and the full ladder (hedged re-offload
+//! and shedding on open breakers). Because the fault plan, simulation
+//! seeds, and deployed decisions are shared across rows, every difference
+//! in the table is attributable to the recovery policy alone. The table
+//! reports requests lost (stranded or stalled), SLO misses during active
+//! faults, degraded completions and their accuracy cost, shed requests,
+//! and retry timeouts fired.
+
+use crate::harness::DEFAULT_SEEDS;
+use crate::table::{ms, pct, Table};
+use rayon::prelude::*;
+use scalpel_core::baselines::{solve_with, Method};
+use scalpel_core::evaluator::Evaluator;
+use scalpel_core::optimizer::OptimizerConfig;
+use scalpel_core::runner::{self, MethodOutcome};
+use scalpel_sim::{FaultClass, FaultPlan, FaultProfile, RecoveryConfig};
+
+use super::f16_faults::{scenario, FAULT_SEED};
+
+/// The F16 fault generator with two deliberate twists.
+///
+/// First, the schedule covers only *path* faults — AP outages, link
+/// degradation, and server throttling. Device churn (covered by F16) is
+/// excluded because work resident on a vanishing device is unrecoverable
+/// by construction: no retry or breaker can reach it, and a degradation
+/// ladder makes things strictly worse by holding extra local-finish work
+/// on exactly the hardware that disappears. F17 isolates the faults a
+/// recovery policy can actually mask.
+///
+/// Second, recovery events that would land after the run ends are
+/// dropped. F16's generator always pairs every outage with its recovery,
+/// so even a late outage heals during the post-horizon drain and nothing
+/// ever stays broken; here an outage that outlasts the run stays down —
+/// the exact situation the degradation ladder exists for. Down events
+/// are untouched (the generator never emits them past the horizon).
+pub(crate) fn plan_with_unrecovered_tail(rate_hz: f64, quick: bool) -> FaultPlan {
+    let scfg = scenario(quick);
+    if rate_hz <= 0.0 {
+        return FaultPlan::none();
+    }
+    let mut plan = scfg.fault_plan(&FaultProfile {
+        seed: FAULT_SEED,
+        rate_hz,
+        mean_outage_s: 2.0,
+        start_s: scfg.sim.warmup_s,
+        classes: vec![
+            FaultClass::ApOutage,
+            FaultClass::LinkDegradation,
+            FaultClass::ComputeThrottle,
+        ],
+    });
+    let horizon = scfg.sim.horizon_s;
+    plan.events.retain(|e| e.at_s < horizon);
+    plan
+}
+
+/// The recovery postures compared, weakest first.
+pub(crate) fn presets() -> Vec<(&'static str, RecoveryConfig)> {
+    vec![
+        ("no-recovery", RecoveryConfig::none()),
+        ("retry-only", RecoveryConfig::retry_only()),
+        ("retry+breaker", RecoveryConfig::retry_breaker()),
+        ("full ladder", RecoveryConfig::full()),
+    ]
+}
+
+/// One outcome per (intensity, posture), with the fault plan shared
+/// across postures at each intensity.
+pub(crate) fn outcomes(quick: bool) -> Vec<(f64, Vec<(&'static str, MethodOutcome)>)> {
+    let scfg = scenario(quick);
+    let opt = OptimizerConfig {
+        rounds: 3,
+        gibbs_iters: if quick { 30 } else { 100 },
+        ..Default::default()
+    };
+    let seeds: &[u64] = if quick { &[101] } else { DEFAULT_SEEDS };
+    let intensities: &[f64] = if quick {
+        &[1.0, 2.0, 3.6]
+    } else {
+        &[0.6, 1.3, 2.4, 3.6]
+    };
+    let problem = scfg.build();
+    let ev = Evaluator::new(&problem, None);
+    let sol = solve_with(&ev, Method::Joint, &opt);
+    intensities
+        .iter()
+        .map(|&rate| {
+            let plan = plan_with_unrecovered_tail(rate, quick);
+            let rows: Vec<(&'static str, MethodOutcome)> = presets()
+                .par_iter()
+                .map(|(name, recovery)| {
+                    let reports = runner::run_solution_seeds_recovered(
+                        &problem,
+                        &ev,
+                        &sol,
+                        scfg.sim.clone(),
+                        &plan,
+                        recovery,
+                        seeds,
+                    );
+                    (*name, runner::aggregate(Method::Joint, &sol, &reports))
+                })
+                .collect();
+            (rate, rows)
+        })
+        .collect()
+}
+
+/// Print the recovery-posture table.
+pub fn run(quick: bool) {
+    println!("\n== F17 [extension]: closed-loop recovery (posture vs fault intensity) ==");
+    let mut t = Table::new(vec![
+        "faults (/s)",
+        "recovery",
+        "mean(ms)",
+        "deadline",
+        "lost",
+        "fault misses",
+        "degraded",
+        "shed",
+        "timeouts",
+        "acc delta",
+    ]);
+    for (rate, rows) in outcomes(quick) {
+        for (name, o) in &rows {
+            t.row(vec![
+                format!("{rate:.1}"),
+                (*name).into(),
+                ms(o.latency.mean),
+                pct(o.deadline_ratio),
+                o.fault_lost.to_string(),
+                o.fault_misses.to_string(),
+                o.degraded.to_string(),
+                o.shed.to_string(),
+                o.retry_timeouts.to_string(),
+                // Mean accuracy movement per degraded completion versus
+                // its nominal path; positive = degrading *gained*
+                // accuracy (a full-precision local finish can beat a
+                // quantized offload plan). `+ 0.0` folds negative zero.
+                format!("{:+.4}", -o.accuracy_cost + 0.0),
+            ]);
+        }
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f17_quick_runs() {
+        run(true);
+    }
+
+    /// The acceptance criterion of the recovery subsystem: at every fault
+    /// intensity, the full ladder strands strictly fewer requests and
+    /// misses no more SLOs during faults than running with no recovery.
+    #[test]
+    fn f17_full_ladder_dominates_no_recovery() {
+        for (rate, rows) in outcomes(true) {
+            let find = |name: &str| {
+                &rows
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .expect("preset present")
+                    .1
+            };
+            let none = find("no-recovery");
+            let full = find("full ladder");
+            assert!(
+                none.fault_lost > 0,
+                "rate {rate}: schedule too mild to strand anything"
+            );
+            assert!(
+                full.fault_lost < none.fault_lost,
+                "rate {rate}: full ladder lost {} vs no-recovery {}",
+                full.fault_lost,
+                none.fault_lost
+            );
+            assert!(
+                full.fault_misses <= none.fault_misses,
+                "rate {rate}: full ladder missed {} vs no-recovery {}",
+                full.fault_misses,
+                none.fault_misses
+            );
+            // The ladder's price is visible and bounded: degraded
+            // completions are counted and their accuracy delta reported.
+            assert!(full.degraded > 0 || full.shed > 0 || full.retry_timeouts > 0);
+            assert!(full.accuracy_cost.is_finite());
+        }
+    }
+
+    /// Identical plan + seeds + posture reproduce bit-for-bit.
+    #[test]
+    fn f17_outcomes_are_deterministic() {
+        let a = outcomes(true);
+        let b = outcomes(true);
+        for ((ra, rows_a), (rb, rows_b)) in a.iter().zip(&b) {
+            assert_eq!(ra, rb);
+            for ((na, oa), (nb, ob)) in rows_a.iter().zip(rows_b) {
+                assert_eq!(na, nb);
+                assert_eq!(oa.latency.mean, ob.latency.mean);
+                assert_eq!(oa.fault_lost, ob.fault_lost);
+                assert_eq!(oa.degraded, ob.degraded);
+                assert_eq!(oa.accuracy_cost, ob.accuracy_cost);
+            }
+        }
+    }
+}

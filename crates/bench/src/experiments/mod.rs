@@ -12,6 +12,7 @@ pub mod f13_energy;
 pub mod f14_validation;
 pub mod f15_dynamics;
 pub mod f16_faults;
+pub mod f17_recovery;
 pub mod f4_scalability;
 pub mod f5_arrival;
 pub mod f6_bandwidth;
@@ -40,5 +41,6 @@ pub fn run_all(quick: bool) {
     f14_validation::run(quick);
     f15_dynamics::run(quick);
     f16_faults::run(quick);
+    f17_recovery::run(quick);
     a1_design_ablation::run(quick);
 }

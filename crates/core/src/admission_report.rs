@@ -44,6 +44,27 @@ impl SolutionAdmission {
 
 /// Screen a priced configuration.
 pub fn screen_solution(ev: &Evaluator, asg: &Assignment, result: &EvalResult) -> SolutionAdmission {
+    screen_solution_with_breakers(
+        ev,
+        asg,
+        result,
+        &vec![false; ev.num_servers()],
+        &vec![false; ev.num_aps()],
+    )
+}
+
+/// Screen a priced configuration against live breaker state: streams whose
+/// server or AP breaker is open (per `server_open` / `ap_open`, typically
+/// read off a [`scalpel_sim::HealthSnapshot`]) are shed from that group up
+/// front, so the report shows what admission control would do *during* the
+/// outage rather than in the nominal world.
+pub fn screen_solution_with_breakers(
+    ev: &Evaluator,
+    asg: &Assignment,
+    result: &EvalResult,
+    server_open: &[bool],
+    ap_open: &[bool],
+) -> SolutionAdmission {
     let n = ev.num_streams();
     let offloaded: Vec<usize> = (0..n)
         .filter(|&k| !ev.menu(k)[asg.plan_idx[k]].is_device_only())
@@ -69,7 +90,10 @@ pub fn screen_solution(ev: &Evaluator, asg: &Assignment, result: &EvalResult) ->
             })
             .collect();
         let deadlines: Vec<f64> = members.iter().map(|&k| ev.deadline(k)).collect();
-        servers.push(admission::screen(&members, &demands, &deadlines));
+        let tripped = vec![server_open.get(srv).copied().unwrap_or(false); members.len()];
+        servers.push(admission::screen_with_breakers(
+            &members, &demands, &deadlines, &tripped,
+        ));
     }
     // Per-AP spectrum screening: fixed = device + edge at the granted
     // share; scaled = expected transmission seconds at full spectrum.
@@ -91,7 +115,10 @@ pub fn screen_solution(ev: &Evaluator, asg: &Assignment, result: &EvalResult) ->
             })
             .collect();
         let deadlines: Vec<f64> = members.iter().map(|&k| ev.deadline(k)).collect();
-        aps.push(admission::screen(&members, &demands, &deadlines));
+        let tripped = vec![ap_open.get(ap).copied().unwrap_or(false); members.len()];
+        aps.push(admission::screen_with_breakers(
+            &members, &demands, &deadlines, &tripped,
+        ));
     }
     SolutionAdmission { servers, aps }
 }
@@ -139,6 +166,50 @@ mod tests {
             adm_edge.rejected_streams(),
             adm_joint.rejected_streams()
         );
+    }
+
+    #[test]
+    fn open_breaker_sheds_every_member_of_its_group() {
+        let (ev, opt) = setup();
+        let sol = solve_with(&ev, Method::Joint, &opt);
+        // Open the breaker of the busiest server: each of its streams
+        // must land in that group's rejection list, ahead of any
+        // need-based eviction.
+        let members_of = |srv: usize| -> Vec<usize> {
+            (0..ev.num_streams())
+                .filter(|&k| {
+                    !ev.menu(k)[sol.assignment.plan_idx[k]].is_device_only()
+                        && sol.assignment.placement[k] == srv
+                })
+                .collect()
+        };
+        let busiest = (0..ev.num_servers())
+            .max_by_key(|&s| members_of(s).len())
+            .unwrap();
+        let members = members_of(busiest);
+        assert!(!members.is_empty(), "no stream offloads anywhere");
+        let mut server_open = vec![false; ev.num_servers()];
+        server_open[busiest] = true;
+        let adm = screen_solution_with_breakers(
+            &ev,
+            &sol.assignment,
+            &sol.result,
+            &server_open,
+            &vec![false; ev.num_aps()],
+        );
+        assert!(adm.servers[busiest].admitted.is_empty());
+        assert_eq!(
+            &adm.servers[busiest].rejected[..members.len()],
+            &members[..]
+        );
+        // Other groups are untouched relative to the breaker-free screen.
+        let nominal = screen_solution(&ev, &sol.assignment, &sol.result);
+        for s in 0..ev.num_servers() {
+            if s != busiest {
+                assert_eq!(adm.servers[s], nominal.servers[s]);
+            }
+        }
+        assert_eq!(adm.aps, nominal.aps);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::evaluator::{Assignment, EvalResult, Evaluator};
 use crate::problem::JointProblem;
 use scalpel_sim::CompiledStream;
+use scalpel_surgery::{ladder_for_plan, DegradeLadder};
 
 /// Compile every stream of a priced configuration.
 pub fn compile(
@@ -23,6 +24,38 @@ pub fn compile(
             let spec = &problem.streams[k];
             let p = &ev.menu(k)[asg.plan_idx[k]];
             let device_only = p.is_device_only();
+            let degrade = if device_only {
+                DegradeLadder::none()
+            } else {
+                // The local-finish rung comes from the menu's device-only
+                // entry, if the stream has one: running the whole model on
+                // the device costs its full device time beyond the prefix
+                // this plan has already paid for.
+                let local = ev
+                    .menu(k)
+                    .iter()
+                    .find(|c| c.is_device_only())
+                    .map(|d| ((d.dev_full - p.dev_full).max(0.0), d.acc_full));
+                ladder_for_plan(&p.plan, &p.acc_at_exit, local)
+            };
+            let fallback_servers = if device_only {
+                Vec::new()
+            } else {
+                // Every other server, best catalog capacity first (ties:
+                // lowest index) — the hedging preference order.
+                let primary = asg.placement[k];
+                let mut alts: Vec<usize> = (0..problem.cluster.servers.len())
+                    .filter(|&s| s != primary)
+                    .collect();
+                alts.sort_by(|&a, &b| {
+                    problem.cluster.servers[b]
+                        .proc
+                        .flops_per_sec
+                        .total_cmp(&problem.cluster.servers[a].proc.flops_per_sec)
+                        .then(a.cmp(&b))
+                });
+                alts
+            };
             CompiledStream {
                 id: k,
                 device: spec.device,
@@ -50,6 +83,8 @@ pub fn compile(
                 } else {
                     result.compute_shares[k].max(1e-6)
                 },
+                degrade,
+                fallback_servers,
             }
         })
         .collect()

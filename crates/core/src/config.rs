@@ -117,6 +117,12 @@ impl ScenarioConfig {
         self.sim.faults = self.fault_plan(profile);
     }
 
+    /// Install a recovery policy into `self.sim.recovery`, so every
+    /// simulation of this scenario runs under it.
+    pub fn apply_recovery(&mut self, recovery: scalpel_sim::RecoveryConfig) {
+        self.sim.recovery = recovery;
+    }
+
     /// Materialize the topology and streams.
     pub fn build(&self) -> JointProblem {
         let mut rng = SimRng::new(self.seed, 77);

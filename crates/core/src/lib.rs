@@ -37,6 +37,10 @@ pub mod runner;
 pub use baselines::{solve_with, Method};
 pub use config::{ScenarioConfig, ServerMix};
 pub use evaluator::{EvalResult, Evaluator};
+pub use online::{DetectorConfig, FaultDetector, FaultDiagnosis, OnlineController};
 pub use optimizer::{OptimizerConfig, SearchTrace, Solution};
 pub use problem::{JointProblem, StreamSpec};
-pub use runner::{run_solution, run_solution_seeds, MethodOutcome};
+pub use runner::{
+    run_solution, run_solution_seeds, run_solution_seeds_faulted, run_solution_seeds_recovered,
+    MethodOutcome,
+};

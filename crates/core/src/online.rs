@@ -7,10 +7,10 @@
 //! onto the rebuilt menus by structural signature, placement is kept, and
 //! coordinate descent runs from there (usually converging in one sweep).
 
-use crate::evaluator::{Assignment, Evaluator};
+use crate::evaluator::{Assignment, Evaluator, PlanPricing};
 use crate::optimizer::{self, OptimizerConfig, Solution};
 use crate::problem::JointProblem;
-use scalpel_sim::{FaultKind, FaultPlan};
+use scalpel_sim::{FaultKind, FaultPlan, HealthSnapshot};
 use scalpel_surgery::SurgeryPlan;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -42,9 +42,31 @@ fn signature(p: &SurgeryPlan) -> (usize, usize, u8, bool) {
     )
 }
 
+/// Deterministic nearest-neighbour in plan space: the menu entry whose cut
+/// is closest to `old`'s, with ties broken toward matching quantization,
+/// then matching prune level, then the lowest index. Never arbitrary — two
+/// runs over the same menu always pick the same entry.
+pub fn closest_idx(menu: &[PlanPricing], old: &SurgeryPlan) -> usize {
+    menu.iter()
+        .enumerate()
+        .min_by_key(|(i, p)| {
+            (
+                (p.plan.cut as isize - old.cut as isize).unsigned_abs(),
+                (p.plan.quantize_tx != old.quantize_tx) as u8,
+                (p.plan.prune != old.prune) as u8,
+                *i,
+            )
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty menu")
+}
+
 /// Remap an assignment onto a rebuilt evaluator: for each stream, find the
 /// menu entry with the old plan's signature (falling back to the closest
-/// cut), and clamp placements to the new server count.
+/// entry via [`closest_idx`]), and clamp placements to the new server
+/// count. Streams with no prior decision warm-start from the entry closest
+/// to full offload — the least-committed plan — rather than whatever
+/// happens to sit at index 0.
 pub fn remap_assignment(old_ev: &Evaluator, new_ev: &Evaluator, asg: &Assignment) -> Assignment {
     let n = new_ev.num_streams().min(old_ev.num_streams());
     let mut plan_idx = Vec::with_capacity(new_ev.num_streams());
@@ -58,18 +80,11 @@ pub fn remap_assignment(old_ev: &Evaluator, new_ev: &Evaluator, asg: &Assignment
                 .iter()
                 .position(|p| p.plan == *old_plan)
                 .or_else(|| menu.iter().position(|p| signature(&p.plan) == sig))
-                .unwrap_or_else(|| {
-                    // closest cut wins
-                    (0..menu.len())
-                        .min_by_key(|&i| {
-                            (menu[i].plan.cut as isize - old_plan.cut as isize).unsigned_abs()
-                        })
-                        .expect("non-empty menu")
-                });
+                .unwrap_or_else(|| closest_idx(menu, old_plan));
             plan_idx.push(idx);
             placement.push(asg.placement[k].min(new_ev.num_servers() - 1));
         } else {
-            plan_idx.push(0);
+            plan_idx.push(closest_idx(new_ev.menu(k), &SurgeryPlan::full_offload()));
             placement.push(k % new_ev.num_servers());
         }
     }
@@ -106,6 +121,149 @@ pub fn faulted_problem(problem: &JointProblem, plan: &FaultPlan) -> JointProblem
         }
     }
     degraded
+}
+
+/// Thresholds for turning simulator telemetry into a re-solve trigger.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// An epoch counts as unhealthy when its SLO miss rate reaches this.
+    pub miss_rate_threshold: f64,
+    /// …or when it records at least this many retry timeouts.
+    pub timeout_threshold: usize,
+    /// A target must be breaker-open in at least this many epochs before
+    /// the detector derates it (filters single-epoch blips).
+    pub sustain_epochs: usize,
+    /// Derated capacities never drop below this fraction of nominal, so
+    /// the rebuilt problem always stays feasible to price.
+    pub derate_floor: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            miss_rate_threshold: 0.5,
+            timeout_threshold: 3,
+            sustain_epochs: 2,
+            derate_floor: 0.1,
+        }
+    }
+}
+
+/// What the detector concluded from a telemetry window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultDiagnosis {
+    /// Whether any target was derated — i.e. whether a re-solve is worth
+    /// triggering at all.
+    pub triggered: bool,
+    /// Per-server capacity factor in `[derate_floor, 1]`.
+    pub server_derate: Vec<f64>,
+    /// Per-AP bandwidth factor in `[derate_floor, 1]`.
+    pub ap_derate: Vec<f64>,
+    /// Epochs whose miss rate or timeout count crossed the thresholds.
+    pub unhealthy_epochs: usize,
+}
+
+/// Telemetry-driven fault detection: the closed-loop replacement for the
+/// oracle [`faulted_problem`]. The simulator emits [`HealthSnapshot`]s
+/// (per-epoch completions, misses, timeouts, and circuit-breaker states);
+/// the detector watches those signals and, when a server or AP has been
+/// breaker-open for a sustained stretch, derates its capacity in
+/// proportion to the fraction of epochs it spent open. The resulting
+/// problem is what the [`OnlineController`] warm-starts against — no
+/// knowledge of the injected fault schedule is used.
+#[derive(Debug, Clone, Default)]
+pub struct FaultDetector {
+    /// Detection thresholds.
+    pub cfg: DetectorConfig,
+}
+
+impl FaultDetector {
+    /// A detector with the given thresholds.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Diagnose a telemetry window. Purely observational: derates come
+    /// only from breaker states the simulator actually reported, never
+    /// from the fault schedule.
+    pub fn assess(&self, health: &[HealthSnapshot]) -> FaultDiagnosis {
+        let epochs = health.len();
+        let n_servers = health
+            .iter()
+            .map(|h| h.server_open.len())
+            .max()
+            .unwrap_or(0);
+        let n_aps = health.iter().map(|h| h.ap_open.len()).max().unwrap_or(0);
+        let derate = |open_epochs: usize| -> f64 {
+            if epochs == 0 || open_epochs < self.cfg.sustain_epochs {
+                1.0
+            } else {
+                (1.0 - open_epochs as f64 / epochs as f64).max(self.cfg.derate_floor)
+            }
+        };
+        let server_derate: Vec<f64> = (0..n_servers)
+            .map(|s| {
+                derate(
+                    health
+                        .iter()
+                        .filter(|h| h.server_open.get(s).copied().unwrap_or(false))
+                        .count(),
+                )
+            })
+            .collect();
+        let ap_derate: Vec<f64> = (0..n_aps)
+            .map(|a| {
+                derate(
+                    health
+                        .iter()
+                        .filter(|h| h.ap_open.get(a).copied().unwrap_or(false))
+                        .count(),
+                )
+            })
+            .collect();
+        let unhealthy_epochs = health
+            .iter()
+            .filter(|h| {
+                h.miss_rate() >= self.cfg.miss_rate_threshold
+                    || h.timeouts >= self.cfg.timeout_threshold
+            })
+            .count();
+        let triggered = server_derate
+            .iter()
+            .chain(&ap_derate)
+            .any(|&f| f < 1.0 - 1e-12);
+        FaultDiagnosis {
+            triggered,
+            server_derate,
+            ap_derate,
+            unhealthy_epochs,
+        }
+    }
+
+    /// The problem the controller should re-solve against, or `None` when
+    /// the telemetry shows nothing sustained enough to act on.
+    pub fn degraded_problem(
+        &self,
+        base: &JointProblem,
+        health: &[HealthSnapshot],
+    ) -> Option<JointProblem> {
+        let d = self.assess(health);
+        if !d.triggered {
+            return None;
+        }
+        let mut degraded = base.clone();
+        for (ap, &f) in d.ap_derate.iter().enumerate() {
+            if let Some(spec) = degraded.cluster.aps.get_mut(ap) {
+                spec.bandwidth_hz *= f;
+            }
+        }
+        for (srv, &f) in d.server_derate.iter().enumerate() {
+            if let Some(spec) = degraded.cluster.servers.get_mut(srv) {
+                spec.proc.flops_per_sec *= f;
+            }
+        }
+        Some(degraded)
+    }
 }
 
 /// The online controller: owns the current solution for one environment.
@@ -281,6 +439,136 @@ mod tests {
         assert!(report.adapted_objective <= report.stale_objective + 1e-12);
         // A 10x sustained link collapse must move at least one decision.
         assert!(report.plans_changed + report.placements_changed > 0);
+    }
+
+    #[test]
+    fn closest_idx_is_deterministic_and_structure_aware() {
+        let ev = Evaluator::new(&scenario(20.0).build(), None);
+        let menu = ev.menu(0);
+        // Exact plans map to an entry with identical structure.
+        for p in menu {
+            let got = &menu[closest_idx(menu, &p.plan)].plan;
+            assert_eq!(got.cut, p.plan.cut);
+            assert_eq!(got.quantize_tx, p.plan.quantize_tx);
+            assert_eq!(got.prune, p.plan.prune);
+        }
+        // An off-menu cut lands on the nearest one, preferring matching
+        // quantization; repeated calls agree bit-for-bit.
+        let mut probe = menu[menu.len() - 1].plan.clone();
+        probe.cut += 1000;
+        let a = closest_idx(menu, &probe);
+        let b = closest_idx(menu, &probe);
+        assert_eq!(a, b);
+        let max_cut = menu.iter().map(|p| p.plan.cut).max().unwrap();
+        assert_eq!(menu[a].plan.cut, max_cut);
+    }
+
+    #[test]
+    fn new_streams_warm_start_near_full_offload() {
+        let small = ScenarioConfig {
+            devices_per_ap: 2,
+            ..scenario(20.0)
+        };
+        let old_ev = Evaluator::new(&small.build(), None);
+        let new_ev = Evaluator::new(&scenario(20.0).build(), None);
+        let asg = Assignment {
+            plan_idx: vec![0; old_ev.num_streams()],
+            placement: vec![0; old_ev.num_streams()],
+        };
+        let remapped = remap_assignment(&old_ev, &new_ev, &asg);
+        assert_eq!(remapped.plan_idx.len(), new_ev.num_streams());
+        for k in old_ev.num_streams()..new_ev.num_streams() {
+            let plan = &new_ev.menu(k)[remapped.plan_idx[k]].plan;
+            let min_cut = new_ev.menu(k).iter().map(|p| p.plan.cut).min().unwrap();
+            assert_eq!(
+                plan.cut, min_cut,
+                "stream {k} did not start near full offload"
+            );
+            assert!(!plan.quantize_tx);
+        }
+    }
+
+    fn snapshot(at_s: f64, server_open: Vec<bool>, ap_open: Vec<bool>) -> HealthSnapshot {
+        HealthSnapshot {
+            at_s,
+            completions: 10,
+            slo_misses: 0,
+            timeouts: 0,
+            degraded: 0,
+            shed: 0,
+            server_open,
+            ap_open,
+        }
+    }
+
+    #[test]
+    fn detector_ignores_healthy_telemetry_and_blips() {
+        let det = FaultDetector::default();
+        let problem = scenario(20.0).build();
+        // All-healthy window.
+        let healthy: Vec<_> = (0..6)
+            .map(|i| snapshot(i as f64, vec![false, false], vec![false]))
+            .collect();
+        assert!(det.degraded_problem(&problem, &healthy).is_none());
+        // A single-epoch breaker blip is below sustain_epochs.
+        let mut blip = healthy.clone();
+        blip[2].server_open[1] = true;
+        assert!(det.degraded_problem(&problem, &blip).is_none());
+        // And an empty window trivially triggers nothing.
+        assert!(det.degraded_problem(&problem, &[]).is_none());
+    }
+
+    #[test]
+    fn sustained_open_breaker_derates_the_target() {
+        let det = FaultDetector::default();
+        let problem = scenario(20.0).build();
+        // Server 0 open in half the epochs, AP 0 open in all of them.
+        let health: Vec<_> = (0..8)
+            .map(|i| snapshot(i as f64, vec![i % 2 == 0, false], vec![true]))
+            .collect();
+        let d = det.assess(&health);
+        assert!(d.triggered);
+        assert!((d.server_derate[0] - 0.5).abs() < 1e-9);
+        assert!((d.server_derate[1] - 1.0).abs() < 1e-12);
+        // Fully open still floors at derate_floor so the problem prices.
+        assert!((d.ap_derate[0] - det.cfg.derate_floor).abs() < 1e-9);
+        let degraded = det.degraded_problem(&problem, &health).expect("triggered");
+        let b0 = problem.cluster.aps[0].bandwidth_hz;
+        assert!((degraded.cluster.aps[0].bandwidth_hz - b0 * det.cfg.derate_floor).abs() < 1e-3);
+        let c0 = problem.cluster.servers[0].proc.flops_per_sec;
+        assert!((degraded.cluster.servers[0].proc.flops_per_sec - c0 * 0.5).abs() < 1.0);
+        assert!(degraded.validate().is_ok());
+    }
+
+    #[test]
+    fn detector_counts_unhealthy_epochs_from_misses_and_timeouts() {
+        let det = FaultDetector::default();
+        let mut health: Vec<_> = (0..4).map(|i| snapshot(i as f64, vec![], vec![])).collect();
+        health[0].slo_misses = 9; // 90 % miss rate
+        health[1].timeouts = 5;
+        let d = det.assess(&health);
+        assert_eq!(d.unhealthy_epochs, 2);
+        // Misses alone never derate anything — there is no target to blame.
+        assert!(!d.triggered);
+    }
+
+    #[test]
+    fn detector_driven_adaptation_matches_oracle_direction() {
+        // The closed loop: telemetry showing a breaker stuck open on AP 0
+        // yields a degraded problem whose warm-started re-solve is no
+        // worse than re-pricing the stale solution — same contract the
+        // oracle-driven path satisfies, without reading the fault plan.
+        let problem = scenario(20.0).build();
+        let det = FaultDetector::default();
+        let health: Vec<_> = (0..10)
+            .map(|i| snapshot(i as f64, vec![false], vec![i >= 2]))
+            .collect();
+        let degraded = det.degraded_problem(&problem, &health).expect("sustained");
+        let old_ev = Evaluator::new(&problem, None);
+        let new_ev = Evaluator::new(&degraded, None);
+        let mut ctl = OnlineController::bootstrap(&old_ev, OptimizerConfig::default());
+        let report = ctl.adapt(&old_ev, &new_ev);
+        assert!(report.adapted_objective <= report.stale_objective + 1e-12);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::evaluator::{Assignment, EvalResult, Evaluator};
 use crate::optimizer::Solution;
 use crate::problem::JointProblem;
 use rayon::prelude::*;
-use scalpel_sim::{EdgeSim, FaultPlan, LatencyStats, SimConfig, SimReport};
+use scalpel_sim::{EdgeSim, FaultPlan, LatencyStats, RecoveryConfig, SimConfig, SimReport};
 use serde::{Deserialize, Serialize};
 
 /// A method's end-to-end measured outcome (possibly seed-averaged).
@@ -44,6 +44,23 @@ pub struct MethodOutcome {
     /// Mean observed fault recovery time, seconds (mean over seeds that
     /// observed ≥1 recovery).
     pub mean_recovery_s: f64,
+    /// Requests completed through the degradation ladder, across seeds
+    /// (zero when recovery is off).
+    #[serde(default)]
+    pub degraded: usize,
+    /// Requests shed by open breakers, across seeds.
+    #[serde(default)]
+    pub shed: usize,
+    /// Retry timeouts fired, across seeds.
+    #[serde(default)]
+    pub retry_timeouts: usize,
+    /// Mean accuracy sacrificed per degraded completion (mean over seeds
+    /// that degraded ≥1 request; zero otherwise). Negative when the
+    /// ladder's local-finish rung runs the full unquantized model and
+    /// beats the offload plan's accuracy — degradation then trades
+    /// latency, not accuracy.
+    #[serde(default)]
+    pub accuracy_cost: f64,
 }
 
 /// Run one solution once.
@@ -95,6 +112,26 @@ pub fn run_solution_seeds_faulted(
     run_solution_seeds(problem, ev, sol, cfg, seeds)
 }
 
+/// Run one solution over several seeds under a shared fault plan *and* a
+/// recovery policy — the closed-loop counterpart of
+/// [`run_solution_seeds_faulted`]. Identical plan + seeds across recovery
+/// presets isolates the policy's effect.
+#[allow(clippy::too_many_arguments)]
+pub fn run_solution_seeds_recovered(
+    problem: &JointProblem,
+    ev: &Evaluator,
+    sol: &Solution,
+    base_sim: SimConfig,
+    faults: &FaultPlan,
+    recovery: &RecoveryConfig,
+    seeds: &[u64],
+) -> Vec<SimReport> {
+    let mut cfg = base_sim;
+    cfg.faults = faults.clone();
+    cfg.recovery = recovery.clone();
+    run_solution_seeds(problem, ev, sol, cfg, seeds)
+}
+
 /// Aggregate seed reports into one outcome row.
 pub fn aggregate(method: Method, sol: &Solution, reports: &[SimReport]) -> MethodOutcome {
     let mut all_latencies: Vec<f64> = Vec::new();
@@ -142,6 +179,19 @@ pub fn aggregate(method: Method, sol: &Solution, reports: &[SimReport]) -> Metho
     } else {
         mean_of(&recovered)
     };
+    let degraded = reports.iter().map(|r| r.recovery.degraded).sum();
+    let shed = reports.iter().map(|r| r.recovery.shed).sum();
+    let retry_timeouts = reports.iter().map(|r| r.recovery.timeouts).sum();
+    let costs: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.recovery.degraded > 0)
+        .map(|r| r.recovery.accuracy_cost)
+        .collect();
+    let accuracy_cost = if costs.is_empty() {
+        0.0
+    } else {
+        mean_of(&costs)
+    };
     MethodOutcome {
         method,
         analytic_objective: sol.result.objective,
@@ -156,6 +206,10 @@ pub fn aggregate(method: Method, sol: &Solution, reports: &[SimReport]) -> Metho
         fault_lost,
         fault_misses,
         mean_recovery_s,
+        degraded,
+        shed,
+        retry_timeouts,
+        accuracy_cost,
     }
 }
 
@@ -253,6 +307,41 @@ mod tests {
 
     fn outcome_sim() -> SimConfig {
         quick_scenario().2
+    }
+
+    #[test]
+    fn recovered_runs_account_every_request_and_fill_outcome() {
+        use scalpel_sim::FaultProfile;
+        let (p, ev, sim) = quick_scenario();
+        let sol = solve_with(&ev, Method::Joint, &OptimizerConfig::default());
+        let plan = FaultProfile {
+            rate_hz: 0.8,
+            mean_outage_s: 2.0,
+            start_s: 1.0,
+            ..FaultProfile::default()
+        }
+        .plan(
+            p.cluster.devices.len(),
+            p.cluster.aps.len(),
+            p.cluster.servers.len(),
+            sim.horizon_s,
+        );
+        let recovery = RecoveryConfig::full();
+        let reports =
+            run_solution_seeds_recovered(&p, &ev, &sol, sim.clone(), &plan, &recovery, &[1, 2]);
+        for r in &reports {
+            assert_eq!(r.generated, r.accounted());
+        }
+        let outcome = aggregate(Method::Joint, &sol, &reports);
+        assert_eq!(
+            outcome.degraded,
+            reports.iter().map(|r| r.recovery.degraded).sum::<usize>()
+        );
+        assert!(outcome.accuracy_cost.is_finite());
+        // Same plan, seeds, and policy reproduce bit-for-bit.
+        let again = run_solution_seeds_recovered(&p, &ev, &sol, sim, &plan, &recovery, &[1, 2]);
+        assert_eq!(reports[0].latency.mean, again[0].latency.mean);
+        assert_eq!(reports[0].recovery, again[0].recovery);
     }
 
     #[test]

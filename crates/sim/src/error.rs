@@ -1,0 +1,142 @@
+//! Typed simulation-input errors.
+//!
+//! Fault plans and recovery policies are validated before a run starts;
+//! [`SimError`] names each way that validation can fail so callers can
+//! match on the cause instead of parsing strings. The blanket
+//! `From<SimError> for String` keeps the simulator's `Result<_, String>`
+//! construction paths working unchanged.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Why a fault plan or recovery configuration was rejected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// A fault event targets a device index outside the cluster.
+    MissingDevice {
+        /// The referenced device index.
+        device: usize,
+    },
+    /// A fault event targets an AP index outside the cluster.
+    MissingAp {
+        /// The referenced AP index.
+        ap: usize,
+    },
+    /// A fault event targets a server index outside the cluster.
+    MissingServer {
+        /// The referenced server index.
+        server: usize,
+    },
+    /// A degradation/throttle factor lies outside `(0, 1]`.
+    FactorOutOfRange {
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A fault event carries a negative or non-finite injection time.
+    InvalidEventTime {
+        /// Position of the event in the plan.
+        index: usize,
+        /// The offending time, seconds.
+        at_s: f64,
+    },
+    /// A fault event failed validation; wraps the underlying cause.
+    InvalidEvent {
+        /// Position of the event in the plan.
+        index: usize,
+        /// What was wrong with it.
+        source: Box<SimError>,
+    },
+    /// A recovery policy parameter is out of range.
+    InvalidRecovery {
+        /// Human-readable description of the offending knob.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingDevice { device } => {
+                write!(f, "fault references missing device {device}")
+            }
+            SimError::MissingAp { ap } => write!(f, "fault references missing AP {ap}"),
+            SimError::MissingServer { server } => {
+                write!(f, "fault references missing server {server}")
+            }
+            SimError::FactorOutOfRange { factor } => {
+                write!(f, "fault factor {factor} outside (0, 1]")
+            }
+            SimError::InvalidEventTime { index, at_s } => {
+                write!(f, "fault event {index} has invalid time {at_s}")
+            }
+            SimError::InvalidEvent { index, source } => {
+                write!(f, "fault event {index}: {source}")
+            }
+            SimError::InvalidRecovery { detail } => {
+                write!(f, "invalid recovery config: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidEvent { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for String {
+    fn from(e: SimError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_messages() {
+        assert_eq!(
+            SimError::MissingDevice { device: 7 }.to_string(),
+            "fault references missing device 7"
+        );
+        assert_eq!(
+            SimError::FactorOutOfRange { factor: 1.5 }.to_string(),
+            "fault factor 1.5 outside (0, 1]"
+        );
+        let wrapped = SimError::InvalidEvent {
+            index: 3,
+            source: Box::new(SimError::MissingAp { ap: 9 }),
+        };
+        assert_eq!(
+            wrapped.to_string(),
+            "fault event 3: fault references missing AP 9"
+        );
+    }
+
+    #[test]
+    fn error_trait_exposes_the_cause_chain() {
+        let wrapped = SimError::InvalidEvent {
+            index: 0,
+            source: Box::new(SimError::MissingServer { server: 2 }),
+        };
+        let src = wrapped.source().expect("wrapped events carry a source");
+        assert_eq!(src.to_string(), "fault references missing server 2");
+        assert!(SimError::MissingDevice { device: 0 }.source().is_none());
+    }
+
+    #[test]
+    fn converts_into_string_for_legacy_callers() {
+        let s: String = SimError::InvalidEventTime {
+            index: 1,
+            at_s: -2.0,
+        }
+        .into();
+        assert_eq!(s, "fault event 1 has invalid time -2");
+    }
+}

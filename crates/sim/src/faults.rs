@@ -28,6 +28,7 @@
 //!   returns to full capacity.
 
 use crate::cluster::Cluster;
+use crate::error::SimError;
 use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -142,38 +143,38 @@ impl FaultKind {
     }
 
     /// Check target indices and factors against a topology.
-    pub fn validate(&self, cluster: &Cluster) -> Result<(), String> {
-        let check_factor = |f: f64| -> Result<(), String> {
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), SimError> {
+        let check_factor = |f: f64| -> Result<(), SimError> {
             if !f.is_finite() || f <= 0.0 || f > 1.0 {
-                return Err(format!("fault factor {f} outside (0, 1]"));
+                return Err(SimError::FactorOutOfRange { factor: f });
             }
             Ok(())
         };
         match *self {
             FaultKind::DeviceDown { device } | FaultKind::DeviceUp { device } => {
                 if device >= cluster.devices.len() {
-                    return Err(format!("fault references missing device {device}"));
+                    return Err(SimError::MissingDevice { device });
                 }
             }
             FaultKind::ApDown { ap } | FaultKind::ApUp { ap } | FaultKind::LinkRestore { ap } => {
                 if ap >= cluster.aps.len() {
-                    return Err(format!("fault references missing AP {ap}"));
+                    return Err(SimError::MissingAp { ap });
                 }
             }
             FaultKind::LinkDegrade { ap, factor } => {
                 if ap >= cluster.aps.len() {
-                    return Err(format!("fault references missing AP {ap}"));
+                    return Err(SimError::MissingAp { ap });
                 }
                 check_factor(factor)?;
             }
             FaultKind::ServerRestore { server } => {
                 if server >= cluster.servers.len() {
-                    return Err(format!("fault references missing server {server}"));
+                    return Err(SimError::MissingServer { server });
                 }
             }
             FaultKind::ServerThrottle { server, factor } => {
                 if server >= cluster.servers.len() {
-                    return Err(format!("fault references missing server {server}"));
+                    return Err(SimError::MissingServer { server });
                 }
                 check_factor(factor)?;
             }
@@ -214,14 +215,20 @@ impl FaultPlan {
     }
 
     /// Check every event against a topology, plus time sanity.
-    pub fn validate(&self, cluster: &Cluster) -> Result<(), String> {
+    pub fn validate(&self, cluster: &Cluster) -> Result<(), SimError> {
         for (i, ev) in self.events.iter().enumerate() {
             if !ev.at_s.is_finite() || ev.at_s < 0.0 {
-                return Err(format!("fault event {i} has invalid time {}", ev.at_s));
+                return Err(SimError::InvalidEventTime {
+                    index: i,
+                    at_s: ev.at_s,
+                });
             }
             ev.kind
                 .validate(cluster)
-                .map_err(|e| format!("fault event {i}: {e}"))?;
+                .map_err(|e| SimError::InvalidEvent {
+                    index: i,
+                    source: Box::new(e),
+                })?;
         }
         Ok(())
     }
@@ -443,6 +450,38 @@ mod tests {
                 .validate(&c)
                 .is_err());
         }
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let c = cluster();
+        assert_eq!(
+            FaultKind::DeviceDown { device: 9 }.validate(&c),
+            Err(SimError::MissingDevice { device: 9 })
+        );
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: 1.0,
+                kind: FaultKind::LinkDegrade { ap: 0, factor: 2.0 },
+            }],
+        };
+        assert_eq!(
+            plan.validate(&c),
+            Err(SimError::InvalidEvent {
+                index: 0,
+                source: Box::new(SimError::FactorOutOfRange { factor: 2.0 }),
+            })
+        );
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at_s: f64::NAN,
+                kind: FaultKind::ApDown { ap: 0 },
+            }],
+        };
+        assert!(matches!(
+            plan.validate(&c),
+            Err(SimError::InvalidEventTime { index: 0, .. })
+        ));
     }
 
     #[test]

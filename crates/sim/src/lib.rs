@@ -17,9 +17,11 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod error;
 pub mod faults;
 pub mod metrics;
 pub mod net;
+pub mod recovery;
 pub mod rng;
 pub mod sim;
 pub mod task;
@@ -29,10 +31,17 @@ pub mod workload;
 
 pub use cluster::{ApSpec, Cluster, DeviceSpec, ServerSpec};
 pub use engine::EventQueue;
+pub use error::SimError;
 pub use faults::{FaultClass, FaultEvent, FaultKind, FaultPlan, FaultProfile};
-pub use metrics::{FaultClassStats, FaultMetrics, LatencyStats, SimReport, StreamStats};
+pub use metrics::{
+    FaultClassStats, FaultMetrics, LatencyStats, RecoveryMetrics, SimReport, StreamStats,
+};
 pub use net::LinkModel;
+pub use recovery::{
+    BreakerConfig, BreakerState, CircuitBreaker, HealthSnapshot, RecoveryConfig, RetryPolicy,
+};
 pub use rng::SimRng;
+pub use scalpel_surgery::{DegradeLadder, DegradeRung};
 pub use sim::{EdgeSim, SimConfig};
 pub use task::{CompiledStream, StreamId};
 pub use time::SimTime;

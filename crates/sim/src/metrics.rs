@@ -175,6 +175,56 @@ impl FaultMetrics {
     }
 }
 
+/// Whole-run outcome of the recovery subsystem (all zero when recovery is
+/// disabled). With recovery on, the conservation law extends to
+/// `generated == completed + recovery.degraded + recovery.shed +
+/// faults.lost()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryMetrics {
+    /// Retry timeouts that fired on live (non-stale) transmissions.
+    pub timeouts: usize,
+    /// Uplink transmissions cancelled and restarted.
+    pub retries: usize,
+    /// Requests re-routed to a fallback server by an open primary breaker.
+    pub hedges: usize,
+    /// Measured requests completed through a degradation rung.
+    pub degraded: usize,
+    /// Degraded completions that still met their deadline.
+    pub degraded_on_time: usize,
+    /// Measured requests shed (dropped by policy, not by a fault).
+    pub shed: usize,
+    /// Mean accuracy credited to degraded completions (0 when none).
+    pub mean_degraded_accuracy: f64,
+    /// Mean accuracy given up per degraded completion versus what its
+    /// nominal path would have credited (0 when none).
+    pub accuracy_cost: f64,
+    /// Breaker closed→open transitions across all APs and servers.
+    pub breaker_opens: usize,
+    /// Breaker open→half-open transitions.
+    pub breaker_half_opens: usize,
+    /// Breaker half-open→closed transitions.
+    pub breaker_closes: usize,
+}
+
+impl RecoveryMetrics {
+    /// Metrics of a run without recovery (all counters zero).
+    pub fn empty() -> Self {
+        Self {
+            timeouts: 0,
+            retries: 0,
+            hedges: 0,
+            degraded: 0,
+            degraded_on_time: 0,
+            shed: 0,
+            mean_degraded_accuracy: 0.0,
+            accuracy_cost: 0.0,
+            breaker_opens: 0,
+            breaker_half_opens: 0,
+            breaker_closes: 0,
+        }
+    }
+}
+
 /// Whole-run simulation outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -197,6 +247,18 @@ pub struct SimReport {
     pub per_stream: Vec<StreamStats>,
     /// Fault-robustness counters (all zero for fault-free runs).
     pub faults: FaultMetrics,
+    /// Recovery-subsystem counters (all zero when recovery is disabled).
+    pub recovery: RecoveryMetrics,
+}
+
+impl SimReport {
+    /// Every measured request, however it ended: completed nominally,
+    /// completed degraded, shed by policy, or lost to a fault. Equals
+    /// [`SimReport::generated`] for every run — the conservation law the
+    /// property tests pin.
+    pub fn accounted(&self) -> usize {
+        self.completed + self.recovery.degraded + self.recovery.shed + self.faults.lost()
+    }
 }
 
 /// Accumulates one stream's completions during a run.

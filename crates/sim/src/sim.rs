@@ -4,13 +4,17 @@
 use crate::cluster::Cluster;
 use crate::engine::EventQueue;
 use crate::faults::{FaultClass, FaultKind, FaultPlan};
-use crate::metrics::{FaultClassStats, FaultMetrics, LatencyStats, SimReport, StreamAccum};
+use crate::metrics::{
+    FaultClassStats, FaultMetrics, LatencyStats, RecoveryMetrics, SimReport, StreamAccum,
+};
 use crate::net::LinkModel;
+use crate::recovery::{BreakerState, CircuitBreaker, HealthSnapshot, RecoveryConfig};
 use crate::rng::SimRng;
 use crate::task::{CompiledStream, RunTask};
 use crate::time::SimTime;
 use crate::tracelog::{FaultRecord, RunTrace, TaskRecord};
 use crate::workload::ArrivalGen;
+use scalpel_surgery::DegradeRung;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -29,6 +33,11 @@ pub struct SimConfig {
     pub fading: bool,
     /// Fault schedule executed alongside the workload (empty = clean run).
     pub faults: FaultPlan,
+    /// Closed-loop recovery policies (default: all off — a run with
+    /// [`RecoveryConfig::none`] is bit-identical to the pre-recovery
+    /// simulator: no extra events, no extra RNG draws).
+    #[serde(default)]
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for SimConfig {
@@ -39,6 +48,7 @@ impl Default for SimConfig {
             seed: 1,
             fading: true,
             faults: FaultPlan::none(),
+            recovery: RecoveryConfig::none(),
         }
     }
 }
@@ -58,6 +68,15 @@ enum Ev {
     ServerCheck { server: usize, gen: u64 },
     /// Execute fault event `idx` of the plan.
     Fault { idx: usize },
+    /// Retry watchdog for request `req` on `device`'s uplink. Stale if the
+    /// request has left the uplink or already retried (`attempt` mismatch).
+    RetryTimeout {
+        device: usize,
+        req: u64,
+        attempt: u32,
+    },
+    /// Emit a control-plane health snapshot and reschedule.
+    Telemetry,
 }
 
 /// A request with its accumulated timing breakdown.
@@ -67,6 +86,14 @@ struct InFlight {
     device_wait: f64,
     device_service: f64,
     tx_time: f64,
+    /// Unique per-run request id (retry-watchdog addressing).
+    req: u64,
+    /// Uplink attempts already timed out (0 = first attempt).
+    attempts: u32,
+    /// Hedged server override; `None` = the stream's primary server.
+    target: Option<usize>,
+    /// Degradation rung this request is completing through, if any.
+    degrade_to: Option<DegradeRung>,
 }
 
 #[derive(Debug, Default)]
@@ -161,12 +188,20 @@ impl EdgeSim {
                     return Err(format!("stream {i} references missing server {srv}"));
                 }
             }
+            for &alt in &s.fallback_servers {
+                if alt >= cluster.servers.len() {
+                    return Err(format!(
+                        "stream {i} references missing fallback server {alt}"
+                    ));
+                }
+            }
             s.validate()?;
         }
         if config.horizon_s <= config.warmup_s {
             return Err("horizon must exceed warmup".into());
         }
         config.faults.validate(&cluster)?;
+        config.recovery.validate()?;
         Ok(Self {
             cluster,
             streams,
@@ -288,6 +323,54 @@ struct Runner<'a> {
     server_throttled_at: Vec<Option<SimTime>>,
     fa: FaultAccum,
     fault_trace: Option<Vec<FaultRecord>>,
+    // --- recovery state ---
+    /// Whether any recovery layer is on (gates every recovery code path).
+    recovery_active: bool,
+    /// Next unique request id.
+    next_req: u64,
+    /// Per-server breakers (present iff `recovery.breakers` is set).
+    srv_breakers: Option<Vec<CircuitBreaker>>,
+    /// Per-AP breakers (present iff `recovery.breakers` is set).
+    ap_breakers: Option<Vec<CircuitBreaker>>,
+    ra: RecoveryAccum,
+    /// Outstanding local-finish degradation work per device, seconds.
+    /// The ladder is load-aware: committed-but-unfinished suffix work
+    /// shrinks the slack offered to the next faller, so an overloaded
+    /// device falls to forced exits (zero extra compute) instead of
+    /// queueing unbounded local work that churn would strand wholesale.
+    degrade_backlog_s: Vec<f64>,
+    /// Telemetry snapshots, in epoch order.
+    health: Vec<HealthSnapshot>,
+    /// Cumulative measured completions / misses (telemetry deltas).
+    meas_completed: usize,
+    meas_misses: usize,
+    /// Counter values at the previous telemetry snapshot.
+    last_snap: SnapBase,
+}
+
+/// Counter baseline of the previous telemetry epoch.
+#[derive(Debug, Default, Clone, Copy)]
+struct SnapBase {
+    completed: usize,
+    misses: usize,
+    timeouts: usize,
+    degraded: usize,
+    shed: usize,
+}
+
+/// Recovery counters accumulated during a run.
+#[derive(Debug, Default)]
+struct RecoveryAccum {
+    timeouts: usize,
+    retries: usize,
+    hedges: usize,
+    degraded: usize,
+    degraded_on_time: usize,
+    shed: usize,
+    /// Accuracy the degraded requests' nominal paths would have credited.
+    nominal_acc_sum: f64,
+    /// Accuracy actually credited to degraded completions.
+    degraded_acc_sum: f64,
 }
 
 impl<'a> Runner<'a> {
@@ -350,6 +433,26 @@ impl<'a> Runner<'a> {
             server_throttled_at: vec![None; n_srv],
             fa: FaultAccum::default(),
             fault_trace: None,
+            recovery_active: sim.config.recovery.is_active(),
+            next_req: 0,
+            srv_breakers: sim
+                .config
+                .recovery
+                .breakers
+                .as_ref()
+                .map(|b| (0..n_srv).map(|_| CircuitBreaker::new(b.clone())).collect()),
+            ap_breakers: sim
+                .config
+                .recovery
+                .breakers
+                .as_ref()
+                .map(|b| (0..n_ap).map(|_| CircuitBreaker::new(b.clone())).collect()),
+            ra: RecoveryAccum::default(),
+            degrade_backlog_s: vec![0.0; n_dev],
+            health: Vec::new(),
+            meas_completed: 0,
+            meas_misses: 0,
+            last_snap: SnapBase::default(),
         }
     }
 
@@ -366,6 +469,12 @@ impl<'a> Runner<'a> {
             self.queue
                 .schedule(SimTime::from_secs_f64(fe.at_s), Ev::Fault { idx });
         }
+        // First control-plane telemetry epoch, if enabled.
+        let epoch = self.sim.config.recovery.telemetry_epoch_s;
+        if epoch > 0.0 {
+            self.queue
+                .schedule(SimTime::from_secs_f64(epoch), Ev::Telemetry);
+        }
         while let Some((now, ev)) = self.queue.pop() {
             match ev {
                 Ev::Arrive { stream } => self.on_arrive(now, stream),
@@ -373,6 +482,12 @@ impl<'a> Runner<'a> {
                 Ev::TxDone { device, gen } => self.on_tx_done(now, device, gen),
                 Ev::ServerCheck { server, gen } => self.on_server_check(now, server, gen),
                 Ev::Fault { idx } => self.on_fault(now, idx),
+                Ev::RetryTimeout {
+                    device,
+                    req,
+                    attempt,
+                } => self.on_retry_timeout(now, device, req, attempt),
+                Ev::Telemetry => self.on_telemetry(now),
             }
         }
         self.finish()
@@ -403,6 +518,8 @@ impl<'a> Runner<'a> {
         if self.measured(now) {
             self.generated += 1;
         }
+        let req = self.next_req;
+        self.next_req += 1;
         let flight = InFlight {
             task: RunTask {
                 stream,
@@ -413,6 +530,10 @@ impl<'a> Runner<'a> {
             device_wait: 0.0,
             device_service: 0.0,
             tx_time: 0.0,
+            req,
+            attempts: 0,
+            target: None,
+            degrade_to: None,
         };
         let dev = s.device;
         self.devices[dev].queue.push_back(flight);
@@ -432,12 +553,22 @@ impl<'a> Runner<'a> {
             return;
         };
         let s = &self.sim.streams[flight.task.stream];
-        let service = match flight.task.exit {
-            Some(i) => s.device_time_to_exit[i],
-            None => s.device_full_time,
+        let service = if let Some(rung) = &flight.degrade_to {
+            // Local-finish degradation: the suffix beyond the prefix the
+            // device already ran.
+            rung.extra_device_s
+        } else {
+            match flight.task.exit {
+                Some(i) => s.device_time_to_exit[i],
+                None => s.device_full_time,
+            }
         };
-        flight.device_wait = now.secs_since(flight.task.arrival);
-        flight.device_service = service;
+        if flight.degrade_to.is_some() {
+            flight.device_service += service;
+        } else {
+            flight.device_wait = now.secs_since(flight.task.arrival);
+            flight.device_service = service;
+        }
         self.devices[device].current = Some(flight);
         self.dev_gen[device] += 1;
         let gen = self.dev_gen[device];
@@ -454,14 +585,269 @@ impl<'a> Runner<'a> {
             .take()
             .expect("DeviceDone without a running request");
         let s = &self.sim.streams[flight.task.stream];
-        if flight.task.exit.is_some() || s.server.is_none() {
+        if let Some(rung) = &flight.degrade_to {
+            // A local-finish degradation just completed its suffix; its
+            // committed work leaves the ladder's backlog estimate.
+            self.degrade_backlog_s[device] =
+                (self.degrade_backlog_s[device] - rung.extra_device_s).max(0.0);
+            self.complete_degraded(now, flight);
+        } else if flight.task.exit.is_some() || s.server.is_none() {
             // Completed on the device (early exit, or a device-only plan).
             self.complete(now, flight, 0.0);
+        } else if self.recovery_active {
+            self.route_offload(now, flight, device);
         } else {
             self.uplinks[device].queue.push_back(flight);
             self.maybe_start_tx(now, device);
         }
         self.maybe_start_device(now, device);
+    }
+
+    /// Recovery-aware offload admission: check path health (breakers),
+    /// hedge to a fallback server, test deadline feasibility, and either
+    /// queue on the uplink with a retry watchdog or fall down the
+    /// degradation ladder.
+    fn route_offload(&mut self, now: SimTime, mut flight: InFlight, device: usize) {
+        let sim = self.sim;
+        let s = &sim.streams[flight.task.stream];
+        let cfg = &sim.config.recovery;
+        let primary = s.server.expect("offloaded stream has a server");
+        let ap = sim.cluster.devices[device].ap;
+        let now_s = now.as_secs_f64();
+        let slack = s.deadline_s - now.secs_since(flight.task.arrival);
+
+        // The shared uplink is the only path off the device: an open AP
+        // breaker fails the request over to the degradation ladder.
+        if let Some(ap_brk) = self.ap_breakers.as_mut() {
+            if !ap_brk[ap].try_acquire(now_s) {
+                self.fall_back(now, flight, device);
+                return;
+            }
+        }
+        // Pick a server: the primary first, then (when hedging) each
+        // fallback in preference order. A candidate is skipped when its
+        // breaker refuses traffic, or when even the queue-free nominal
+        // path through it cannot meet the deadline (a guaranteed miss —
+        // degrading trades doomed network work for a local completion).
+        let mut target = None;
+        for c in std::iter::once(primary).chain(
+            if cfg.hedge {
+                s.fallback_servers.as_slice()
+            } else {
+                &[]
+            }
+            .iter()
+            .copied(),
+        ) {
+            if cfg.degrade && self.nominal_path_estimate(flight.task.stream, device, c) > slack {
+                continue;
+            }
+            if let Some(srv_brk) = self.srv_breakers.as_mut() {
+                if !srv_brk[c].try_acquire(now_s) {
+                    continue;
+                }
+            }
+            target = Some(c);
+            break;
+        }
+        let Some(target) = target else {
+            self.fall_back(now, flight, device);
+            return;
+        };
+        if target != primary {
+            self.ra.hedges += 1;
+        }
+        flight.target = Some(target);
+        if let Some(rp) = &cfg.retry {
+            let timeout = rp.timeout_s(flight.attempts, slack);
+            self.queue.schedule(
+                now.after_secs(timeout),
+                Ev::RetryTimeout {
+                    device,
+                    req: flight.req,
+                    attempt: flight.attempts,
+                },
+            );
+        }
+        self.uplinks[device].queue.push_back(flight);
+        self.maybe_start_tx(now, device);
+    }
+
+    /// Queue-free best-case seconds for `stream`'s offload path through
+    /// `target`, using only device-visible information: the nominal link
+    /// rate scaled by the AP's advertised PHY rate (`ap_bw_factor`), and
+    /// the server's *catalog* capacity. Deliberately blind to AP outages
+    /// and server throttles — detecting those is the job of retry
+    /// timeouts and breakers, not an oracle. No fading draw: this
+    /// consumes no randomness.
+    fn nominal_path_estimate(&self, stream: usize, device: usize, target: usize) -> f64 {
+        let s = &self.sim.streams[stream];
+        let ap = self.sim.cluster.devices[device].ap;
+        let air = self.links[device].tx_seconds(s.tx_bytes, s.bandwidth_share, 1.0)
+            / self.ap_bw_factor[ap];
+        air + self.sim.cluster.aps[ap].rtt_s / 2.0
+            + s.edge_flops / self.servers[target].base_fps.max(1.0)
+    }
+
+    /// Last resort once the offload path is given up on: degrade if a rung
+    /// exists, shed if policy allows, otherwise park the request back on
+    /// the uplink with no further watchdogs (the no-recovery behavior).
+    fn fall_back(&mut self, now: SimTime, mut flight: InFlight, device: usize) {
+        let sim = self.sim;
+        let cfg = &sim.config.recovery;
+        let s = &sim.streams[flight.task.stream];
+        if cfg.degrade {
+            let slack = s.deadline_s - now.secs_since(flight.task.arrival);
+            // Load-aware rung choice. Local-finish suffixes often dwarf
+            // the deadline slack (the `cheapest()` last resort exists
+            // precisely because completing late beats stranding), so an
+            // unconditional ladder turns device queues into piles of
+            // slow local work that a later device-churn event strands
+            // wholesale — recovery would then lose *more* requests than
+            // doing nothing. The ladder therefore only commits device
+            // seconds on an *idle* device (empty queue, no outstanding
+            // suffix); a busy one gets a zero-cost forced exit when the
+            // stream has one, and otherwise falls through to shedding or
+            // parking below.
+            let idle =
+                self.devices[device].queue.is_empty() && self.degrade_backlog_s[device] <= 0.0;
+            let avail = if idle { slack } else { 0.0 };
+            let rung = s
+                .degrade
+                .best_within(avail)
+                .or_else(|| if idle { s.degrade.cheapest() } else { None })
+                .cloned();
+            if let Some(rung) = rung {
+                let local = rung.extra_device_s > 0.0;
+                flight.degrade_to = Some(rung.clone());
+                if local {
+                    self.degrade_backlog_s[device] += rung.extra_device_s;
+                    self.devices[device].queue.push_back(flight);
+                    self.maybe_start_device(now, device);
+                } else {
+                    // Forced exit: the head output already exists.
+                    self.complete_degraded(now, flight);
+                }
+                return;
+            }
+        }
+        if cfg.shed_on_open {
+            if self.measured(flight.task.arrival) {
+                self.ra.shed += 1;
+            }
+            return;
+        }
+        self.uplinks[device].queue.push_back(flight);
+        self.maybe_start_tx(now, device);
+    }
+
+    /// Account a degraded completion (forced exit or local finish).
+    fn complete_degraded(&mut self, now: SimTime, flight: InFlight) {
+        if !self.measured(flight.task.arrival) {
+            return;
+        }
+        let rung = flight
+            .degrade_to
+            .as_ref()
+            .expect("degraded completion carries its rung");
+        let s = &self.sim.streams[flight.task.stream];
+        self.ra.degraded += 1;
+        if now.secs_since(flight.task.arrival) <= s.deadline_s {
+            self.ra.degraded_on_time += 1;
+        }
+        self.ra.nominal_acc_sum += flight.task.accuracy;
+        self.ra.degraded_acc_sum += rung.accuracy;
+    }
+
+    /// Retry watchdog: if the request is still sitting on the uplink with
+    /// the same attempt count, the attempt has timed out — cancel it, feed
+    /// the AP breaker, and retry or fall back.
+    fn on_retry_timeout(&mut self, now: SimTime, device: usize, req: u64, attempt: u32) {
+        let Some(rp) = self.sim.config.recovery.retry.clone() else {
+            return;
+        };
+        let now_s = now.as_secs_f64();
+        let ap = self.sim.cluster.devices[device].ap;
+        let in_current = self.uplinks[device]
+            .current
+            .as_ref()
+            .is_some_and(|f| f.req == req && f.attempts == attempt);
+        let (mut flight, pos) = if in_current {
+            self.tx_gen[device] += 1; // cancel the pending TxDone
+            let mut f = self.uplinks[device].current.take().expect("checked above");
+            f.tx_time = 0.0;
+            (f, 0)
+        } else {
+            let Some(pos) = self.uplinks[device]
+                .queue
+                .iter()
+                .position(|f| f.req == req && f.attempts == attempt)
+            else {
+                return; // stale: completed, stranded, or already retried
+            };
+            let f = self.uplinks[device]
+                .queue
+                .remove(pos)
+                .expect("position just found");
+            (f, pos)
+        };
+        self.ra.timeouts += 1;
+        if let Some(b) = self.ap_breakers.as_mut() {
+            b[ap].record_failure(now_s);
+        }
+        flight.attempts += 1;
+        if flight.attempts > rp.max_retries {
+            self.fall_back(now, flight, device);
+        } else {
+            if in_current {
+                self.ra.retries += 1;
+            }
+            let s = &self.sim.streams[flight.task.stream];
+            let slack = s.deadline_s - now.secs_since(flight.task.arrival);
+            let timeout = rp.timeout_s(flight.attempts, slack);
+            self.queue.schedule(
+                now.after_secs(timeout),
+                Ev::RetryTimeout {
+                    device,
+                    req,
+                    attempt: flight.attempts,
+                },
+            );
+            // A cancelled transmission restarts at the queue head; a
+            // merely-queued request keeps its place.
+            self.uplinks[device].queue.insert(pos, flight);
+        }
+        self.maybe_start_tx(now, device);
+    }
+
+    /// Emit one control-plane health snapshot and schedule the next epoch.
+    fn on_telemetry(&mut self, now: SimTime) {
+        let open = |brks: &Option<Vec<CircuitBreaker>>| -> Vec<bool> {
+            brks.as_ref()
+                .map(|v| v.iter().map(|b| b.state() == BreakerState::Open).collect())
+                .unwrap_or_default()
+        };
+        self.health.push(HealthSnapshot {
+            at_s: now.as_secs_f64(),
+            completions: self.meas_completed - self.last_snap.completed,
+            slo_misses: self.meas_misses - self.last_snap.misses,
+            timeouts: self.ra.timeouts - self.last_snap.timeouts,
+            degraded: self.ra.degraded - self.last_snap.degraded,
+            shed: self.ra.shed - self.last_snap.shed,
+            server_open: open(&self.srv_breakers),
+            ap_open: open(&self.ap_breakers),
+        });
+        self.last_snap = SnapBase {
+            completed: self.meas_completed,
+            misses: self.meas_misses,
+            timeouts: self.ra.timeouts,
+            degraded: self.ra.degraded,
+            shed: self.ra.shed,
+        };
+        let epoch = self.sim.config.recovery.telemetry_epoch_s;
+        if now < self.horizon {
+            self.queue.schedule(now.after_secs(epoch), Ev::Telemetry);
+        }
     }
 
     fn maybe_start_tx(&mut self, now: SimTime, device: usize) {
@@ -503,8 +889,14 @@ impl<'a> Runner<'a> {
             .current
             .take()
             .expect("TxDone without a transmission");
+        if let Some(b) = self.ap_breakers.as_mut() {
+            // The uplink delivered: the AP is healthy.
+            b[self.sim.cluster.devices[device].ap].record_success();
+        }
         let s = &self.sim.streams[flight.task.stream];
-        let server = s.server.expect("offloaded request has a server");
+        let server = flight
+            .target
+            .unwrap_or_else(|| s.server.expect("offloaded request has a server"));
         let srv = &mut self.servers[server];
         srv.advance(now);
         srv.active.push(ActiveOnServer {
@@ -711,6 +1103,12 @@ impl<'a> Runner<'a> {
             flights.push(f);
         }
         flights.extend(self.uplinks[device].queue.drain(..));
+        for f in &flights {
+            if let Some(rung) = &f.degrade_to {
+                self.degrade_backlog_s[device] =
+                    (self.degrade_backlog_s[device] - rung.extra_device_s).max(0.0);
+            }
+        }
         let stranded = flights
             .iter()
             .filter(|f| self.measured(f.task.arrival))
@@ -742,11 +1140,31 @@ impl<'a> Runner<'a> {
     }
 
     fn complete(&mut self, now: SimTime, flight: InFlight, edge_time: f64) {
+        let sim = self.sim;
+        let s = &sim.streams[flight.task.stream];
+        let latency = now.secs_since(flight.task.arrival);
+        if flight.tx_time > 0.0 {
+            // Offloaded outcome feeds the target server's health window
+            // (for all requests, measured or not — runtime health tracking
+            // does not know about measurement windows).
+            if let Some(brk) = self.srv_breakers.as_mut() {
+                let target = flight
+                    .target
+                    .unwrap_or_else(|| s.server.expect("offloaded request has a server"));
+                if latency <= s.deadline_s {
+                    brk[target].record_success();
+                } else {
+                    brk[target].record_failure(now.as_secs_f64());
+                }
+            }
+        }
         if !self.measured(flight.task.arrival) {
             return;
         }
-        let s = &self.sim.streams[flight.task.stream];
-        let latency = now.secs_since(flight.task.arrival);
+        self.meas_completed += 1;
+        if latency > s.deadline_s {
+            self.meas_misses += 1;
+        }
         let under_fault = self.active_faults.iter().any(|&c| c > 0);
         if under_fault {
             self.fa.completions_during += 1;
@@ -793,7 +1211,30 @@ impl<'a> Runner<'a> {
         let trace = RunTrace {
             tasks: self.trace.take().unwrap_or_default(),
             faults: self.fault_trace.take().unwrap_or_default(),
+            health: std::mem::take(&mut self.health),
         };
+        let mut recovery = RecoveryMetrics::empty();
+        recovery.timeouts = self.ra.timeouts;
+        recovery.retries = self.ra.retries;
+        recovery.hedges = self.ra.hedges;
+        recovery.degraded = self.ra.degraded;
+        recovery.degraded_on_time = self.ra.degraded_on_time;
+        recovery.shed = self.ra.shed;
+        if self.ra.degraded > 0 {
+            let n = self.ra.degraded as f64;
+            recovery.mean_degraded_accuracy = self.ra.degraded_acc_sum / n;
+            recovery.accuracy_cost = (self.ra.nominal_acc_sum - self.ra.degraded_acc_sum) / n;
+        }
+        for brks in [&self.srv_breakers, &self.ap_breakers]
+            .into_iter()
+            .flatten()
+        {
+            for b in brks {
+                recovery.breaker_opens += b.opens;
+                recovery.breaker_half_opens += b.half_opens;
+                recovery.breaker_closes += b.closes;
+            }
+        }
         // Requests still queued when the event queue drained are stalled
         // behind an unrecovered fault (a clean run always drains fully).
         // Count them so nothing is silently dropped.
@@ -850,6 +1291,7 @@ impl<'a> Runner<'a> {
             server_utilization,
             per_stream,
             faults: self.fa.finish(),
+            recovery,
         };
         (report, trace)
     }
@@ -898,6 +1340,8 @@ mod tests {
             acc_full: 0.76,
             bandwidth_share: 1.0,
             compute_weight: 1.0,
+            degrade: scalpel_surgery::DegradeLadder::none(),
+            fallback_servers: vec![],
         }
     }
 
@@ -908,6 +1352,7 @@ mod tests {
             seed: 42,
             fading: false,
             faults: FaultPlan::none(),
+            recovery: RecoveryConfig::none(),
         }
     }
 
@@ -1504,6 +1949,176 @@ mod tests {
         assert_eq!(r1.completed, r2.completed);
         assert_eq!(r1.latency.mean, r2.latency.mean);
         assert_eq!(r1.faults, r2.faults);
+    }
+
+    /// A stream with one forced-exit rung and a local-finish rung.
+    fn recoverable_stream(rate: f64) -> CompiledStream {
+        let mut s = no_exit_stream(rate, 0.002, 5e8);
+        s.device_time_to_exit = vec![0.001];
+        s.behavior = ExitBehavior {
+            exit_probs: vec![0.2],
+            cum: vec![0.2],
+            remain_prob: 0.8,
+            expected_accuracy: 0.75,
+        };
+        s.acc_at_exit = vec![0.70];
+        s.degrade = scalpel_surgery::DegradeLadder::new(vec![
+            DegradeRung {
+                exit: Some(0),
+                extra_device_s: 0.0,
+                accuracy: 0.69,
+            },
+            DegradeRung {
+                exit: None,
+                extra_device_s: 0.01,
+                accuracy: 0.76,
+            },
+        ]);
+        s
+    }
+
+    #[test]
+    fn disabled_recovery_is_a_bitwise_noop() {
+        let cluster = two_ap_cluster();
+        let streams: Vec<CompiledStream> = (0..4)
+            .map(|k| {
+                let mut s = no_exit_stream(3.0, 0.005, 5e8);
+                s.id = k;
+                s.device = k;
+                s.server = Some(k % 2);
+                s.bandwidth_share = 0.5;
+                s
+            })
+            .collect();
+        let mut cfg = fault_cfg(
+            FaultProfile {
+                rate_hz: 0.8,
+                ..FaultProfile::default()
+            }
+            .plan(4, 2, 2, 20.0)
+            .events,
+        );
+        cfg.fading = true;
+        cfg.recovery = RecoveryConfig::none();
+        let legacy = EdgeSim::new(cluster.clone(), streams.clone(), cfg.clone())
+            .unwrap()
+            .run();
+        let r = EdgeSim::new(cluster, streams, cfg).unwrap().run();
+        assert_eq!(legacy.completed, r.completed);
+        assert_eq!(legacy.latency.p99, r.latency.p99);
+        assert_eq!(legacy.faults, r.faults);
+        assert_eq!(r.recovery, RecoveryMetrics::empty());
+    }
+
+    #[test]
+    fn degradation_clears_an_unrecovered_ap_outage() {
+        let cluster = one_device_cluster();
+        let s = recoverable_stream(4.0);
+        // Without recovery this schedule stalls every post-outage request.
+        let mut cfg = fault_cfg(vec![at(5.0, FaultKind::ApDown { ap: 0 })]);
+        let bare = EdgeSim::new(cluster.clone(), vec![s.clone()], cfg.clone())
+            .unwrap()
+            .run();
+        assert!(bare.faults.stalled > 0);
+        cfg.recovery = RecoveryConfig::retry_only();
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        // Retries exhaust against the dead AP and the ladder takes over:
+        // nothing is left stuck on the uplink.
+        assert_eq!(r.faults.stalled, 0);
+        assert!(r.recovery.timeouts > 0);
+        assert!(r.recovery.degraded > 0);
+        assert!(r.recovery.accuracy_cost >= 0.0);
+        assert_eq!(r.generated, r.accounted());
+    }
+
+    #[test]
+    fn breakers_open_under_ap_outage_and_telemetry_sees_them() {
+        let cluster = one_device_cluster();
+        let s = recoverable_stream(6.0);
+        let mut cfg = fault_cfg(vec![at(4.0, FaultKind::ApDown { ap: 0 })]);
+        cfg.recovery = RecoveryConfig::full();
+        let (r, trace) = EdgeSim::new(cluster, vec![s], cfg).unwrap().run_logged();
+        assert!(r.recovery.breaker_opens > 0);
+        assert!(!trace.health.is_empty());
+        // Some epoch after the outage reports the AP breaker open.
+        assert!(trace.health.iter().any(|h| h.ap_open.iter().any(|&o| o)));
+        assert_eq!(r.generated, r.accounted());
+    }
+
+    #[test]
+    fn hedging_reroutes_around_a_dead_server() {
+        let cluster = two_ap_cluster();
+        let cap = ProcessorClass::EdgeGpuT4.spec().flops_per_sec;
+        let mut s = recoverable_stream(6.0);
+        s.edge_flops = cap * 0.01;
+        s.deadline_s = 0.1;
+        s.server = Some(0);
+        s.fallback_servers = vec![1];
+        // 10x throttle on the primary: completions still flow but every
+        // one misses its 100 ms deadline, so the outcome-driven breaker
+        // opens and hedging shifts traffic to server 1.
+        let mut cfg = fault_cfg(vec![at(
+            4.0,
+            FaultKind::ServerThrottle {
+                server: 0,
+                factor: 0.1,
+            },
+        )]);
+        cfg.recovery = RecoveryConfig::full();
+        let r = EdgeSim::new(cluster, vec![s], cfg).unwrap().run();
+        assert!(r.recovery.breaker_opens > 0, "{:?}", r.recovery);
+        assert!(r.recovery.hedges > 0, "{:?}", r.recovery);
+        assert!(r.server_utilization[1] > 0.0);
+        assert_eq!(r.generated, r.accounted());
+    }
+
+    #[test]
+    fn recovery_runs_are_deterministic() {
+        let cluster = two_ap_cluster();
+        let streams: Vec<CompiledStream> = (0..4)
+            .map(|k| {
+                let mut s = recoverable_stream(3.0);
+                s.id = k;
+                s.device = k;
+                s.server = Some(k % 2);
+                s.fallback_servers = vec![(k + 1) % 2];
+                s.bandwidth_share = 0.5;
+                s
+            })
+            .collect();
+        let mut cfg = fault_cfg(
+            FaultProfile {
+                rate_hz: 0.8,
+                ..FaultProfile::default()
+            }
+            .plan(4, 2, 2, 20.0)
+            .events,
+        );
+        cfg.fading = true;
+        cfg.recovery = RecoveryConfig::full();
+        let r1 = EdgeSim::new(cluster.clone(), streams.clone(), cfg.clone())
+            .unwrap()
+            .run();
+        let r2 = EdgeSim::new(cluster, streams, cfg).unwrap().run();
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(r1.latency.mean, r2.latency.mean);
+        assert_eq!(r1.recovery, r2.recovery);
+        assert_eq!(r1.faults, r2.faults);
+    }
+
+    #[test]
+    fn invalid_recovery_config_is_rejected_up_front() {
+        let cluster = one_device_cluster();
+        let s = no_exit_stream(1.0, 0.01, 1e9);
+        let mut cfg = base_config();
+        cfg.recovery = RecoveryConfig {
+            hedge: true, // hedging needs breakers
+            ..RecoveryConfig::none()
+        };
+        assert!(EdgeSim::new(cluster.clone(), vec![s.clone()], cfg).is_err());
+        let mut s2 = s;
+        s2.fallback_servers = vec![9];
+        assert!(EdgeSim::new(cluster, vec![s2], base_config()).is_err());
     }
 
     #[test]

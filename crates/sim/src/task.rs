@@ -8,6 +8,7 @@
 use crate::time::SimTime;
 use crate::workload::ArrivalProcess;
 use scalpel_models::ExitBehavior;
+use scalpel_surgery::DegradeLadder;
 use serde::{Deserialize, Serialize};
 
 /// Stream index.
@@ -47,6 +48,16 @@ pub struct CompiledStream {
     pub bandwidth_share: f64,
     /// Weighted-PS weight on the server (relative share of capacity).
     pub compute_weight: f64,
+    /// Degraded completion modes available when the offload path is
+    /// unusable (empty = requests strand instead; always empty for
+    /// device-only plans). Only consulted when recovery is enabled.
+    #[serde(default)]
+    pub degrade: DegradeLadder,
+    /// Alternative servers for hedged re-offload when the primary's
+    /// breaker is open, in preference order. Only consulted when recovery
+    /// hedging is enabled.
+    #[serde(default)]
+    pub fallback_servers: Vec<usize>,
 }
 
 impl CompiledStream {
@@ -94,6 +105,26 @@ impl CompiledStream {
             if self.tx_bytes < 0.0 || self.edge_flops < 0.0 {
                 return Err(format!("stream {}: negative edge demand", self.id));
             }
+        }
+        self.degrade
+            .validate()
+            .map_err(|e| format!("stream {}: degrade ladder: {e}", self.id))?;
+        for r in &self.degrade.rungs {
+            if let Some(i) = r.exit {
+                if i >= self.acc_at_exit.len() {
+                    return Err(format!(
+                        "stream {}: degrade rung forces missing exit {i}",
+                        self.id
+                    ));
+                }
+            }
+        }
+        if self.server.is_none() && (!self.degrade.is_empty() || !self.fallback_servers.is_empty())
+        {
+            return Err(format!(
+                "stream {}: device-only plans carry no recovery options",
+                self.id
+            ));
         }
         Ok(())
     }
@@ -148,6 +179,8 @@ mod tests {
             acc_full: 0.76,
             bandwidth_share: 0.25,
             compute_weight: 1.0,
+            degrade: DegradeLadder::none(),
+            fallback_servers: vec![],
         }
     }
 
@@ -204,5 +237,36 @@ mod tests {
     fn device_exit_prob_complements_remain() {
         let s = base_stream();
         assert!((s.device_exit_prob() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_only_streams_reject_recovery_options() {
+        use scalpel_surgery::DegradeRung;
+        let mut s = base_stream();
+        s.server = None;
+        s.fallback_servers = vec![1];
+        assert!(s.validate().is_err());
+        let mut s = base_stream();
+        s.server = None;
+        s.degrade = DegradeLadder::new(vec![DegradeRung {
+            exit: Some(0),
+            extra_device_s: 0.0,
+            accuracy: 0.7,
+        }]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn malformed_ladder_fails_stream_validation() {
+        use scalpel_surgery::DegradeRung;
+        let mut s = base_stream();
+        s.degrade = DegradeLadder {
+            rungs: vec![DegradeRung {
+                exit: None,
+                extra_device_s: -0.5,
+                accuracy: 0.7,
+            }],
+        };
+        assert!(s.validate().is_err());
     }
 }

@@ -8,6 +8,7 @@
 //! per executed fault event, bundled in a [`RunTrace`].
 
 use crate::faults::FaultKind;
+use crate::recovery::HealthSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Timing decomposition of one completed request.
@@ -69,6 +70,11 @@ pub struct RunTrace {
     pub tasks: Vec<TaskRecord>,
     /// One record per executed fault event, in execution order.
     pub faults: Vec<FaultRecord>,
+    /// One control-plane telemetry snapshot per recovery epoch (empty
+    /// unless recovery telemetry is enabled) — what the fault detector
+    /// consumes to trigger re-solves.
+    #[serde(default)]
+    pub health: Vec<HealthSnapshot>,
 }
 
 #[cfg(test)]

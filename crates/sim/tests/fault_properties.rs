@@ -60,6 +60,8 @@ fn streams() -> Vec<CompiledStream> {
             acc_full: 0.76,
             bandwidth_share: 1.0 / N_DEVICES as f64,
             compute_weight: 1.0,
+            degrade: scalpel_sim::DegradeLadder::none(),
+            fallback_servers: vec![],
         })
         .collect()
 }
@@ -71,6 +73,7 @@ fn config(seed: u64, plan: FaultPlan) -> SimConfig {
         seed,
         fading: true,
         faults: plan,
+        recovery: scalpel_sim::RecoveryConfig::none(),
     }
 }
 

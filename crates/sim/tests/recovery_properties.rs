@@ -1,0 +1,265 @@
+//! Property-based invariants of the recovery subsystem.
+//!
+//! Two laws anchor the layer. The breaker state machine is a one-way
+//! ratchet per cycle: a tripped breaker can only return to service
+//! through a half-open probe phase — never directly. And whatever the
+//! combination of fault schedule and recovery posture, every measured
+//! request is accounted: completed at full fidelity, completed degraded,
+//! shed, stranded, or stalled.
+
+use proptest::prelude::*;
+use scalpel_models::{ExitBehavior, ProcessorClass};
+use scalpel_sim::{
+    ApSpec, ArrivalProcess, BreakerConfig, BreakerState, CircuitBreaker, Cluster, CompiledStream,
+    DegradeLadder, DegradeRung, DeviceSpec, EdgeSim, FaultPlan, FaultProfile, RecoveryConfig,
+    ServerSpec, SimConfig,
+};
+
+const N_DEVICES: usize = 3;
+const N_APS: usize = 2;
+const N_SERVERS: usize = 2;
+const HORIZON_S: f64 = 8.0;
+
+fn cluster() -> Cluster {
+    Cluster {
+        devices: (0..N_DEVICES)
+            .map(|id| DeviceSpec {
+                id,
+                proc: ProcessorClass::JetsonNano.spec(),
+                ap: id % N_APS,
+                distance_m: 30.0,
+            })
+            .collect(),
+        aps: (0..N_APS)
+            .map(|id| ApSpec {
+                id,
+                bandwidth_hz: 20e6,
+                rtt_s: 2e-3,
+            })
+            .collect(),
+        servers: (0..N_SERVERS)
+            .map(|id| ServerSpec {
+                id,
+                proc: ProcessorClass::EdgeGpuT4.spec(),
+            })
+            .collect(),
+    }
+}
+
+/// Offloaded streams with a two-rung ladder (a free forced exit and a
+/// local finish) and a fallback server — every recovery mechanism has
+/// something to act on.
+fn streams() -> Vec<CompiledStream> {
+    (0..N_DEVICES)
+        .map(|d| CompiledStream {
+            id: d,
+            device: d,
+            server: Some(d % N_SERVERS),
+            arrivals: ArrivalProcess::Poisson { rate_hz: 3.0 },
+            deadline_s: 0.25,
+            device_time_to_exit: vec![0.002],
+            device_full_time: 0.004,
+            tx_bytes: 8e4,
+            edge_flops: 5e8,
+            behavior: ExitBehavior {
+                exit_probs: vec![0.3],
+                cum: vec![0.3],
+                remain_prob: 0.7,
+                expected_accuracy: 0.712,
+            },
+            acc_at_exit: vec![0.60],
+            acc_full: 0.76,
+            bandwidth_share: 1.0 / N_DEVICES as f64,
+            compute_weight: 1.0,
+            degrade: DegradeLadder::new(vec![
+                DegradeRung {
+                    exit: Some(0),
+                    extra_device_s: 0.0,
+                    accuracy: 0.60,
+                },
+                DegradeRung {
+                    exit: None,
+                    extra_device_s: 0.002,
+                    accuracy: 0.74,
+                },
+            ]),
+            fallback_servers: vec![(d + 1) % N_SERVERS],
+        })
+        .collect()
+}
+
+fn config(seed: u64, plan: FaultPlan, recovery: RecoveryConfig) -> SimConfig {
+    SimConfig {
+        horizon_s: HORIZON_S,
+        warmup_s: 1.0,
+        seed,
+        fading: true,
+        faults: plan,
+        recovery,
+    }
+}
+
+fn plan(fault_seed: u64, rate_tenths: u64) -> FaultPlan {
+    FaultProfile {
+        seed: fault_seed,
+        rate_hz: rate_tenths as f64 / 10.0,
+        mean_outage_s: 1.5,
+        start_s: 0.0,
+        classes: Vec::new(),
+    }
+    .plan(N_DEVICES, N_APS, N_SERVERS, HORIZON_S)
+}
+
+fn preset(idx: u64) -> RecoveryConfig {
+    match idx % 4 {
+        0 => RecoveryConfig::none(),
+        1 => RecoveryConfig::retry_only(),
+        2 => RecoveryConfig::retry_breaker(),
+        _ => RecoveryConfig::full(),
+    }
+}
+
+/// One step of the driver below: an acquire at a time, or an outcome.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Acquire(f64),
+    Success,
+    Failure(f64),
+}
+
+/// Ops are generated as `(kind, centiseconds)` pairs — the vendored
+/// proptest has no `prop_oneof`, so the tag is an integer range.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u64..3, 0u64..2000).prop_map(|(kind, cs)| {
+        let t = cs as f64 / 100.0;
+        match kind {
+            0 => Op::Acquire(t),
+            1 => Op::Success,
+            _ => Op::Failure(t),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Driving a breaker with an arbitrary interleaving of acquires,
+    /// successes, and failures (times monotonically ordered) never
+    /// produces an Open → Closed transition without an intervening
+    /// half-open probe phase, and the transition counters stay
+    /// consistent with the observed history.
+    #[test]
+    fn breaker_never_closes_without_a_probe(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut brk = CircuitBreaker::new(BreakerConfig::default());
+        // Sort the embedded times so the clock never runs backwards.
+        let mut times: Vec<f64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Acquire(t) | Op::Failure(t) => Some(*t),
+                Op::Success => None,
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let mut next_time = times.into_iter();
+        let mut prev = brk.state();
+        for op in &ops {
+            match op {
+                Op::Acquire(_) => {
+                    brk.try_acquire(next_time.next().expect("one time per timed op"));
+                }
+                Op::Success => brk.record_success(),
+                Op::Failure(_) => {
+                    brk.record_failure(next_time.next().expect("one time per timed op"));
+                }
+            }
+            let state = brk.state();
+            prop_assert!(
+                !(prev == BreakerState::Open && state == BreakerState::Closed),
+                "breaker closed straight from open"
+            );
+            prev = state;
+        }
+        // Counter consistency: each close needs a half-open phase first,
+        // and each half-open phase needs a preceding trip.
+        prop_assert!(brk.closes <= brk.half_opens);
+        prop_assert!(brk.half_opens <= brk.opens);
+    }
+
+    /// The breaker is a deterministic state machine: replaying the same
+    /// op sequence reproduces the same state and counters.
+    #[test]
+    fn breaker_replay_is_deterministic(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let drive = |ops: &[Op]| {
+            let mut brk = CircuitBreaker::new(BreakerConfig::default());
+            for op in ops {
+                match op {
+                    Op::Acquire(t) => {
+                        brk.try_acquire(*t);
+                    }
+                    Op::Success => brk.record_success(),
+                    Op::Failure(t) => brk.record_failure(*t),
+                }
+            }
+            (brk.state(), brk.opens, brk.half_opens, brk.closes)
+        };
+        prop_assert_eq!(drive(&ops), drive(&ops));
+    }
+
+    /// Conservation under recovery: whatever the fault schedule and
+    /// posture, measured requests split exactly into full-fidelity
+    /// completions, degraded completions, shed requests, and fault
+    /// losses. Nothing is double-counted or silently dropped.
+    #[test]
+    fn recovered_runs_conserve_every_request(
+        seed in 1u64..500,
+        fault_seed in 1u64..500,
+        rate_tenths in 1u64..12,
+        preset_idx in 0u64..4,
+    ) {
+        let recovery = preset(preset_idx);
+        let p = plan(fault_seed, rate_tenths);
+        let report = EdgeSim::new(cluster(), streams(), config(seed, p.clone(), recovery))
+            .expect("generated plans validate")
+            .run();
+        prop_assert_eq!(
+            report.generated,
+            report.accounted(),
+            "completed {} degraded {} shed {} lost {} (plan had {} events)",
+            report.completed,
+            report.recovery.degraded,
+            report.recovery.shed,
+            report.faults.lost(),
+            p.events.len()
+        );
+        // Degraded completions carry accuracy; the aggregate stays in
+        // range and only exists when degradations happened.
+        prop_assert!(report.recovery.mean_degraded_accuracy >= 0.0);
+        prop_assert!(report.recovery.mean_degraded_accuracy <= 1.0);
+        if report.recovery.degraded == 0 {
+            prop_assert_eq!(report.recovery.mean_degraded_accuracy, 0.0);
+        }
+    }
+
+    /// Recovery keeps the simulation deterministic: identical (seed,
+    /// plan, posture) triples reproduce bit-identical reports.
+    #[test]
+    fn recovered_runs_are_deterministic(
+        seed in 1u64..200,
+        fault_seed in 1u64..200,
+        preset_idx in 0u64..4,
+    ) {
+        let recovery = preset(preset_idx);
+        let p = plan(fault_seed, 8);
+        let run = || {
+            EdgeSim::new(cluster(), streams(), config(seed, p.clone(), recovery.clone()))
+                .expect("valid")
+                .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.latency.mean, b.latency.mean);
+        prop_assert_eq!(a.faults, b.faults);
+        prop_assert_eq!(a.recovery, b.recovery);
+    }
+}

@@ -68,6 +68,8 @@ fn stream_strategy(id: usize, n_devices: usize) -> impl Strategy<Value = Compile
                 behavior,
                 bandwidth_share: 1.0 / n_devices as f64,
                 compute_weight: 1.0,
+                degrade: scalpel_sim::DegradeLadder::none(),
+                fallback_servers: vec![],
             }
         })
 }

@@ -12,6 +12,8 @@
 //!   pick ≤E exit hosts and a threshold minimizing expected latency subject
 //!   to an accuracy floor;
 //! * [`pareto`] — dominated-plan elimination;
+//! * [`degrade`] — runtime graceful-degradation ladders (forced exits,
+//!   local finish) implied by an offloaded plan;
 //! * [`candidates`] — the full candidate-generation pipeline producing the
 //!   per-stream plan menus the joint optimizer searches over.
 
@@ -19,6 +21,7 @@
 #![warn(clippy::all)]
 
 pub mod candidates;
+pub mod degrade;
 pub mod exit_setting;
 pub mod pareto;
 pub mod partition;
@@ -26,6 +29,7 @@ pub mod plan;
 pub mod pruning;
 
 pub use candidates::{CandidatePlan, PlanProfile, ReferenceEnv};
+pub use degrade::{ladder_for_plan, DegradeLadder, DegradeRung, FORCED_EXIT_ACC_COST};
 pub use exit_setting::{ExitCandidate, ExitSettingProblem, ExitSettingSolution};
 pub use pareto::pareto_filter;
 pub use plan::SurgeryPlan;

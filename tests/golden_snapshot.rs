@@ -8,7 +8,7 @@ use scalpel::core::config::ScenarioConfig;
 use scalpel::core::evaluator::Evaluator;
 use scalpel::core::optimizer::OptimizerConfig;
 use scalpel::core::runner;
-use scalpel::sim::{FaultProfile, SimConfig, SimReport};
+use scalpel::sim::{FaultProfile, RecoveryConfig, SimConfig, SimReport};
 
 /// The frozen scenario: 1 AP × 4 devices, 6 s horizon, all four fault
 /// classes injected at 0.8 faults/s from t = 1 s. Every knob is pinned.
@@ -73,4 +73,83 @@ fn golden_faulted_run_summary_is_pinned() {
     // Structural invariants of the pinned run (guard the pin itself).
     assert_eq!(r.generated, r.completed + r.faults.lost());
     assert!(r.faults.injected > 0, "the pinned plan must actually fire");
+}
+
+/// The same frozen scenario with the full recovery ladder switched on.
+fn golden_recovered_report() -> SimReport {
+    let mut cfg = ScenarioConfig {
+        num_aps: 1,
+        devices_per_ap: 4,
+        arrival_rate_hz: 6.0,
+        seed: 7,
+        sim: SimConfig {
+            horizon_s: 6.0,
+            warmup_s: 1.0,
+            seed: 77,
+            fading: true,
+            ..SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    cfg.apply_fault_profile(&FaultProfile {
+        seed: 5,
+        rate_hz: 1.2,
+        mean_outage_s: 1.5,
+        start_s: 1.0,
+        classes: Vec::new(),
+    });
+    cfg.apply_recovery(RecoveryConfig::full());
+    let problem = cfg.build();
+    let ev = Evaluator::new(&problem, None);
+    let sol = solve_with(
+        &ev,
+        Method::Neurosurgeon,
+        &OptimizerConfig {
+            rounds: 1,
+            gibbs_iters: 0,
+            ..Default::default()
+        },
+    );
+    runner::run_solution_seeds(&problem, &ev, &sol, cfg.sim, &[1])
+        .pop()
+        .expect("one seed, one report")
+}
+
+#[test]
+fn golden_recovered_run_summary_is_pinned() {
+    let r = golden_recovered_report();
+    let summary = (
+        r.generated,
+        r.completed,
+        r.recovery.degraded,
+        r.recovery.shed,
+        r.recovery.timeouts,
+        r.recovery.retries,
+        r.recovery.hedges,
+        r.recovery.breaker_opens,
+        r.faults.stranded,
+        r.faults.stalled,
+        (r.recovery.mean_degraded_accuracy * 1e4).round() as i64,
+    );
+    println!("golden recovered summary: {summary:?}");
+    assert_eq!(
+        summary,
+        (95, 75, 19, 0, 11, 1, 1, 3, 1, 0, 6286),
+        "golden recovered summary moved — re-pin only if the change is intentional"
+    );
+    // The extended conservation law must hold on the pinned run.
+    assert_eq!(r.generated, r.accounted());
+}
+
+/// Identical config (recovery included) reruns bit-for-bit.
+#[test]
+fn golden_recovered_run_is_bit_identical_on_rerun() {
+    let a = golden_recovered_report();
+    let b = golden_recovered_report();
+    assert_eq!(a.generated, b.generated);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.latency.mean.to_bits(), b.latency.mean.to_bits());
+    assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.recovery, b.recovery);
 }
