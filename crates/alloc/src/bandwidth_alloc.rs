@@ -7,7 +7,7 @@
 //! *expected* per request (scaled by the probability the request reaches
 //! the uplink at all, i.e. did not exit on the device).
 
-use crate::convex::{self, HyperbolicDemand};
+use crate::convex::{self, AllocScratch, HyperbolicDemand};
 use serde::{Deserialize, Serialize};
 
 /// One device's uplink demand on its AP.
@@ -43,33 +43,69 @@ pub enum BandwidthPolicy {
 
 /// Compute per-device spectrum shares on one AP.
 pub fn allocate(demands: &[BandwidthDemand], policy: BandwidthPolicy) -> Vec<f64> {
+    let mut out = Vec::new();
+    allocate_into(demands, policy, &mut AllocScratch::default(), &mut out);
+    out
+}
+
+/// [`allocate`] writing into a caller-owned buffer (cleared first) with
+/// reusable solver scratch: bit-identical shares, zero heap traffic on the
+/// hot path once the buffers are warm.
+pub fn allocate_into(
+    demands: &[BandwidthDemand],
+    policy: BandwidthPolicy,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     if demands.is_empty() {
-        return Vec::new();
+        return;
     }
-    let hyper: Vec<HyperbolicDemand> = demands
-        .iter()
-        .map(|d| HyperbolicDemand::new(d.pre_tx_s + d.post_tx_s, d.tx_s_full))
-        .collect();
     match policy {
         BandwidthPolicy::Equal => {
             let n = demands.iter().filter(|d| d.tx_s_full > 0.0).count().max(1) as f64;
-            demands
-                .iter()
-                .map(|d| if d.tx_s_full > 0.0 { 1.0 / n } else { 0.0 })
-                .collect()
+            out.extend(
+                demands
+                    .iter()
+                    .map(|d| if d.tx_s_full > 0.0 { 1.0 / n } else { 0.0 }),
+            );
         }
         BandwidthPolicy::WeightedSum => {
-            let weights: Vec<f64> = demands.iter().map(|d| d.weight).collect();
-            convex::weighted_sum_shares(&hyper, &weights)
+            fill_hyper(demands, scratch);
+            convex::weighted_sum_shares_into(&scratch.hyper, &scratch.weights, out);
         }
-        BandwidthPolicy::MinMax => convex::minmax_shares(&hyper).1,
+        BandwidthPolicy::MinMax => {
+            fill_hyper(demands, scratch);
+            convex::minmax_shares_into(&scratch.hyper, out);
+        }
         BandwidthPolicy::DeadlineAware => {
-            let deadlines: Vec<f64> = demands.iter().map(|d| d.deadline_s).collect();
-            let weights: Vec<f64> = demands.iter().map(|d| d.weight).collect();
-            convex::deadline_shares(&hyper, &deadlines, &weights)
-                .unwrap_or_else(|| convex::weighted_sum_shares(&hyper, &weights))
+            fill_hyper(demands, scratch);
+            scratch.deadlines.clear();
+            scratch
+                .deadlines
+                .extend(demands.iter().map(|d| d.deadline_s));
+            let AllocScratch {
+                hyper,
+                deadlines,
+                weights,
+                roots,
+            } = scratch;
+            if !convex::deadline_shares_into(hyper, deadlines, weights, roots, out) {
+                convex::weighted_sum_shares_into(hyper, weights, out);
+            }
         }
     }
+}
+
+fn fill_hyper(demands: &[BandwidthDemand], scratch: &mut AllocScratch) {
+    scratch.hyper.clear();
+    scratch.hyper.extend(
+        demands
+            .iter()
+            .map(|d| HyperbolicDemand::new(d.pre_tx_s + d.post_tx_s, d.tx_s_full)),
+    );
+    scratch.weights.clear();
+    scratch.weights.extend(demands.iter().map(|d| d.weight));
 }
 
 /// Analytic end-to-end latency of each device's requests under shares.

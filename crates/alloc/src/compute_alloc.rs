@@ -7,7 +7,7 @@
 //! processor-sharing server, so they need not sum to exactly one — but the
 //! solvers keep them on the simplex so analytic and simulated worlds agree.
 
-use crate::convex::{self, HyperbolicDemand};
+use crate::convex::{self, AllocScratch, HyperbolicDemand};
 use serde::{Deserialize, Serialize};
 
 /// One stream's compute demand on its server.
@@ -46,20 +46,32 @@ pub enum ComputePolicy {
 
 /// Compute per-stream shares on one server under `policy`.
 pub fn allocate(demands: &[ComputeDemand], policy: ComputePolicy) -> Vec<f64> {
+    let mut out = Vec::new();
+    allocate_into(demands, policy, &mut AllocScratch::default(), &mut out);
+    out
+}
+
+/// [`allocate`] writing into a caller-owned buffer (cleared first) with
+/// reusable solver scratch: bit-identical shares, zero heap traffic on the
+/// hot path once the buffers are warm.
+pub fn allocate_into(
+    demands: &[ComputeDemand],
+    policy: ComputePolicy,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     if demands.is_empty() {
-        return Vec::new();
+        return;
     }
-    let hyper: Vec<HyperbolicDemand> = demands
-        .iter()
-        .map(|d| HyperbolicDemand::new(d.pre_edge_s, d.edge_s_full))
-        .collect();
     match policy {
         ComputePolicy::Equal => {
             let n = demands.len() as f64;
-            demands
-                .iter()
-                .map(|d| if d.edge_s_full > 0.0 { 1.0 / n } else { 0.0 })
-                .collect()
+            out.extend(
+                demands
+                    .iter()
+                    .map(|d| if d.edge_s_full > 0.0 { 1.0 / n } else { 0.0 }),
+            );
         }
         ComputePolicy::Proportional => {
             let total: f64 = demands
@@ -67,29 +79,50 @@ pub fn allocate(demands: &[ComputeDemand], policy: ComputePolicy) -> Vec<f64> {
                 .filter(|d| d.edge_s_full > 0.0)
                 .map(|d| d.weight)
                 .sum();
-            demands
-                .iter()
-                .map(|d| {
-                    if d.edge_s_full > 0.0 && total > 0.0 {
-                        d.weight / total
-                    } else {
-                        0.0
-                    }
-                })
-                .collect()
+            out.extend(demands.iter().map(|d| {
+                if d.edge_s_full > 0.0 && total > 0.0 {
+                    d.weight / total
+                } else {
+                    0.0
+                }
+            }));
         }
         ComputePolicy::WeightedSum => {
-            let weights: Vec<f64> = demands.iter().map(|d| d.weight).collect();
-            convex::weighted_sum_shares(&hyper, &weights)
+            fill_hyper(demands, scratch);
+            convex::weighted_sum_shares_into(&scratch.hyper, &scratch.weights, out);
         }
-        ComputePolicy::MinMax => convex::minmax_shares(&hyper).1,
+        ComputePolicy::MinMax => {
+            fill_hyper(demands, scratch);
+            convex::minmax_shares_into(&scratch.hyper, out);
+        }
         ComputePolicy::DeadlineAware => {
-            let deadlines: Vec<f64> = demands.iter().map(|d| d.deadline_s).collect();
-            let weights: Vec<f64> = demands.iter().map(|d| d.weight).collect();
-            convex::deadline_shares(&hyper, &deadlines, &weights)
-                .unwrap_or_else(|| convex::weighted_sum_shares(&hyper, &weights))
+            fill_hyper(demands, scratch);
+            scratch.deadlines.clear();
+            scratch
+                .deadlines
+                .extend(demands.iter().map(|d| d.deadline_s));
+            let AllocScratch {
+                hyper,
+                deadlines,
+                weights,
+                roots,
+            } = scratch;
+            if !convex::deadline_shares_into(hyper, deadlines, weights, roots, out) {
+                convex::weighted_sum_shares_into(hyper, weights, out);
+            }
         }
     }
+}
+
+fn fill_hyper(demands: &[ComputeDemand], scratch: &mut AllocScratch) {
+    scratch.hyper.clear();
+    scratch.hyper.extend(
+        demands
+            .iter()
+            .map(|d| HyperbolicDemand::new(d.pre_edge_s, d.edge_s_full)),
+    );
+    scratch.weights.clear();
+    scratch.weights.extend(demands.iter().map(|d| d.weight));
 }
 
 /// Analytic latency of each stream under given shares (no queueing).

@@ -14,6 +14,19 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Reusable buffers for the borrowed-scratch allocator entry points
+/// (`compute_alloc::allocate_into`, `bandwidth_alloc::allocate_into`).
+/// Holding one of these across calls removes every per-call heap
+/// allocation from the solve path; the solvers themselves are unchanged
+/// and produce bit-identical shares.
+#[derive(Debug, Default, Clone)]
+pub struct AllocScratch {
+    pub(crate) hyper: Vec<HyperbolicDemand>,
+    pub(crate) deadlines: Vec<f64>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) roots: Vec<f64>,
+}
+
 /// One stream's demand on a shared resource.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HyperbolicDemand {
@@ -46,20 +59,28 @@ impl HyperbolicDemand {
 /// `c_k = √(w_k e_k) / Σ_j √(w_j e_j)`. Streams with `e_k = 0` receive 0.
 /// Returns one share per demand; all zeros if nothing needs the resource.
 pub fn weighted_sum_shares(demands: &[HyperbolicDemand], weights: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    weighted_sum_shares_into(demands, weights, &mut out);
+    out
+}
+
+/// [`weighted_sum_shares`] writing into a caller-owned buffer (cleared
+/// first); identical arithmetic, no allocation when `out` has capacity.
+pub fn weighted_sum_shares_into(demands: &[HyperbolicDemand], weights: &[f64], out: &mut Vec<f64>) {
     assert_eq!(demands.len(), weights.len());
-    let roots: Vec<f64> = demands
-        .iter()
-        .zip(weights)
-        .map(|(d, &w)| {
-            debug_assert!(w >= 0.0);
-            (w * d.scaled).sqrt()
-        })
-        .collect();
-    let total: f64 = roots.iter().sum();
+    out.clear();
+    out.extend(demands.iter().zip(weights).map(|(d, &w)| {
+        debug_assert!(w >= 0.0);
+        (w * d.scaled).sqrt()
+    }));
+    let total: f64 = out.iter().sum();
     if total <= 0.0 {
-        return vec![0.0; demands.len()];
+        out.iter_mut().for_each(|x| *x = 0.0);
+        return;
     }
-    roots.into_iter().map(|r| r / total).collect()
+    for x in out.iter_mut() {
+        *x /= total;
+    }
 }
 
 /// `min max_k (a_k + e_k/c_k)` s.t. `Σ c_k = 1`. Returns `(λ*, shares)`.
@@ -67,26 +88,27 @@ pub fn weighted_sum_shares(demands: &[HyperbolicDemand], weights: &[f64]) -> Vec
 /// no allocation can help them, and the reported λ* covers served streams
 /// only — callers that care take the max with those fixed latencies).
 pub fn minmax_shares(demands: &[HyperbolicDemand]) -> (f64, Vec<f64>) {
-    let served: Vec<usize> = (0..demands.len())
-        .filter(|&i| demands[i].scaled > 0.0)
-        .collect();
-    if served.is_empty() {
-        let lambda = demands.iter().map(|d| d.fixed).fold(0.0, f64::max);
-        return (lambda, vec![0.0; demands.len()]);
+    let mut out = Vec::new();
+    let lambda = minmax_shares_into(demands, &mut out);
+    (lambda, out)
+}
+
+/// [`minmax_shares`] writing into a caller-owned buffer (cleared first);
+/// returns `λ*`. Identical arithmetic, no allocation when `out` has
+/// capacity (served streams are visited by filtering in place instead of
+/// materializing an index list).
+pub fn minmax_shares_into(demands: &[HyperbolicDemand], out: &mut Vec<f64>) -> f64 {
+    out.clear();
+    out.resize(demands.len(), 0.0);
+    let served = || demands.iter().filter(|d| d.scaled > 0.0);
+    if served().next().is_none() {
+        return demands.iter().map(|d| d.fixed).fold(0.0, f64::max);
     }
     // g(λ) = Σ e/(λ - a) is strictly decreasing for λ > max a; find g = 1.
-    let a_max = served
-        .iter()
-        .map(|&i| demands[i].fixed)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let g = |lambda: f64| -> f64 {
-        served
-            .iter()
-            .map(|&i| demands[i].scaled / (lambda - demands[i].fixed))
-            .sum()
-    };
+    let a_max = served().map(|d| d.fixed).fold(f64::NEG_INFINITY, f64::max);
+    let g = |lambda: f64| -> f64 { served().map(|d| d.scaled / (lambda - d.fixed)).sum() };
     // Bracket: lo slightly above a_max (g → ∞), hi doubling until g < 1.
-    let e_sum: f64 = served.iter().map(|&i| demands[i].scaled).sum();
+    let e_sum: f64 = served().map(|d| d.scaled).sum();
     let mut lo = a_max;
     let mut hi = a_max + e_sum.max(1e-12); // g(hi) ≤ Σe/e_sum... may be ≥ 1
     while g(hi) > 1.0 {
@@ -104,18 +126,19 @@ pub fn minmax_shares(demands: &[HyperbolicDemand]) -> (f64, Vec<f64>) {
         }
     }
     let lambda = hi;
-    let mut shares = vec![0.0; demands.len()];
-    for &i in &served {
-        shares[i] = demands[i].scaled / (lambda - demands[i].fixed);
+    for (i, d) in demands.iter().enumerate() {
+        if d.scaled > 0.0 {
+            out[i] = d.scaled / (lambda - d.fixed);
+        }
     }
     // Normalize the residual bisection error exactly onto the simplex.
-    let s: f64 = shares.iter().sum();
+    let s: f64 = out.iter().sum();
     if s > 0.0 {
-        for x in &mut shares {
+        for x in out.iter_mut() {
             *x /= s;
         }
     }
-    (lambda, shares)
+    lambda
 }
 
 /// Whether deadlines `d_k` are jointly feasible: every stream needs
@@ -151,39 +174,63 @@ pub fn deadline_shares(
     deadlines: &[f64],
     weights: &[f64],
 ) -> Option<Vec<f64>> {
+    let mut out = Vec::new();
+    let mut roots = Vec::new();
+    if deadline_shares_into(demands, deadlines, weights, &mut roots, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// [`deadline_shares`] writing into caller-owned buffers: `out` receives
+/// the shares, `roots` is bisection scratch. Returns `false` when the
+/// deadlines are jointly infeasible (then `out`'s contents are
+/// unspecified). The bisection evaluates the share *sum* directly —
+/// accumulated in the same element order as the original per-iteration
+/// vector, so the bracket, every bisection decision, and the final shares
+/// are bit-identical — without allocating a vector per iteration.
+pub fn deadline_shares_into(
+    demands: &[HyperbolicDemand],
+    deadlines: &[f64],
+    weights: &[f64],
+    roots: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> bool {
     assert_eq!(demands.len(), weights.len());
     if !deadline_feasible(demands, deadlines) {
-        return None;
+        return false;
     }
-    let mins: Vec<f64> = demands
-        .iter()
-        .zip(deadlines)
-        .map(|(d, &dl)| {
-            if d.scaled == 0.0 {
-                0.0
-            } else {
-                d.scaled / (dl - d.fixed)
-            }
-        })
-        .collect();
-    let used: f64 = mins.iter().sum();
+    // `out` carries the per-stream minimums until the final fill.
+    out.clear();
+    out.extend(demands.iter().zip(deadlines).map(|(d, &dl)| {
+        if d.scaled == 0.0 {
+            0.0
+        } else {
+            d.scaled / (dl - d.fixed)
+        }
+    }));
+    let used: f64 = out.iter().sum();
     if used >= 1.0 {
-        return Some(mins);
+        return true;
     }
-    let roots: Vec<f64> = demands
-        .iter()
-        .zip(weights)
-        .map(|(d, &w)| (w * d.scaled).sqrt())
-        .collect();
-    let total_root: f64 = roots.iter().sum();
-    if total_root <= 0.0 {
-        return Some(mins);
-    }
-    let share_at = |nu: f64| -> Vec<f64> {
+    roots.clear();
+    roots.extend(
         demands
             .iter()
-            .zip(&mins)
-            .zip(&roots)
+            .zip(weights)
+            .map(|(d, &w)| (w * d.scaled).sqrt()),
+    );
+    let total_root: f64 = roots.iter().sum();
+    if total_root <= 0.0 {
+        return true;
+    }
+    let mins: &[f64] = out;
+    let sum_at = |nu: f64| -> f64 {
+        demands
+            .iter()
+            .zip(mins)
+            .zip(roots.iter())
             .map(|((d, &mn), &r)| {
                 if d.scaled == 0.0 {
                     0.0
@@ -191,14 +238,14 @@ pub fn deadline_shares(
                     (r / nu).max(mn)
                 }
             })
-            .collect()
+            .sum()
     };
     // Σ share_at(ν) is decreasing in ν; find Σ = 1. At ν = total_root the
     // unclipped water-filling sums to exactly 1, so clipping can only push
     // the sum above 1 — bracket upward from there.
     let mut lo = total_root;
     let mut hi = total_root;
-    while share_at(hi).iter().sum::<f64>() > 1.0 {
+    while sum_at(hi) > 1.0 {
         hi *= 2.0;
         if hi > 1e30 {
             break;
@@ -206,13 +253,20 @@ pub fn deadline_shares(
     }
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
-        if share_at(mid).iter().sum::<f64>() > 1.0 {
+        if sum_at(mid) > 1.0 {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    Some(share_at(hi))
+    for (i, d) in demands.iter().enumerate() {
+        out[i] = if d.scaled == 0.0 {
+            0.0
+        } else {
+            (roots[i] / hi).max(out[i])
+        };
+    }
+    true
 }
 
 #[cfg(test)]

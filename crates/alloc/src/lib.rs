@@ -26,5 +26,7 @@ pub mod convex;
 pub mod placement;
 
 pub use admission::{screen, screen_with_breakers, AdmissionResult};
-pub use convex::{deadline_shares, minmax_shares, weighted_sum_shares, HyperbolicDemand};
+pub use convex::{
+    deadline_shares, minmax_shares, weighted_sum_shares, AllocScratch, HyperbolicDemand,
+};
 pub use placement::{PlacementStrategy, ServerLoadModel};

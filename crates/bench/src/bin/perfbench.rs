@@ -1,0 +1,216 @@
+//! Optimizer micro-benchmark: full re-evaluation vs incremental delta
+//! evaluation on identical searches.
+//!
+//! ```text
+//! perfbench [--smoke] [--out PATH]
+//! ```
+//!
+//! Runs the joint search (coordinate descent + Gibbs refinement) twice per
+//! problem size — once with `EvalMode::Full`, once with
+//! `EvalMode::Incremental` — asserts the two walked bit-identical
+//! objective traces and landed on identical assignments, and reports wall
+//! time, evaluations/second and the speedup. Results land in
+//! `BENCH_optimizer.json` (override with `--out`).
+//!
+//! `--smoke` runs the smallest size with a short search: a CI-friendly
+//! parity check with no timing assertions (timings are still recorded).
+//! The full run (`cargo run --release -p scalpel-bench --bin perfbench`)
+//! regenerates the numbers quoted in EXPERIMENTS.md.
+
+use scalpel_bench::table::Table;
+use scalpel_core::config::{ScenarioConfig, ServerMix};
+use scalpel_core::evaluator::Evaluator;
+use scalpel_core::optimizer::{self, EvalMode, OptimizerConfig, Solution};
+use std::time::Instant;
+
+struct SizeReport {
+    streams: usize,
+    servers: usize,
+    menu_plans: usize,
+    evaluations: usize,
+    full_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+    objective: f64,
+}
+
+fn scenario(streams: usize) -> ScenarioConfig {
+    // Grow the topology, not the per-group load: 8 devices per AP and one
+    // server per AP throughout, so every size is a loaded-but-functional
+    // system (offloading actually happens) and larger N means more
+    // resource groups — the regime the incremental evaluator targets.
+    let num_aps = (streams / 8).max(1);
+    ScenarioConfig {
+        num_aps,
+        devices_per_ap: streams.div_ceil(num_aps),
+        servers: ServerMix::Synthetic {
+            count: num_aps,
+            mean_fps: 1e12,
+            cv: 0.3,
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+fn assert_parity(full: &Solution, inc: &Solution, streams: usize) {
+    assert_eq!(
+        full.trace.evaluations, inc.trace.evaluations,
+        "N={streams}: evaluation counts diverged"
+    );
+    assert_eq!(
+        full.trace.objective.len(),
+        inc.trace.objective.len(),
+        "N={streams}: trace lengths diverged"
+    );
+    for (i, (a, b)) in full
+        .trace
+        .objective
+        .iter()
+        .zip(&inc.trace.objective)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "N={streams}: trace[{i}] diverged: {a} vs {b}"
+        );
+    }
+    assert_eq!(
+        full.assignment, inc.assignment,
+        "N={streams}: final assignments diverged"
+    );
+    assert_eq!(
+        full.result.objective.to_bits(),
+        inc.result.objective.to_bits(),
+        "N={streams}: final objectives diverged"
+    );
+}
+
+fn bench_size(streams: usize, smoke: bool) -> SizeReport {
+    let scfg = scenario(streams);
+    let problem = scfg.build();
+    let ev = Evaluator::new(&problem, None);
+    let base = OptimizerConfig {
+        rounds: if smoke { 1 } else { 2 },
+        gibbs_iters: if smoke { 30 } else { 100 },
+        ..Default::default()
+    };
+    let menu_plans: usize = (0..ev.num_streams()).map(|k| ev.menu(k).len()).sum();
+
+    let full_cfg = OptimizerConfig {
+        eval_mode: EvalMode::Full,
+        ..base.clone()
+    };
+    let t0 = Instant::now();
+    let full = optimizer::solve(&ev, &full_cfg);
+    let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let inc_cfg = OptimizerConfig {
+        eval_mode: EvalMode::Incremental,
+        ..base
+    };
+    let t1 = Instant::now();
+    let inc = optimizer::solve(&ev, &inc_cfg);
+    let incremental_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_parity(&full, &inc, ev.num_streams());
+
+    SizeReport {
+        streams: ev.num_streams(),
+        servers: ev.num_servers(),
+        menu_plans,
+        evaluations: inc.trace.evaluations,
+        full_ms,
+        incremental_ms,
+        speedup: full_ms / incremental_ms.max(1e-9),
+        objective: inc.result.objective,
+    }
+}
+
+fn evals_per_sec(evals: usize, ms: f64) -> f64 {
+    evals as f64 / (ms / 1e3).max(1e-12)
+}
+
+fn write_json(path: &str, smoke: bool, rows: &[SizeReport]) {
+    // Hand-formatted: the vendored serde stand-in has no derive codegen.
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"optimizer-incremental-eval\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"streams\": {},\n", r.streams));
+        out.push_str(&format!("      \"servers\": {},\n", r.servers));
+        out.push_str(&format!("      \"menu_plans\": {},\n", r.menu_plans));
+        out.push_str(&format!("      \"evaluations\": {},\n", r.evaluations));
+        out.push_str(&format!("      \"full_ms\": {:.3},\n", r.full_ms));
+        out.push_str(&format!(
+            "      \"incremental_ms\": {:.3},\n",
+            r.incremental_ms
+        ));
+        out.push_str(&format!(
+            "      \"full_evals_per_sec\": {:.1},\n",
+            evals_per_sec(r.evaluations, r.full_ms)
+        ));
+        out.push_str(&format!(
+            "      \"incremental_evals_per_sec\": {:.1},\n",
+            evals_per_sec(r.evaluations, r.incremental_ms)
+        ));
+        out.push_str(&format!("      \"speedup\": {:.2},\n", r.speedup));
+        out.push_str(&format!("      \"objective\": {:.9},\n", r.objective));
+        out.push_str("      \"parity\": true\n");
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_optimizer.json")
+        .to_string();
+
+    let sizes: &[usize] = if smoke { &[32] } else { &[32, 128, 512] };
+    println!("== perfbench: full vs incremental evaluation ==");
+    if smoke {
+        println!("(smoke mode: parity check only, timings informational)");
+    }
+    let mut t = Table::new(vec![
+        "streams",
+        "evaluations",
+        "full (ms)",
+        "incr (ms)",
+        "full evals/s",
+        "incr evals/s",
+        "speedup",
+        "objective",
+    ]);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let r = bench_size(n, smoke);
+        t.row(vec![
+            r.streams.to_string(),
+            r.evaluations.to_string(),
+            format!("{:.1}", r.full_ms),
+            format!("{:.1}", r.incremental_ms),
+            format!("{:.0}", evals_per_sec(r.evaluations, r.full_ms)),
+            format!("{:.0}", evals_per_sec(r.evaluations, r.incremental_ms)),
+            format!("{:.2}x", r.speedup),
+            format!("{:.4}", r.objective),
+        ]);
+        rows.push(r);
+    }
+    t.print();
+    write_json(&out_path, smoke, &rows);
+    println!("wrote {out_path} (parity verified on all sizes)");
+}

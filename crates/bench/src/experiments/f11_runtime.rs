@@ -23,6 +23,7 @@ pub fn run(quick: bool) {
         "menu build (ms)",
         "solve (ms)",
         "evaluations",
+        "evals/s",
         "objective",
     ]);
     for &n in sizes {
@@ -48,6 +49,7 @@ pub fn run(quick: bool) {
             format!("{build_ms:.1}"),
             format!("{solve_ms:.1}"),
             sol.trace.evaluations.to_string(),
+            format!("{:.0}", sol.trace.evaluations as f64 / (solve_ms / 1e3)),
             format!("{:.4}", sol.result.objective),
         ]);
     }

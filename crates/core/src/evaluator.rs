@@ -11,8 +11,8 @@
 //! error against it.
 
 use crate::problem::JointProblem;
-use scalpel_alloc::bandwidth_alloc::{self, BandwidthDemand, BandwidthPolicy};
-use scalpel_alloc::compute_alloc::{self, ComputeDemand, ComputePolicy};
+use scalpel_alloc::bandwidth_alloc::BandwidthPolicy;
+use scalpel_alloc::compute_alloc::ComputePolicy;
 use scalpel_models::{ExitHead, LatencyModel};
 use scalpel_surgery::candidates::{self, CandidateConfig, CandidatePlan, ReferenceEnv};
 use scalpel_surgery::SurgeryPlan;
@@ -21,10 +21,10 @@ use std::collections::HashMap;
 
 /// Utilization is clamped here before the `1/(1−ρ)` correction so an
 /// overloaded stage prices as "very bad" rather than infinite/negative.
-const RHO_CAP: f64 = 0.99;
+pub(crate) const RHO_CAP: f64 = 0.99;
 
 /// Radio power while transmitting, watts (Wi-Fi-class uplink).
-const TX_WATTS: f64 = 0.8;
+pub(crate) const TX_WATTS: f64 = 0.8;
 
 /// Allocation policies used when pricing / compiling a configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,6 +64,10 @@ pub struct PlanPricing {
     pub dev_full: f64,
     /// Expected device seconds per request.
     pub exp_dev: f64,
+    /// Second moment `E[S²]` of the device-service exit mixture (the PK
+    /// numerator ingredient), precomputed so stage-1 pricing never
+    /// re-derives it per evaluate.
+    pub es2: f64,
     /// Transmission seconds at full AP spectrum (per offloaded request).
     pub tx_full_s: f64,
     /// Bytes on the wire (per offloaded request).
@@ -123,25 +127,34 @@ pub struct EvalResult {
 /// Prices configurations of one [`JointProblem`].
 pub struct Evaluator {
     /// Per-stream candidate menus.
-    menus: Vec<Vec<PlanPricing>>,
+    pub(crate) menus: Vec<Vec<PlanPricing>>,
     /// Mean full-spectrum uplink rate per stream, bits/s.
-    link_rate_bps: Vec<f64>,
+    pub(crate) link_rate_bps: Vec<f64>,
     /// Request rate per stream.
-    rate_hz: Vec<f64>,
+    pub(crate) rate_hz: Vec<f64>,
     /// Deadline per stream.
-    deadline_s: Vec<f64>,
+    pub(crate) deadline_s: Vec<f64>,
     /// Device of each stream / AP of each stream.
-    device_of: Vec<usize>,
-    ap_of: Vec<usize>,
+    pub(crate) device_of: Vec<usize>,
+    pub(crate) ap_of: Vec<usize>,
     /// Device board power per stream, watts (for energy accounting).
-    device_watts: Vec<f64>,
+    pub(crate) device_watts: Vec<f64>,
     /// Edge energy per FLOP per server, joules.
-    server_jpf: Vec<f64>,
+    pub(crate) server_jpf: Vec<f64>,
     /// rtt of each stream's AP.
-    rtt_s: Vec<f64>,
+    pub(crate) rtt_s: Vec<f64>,
     /// Server capacities.
-    server_caps: Vec<f64>,
-    num_aps: usize,
+    pub(crate) server_caps: Vec<f64>,
+    pub(crate) num_aps: usize,
+    /// Number of devices in the topology.
+    pub(crate) num_devices: usize,
+    /// Streams hosted by each device, ascending (stage-1 grouping).
+    pub(crate) device_members: Vec<Vec<usize>>,
+    /// Streams attached to each AP, ascending (stage-2/3 grouping).
+    pub(crate) ap_members: Vec<Vec<usize>>,
+    /// Mean streams per server, the construction-time fair-share proxy
+    /// for edge time inside bandwidth demands.
+    pub(crate) streams_per_server: f64,
 }
 
 impl Evaluator {
@@ -192,12 +205,18 @@ impl Evaluator {
                 .collect();
             menus.push(menu);
         }
+        let device_of: Vec<usize> = problem.streams.iter().map(|s| s.device).collect();
+        let num_devices = problem.cluster.devices.len();
+        let mut device_members = vec![Vec::new(); num_devices];
+        for (k, &d) in device_of.iter().enumerate() {
+            device_members[d].push(k);
+        }
         Self {
             menus,
             link_rate_bps,
             rate_hz: (0..n).map(|k| problem.rate_of(k)).collect(),
             deadline_s: problem.streams.iter().map(|s| s.deadline_s).collect(),
-            device_of: problem.streams.iter().map(|s| s.device).collect(),
+            device_of,
             ap_of: problem
                 .streams
                 .iter()
@@ -229,6 +248,10 @@ impl Evaluator {
                 .map(|s| s.proc.flops_per_sec)
                 .collect(),
             num_aps: problem.cluster.aps.len(),
+            num_devices,
+            device_members,
+            ap_members: by_ap,
+            streams_per_server,
         }
     }
 
@@ -255,11 +278,18 @@ impl Evaluator {
         for (i, &p) in c.profile.behavior.exit_probs.iter().enumerate() {
             exp_dev += p * dev_to_exit[i];
         }
+        // Second moment of the same mixture, accumulated in the exact
+        // order the evaluator previously used per call (bit-identical).
+        let mut es2 = c.profile.behavior.remain_prob * dev_full * dev_full;
+        for (i, &q) in c.profile.behavior.exit_probs.iter().enumerate() {
+            es2 += q * dev_to_exit[i] * dev_to_exit[i];
+        }
         let _ = cfg;
         PlanPricing {
             dev_to_exit,
             dev_full,
             exp_dev,
+            es2,
             tx_full_s: 0.0, // filled per stream below (depends on the link)
             tx_bytes: c.profile.tx_bytes,
             edge_flops: c.profile.edge_flops,
@@ -318,9 +348,29 @@ impl Evaluator {
     }
 
     /// Number of streams sharing stream `k`'s AP (including `k`).
+    /// O(1): per-AP membership is precomputed at construction.
     pub fn peers_on_same_ap(&self, k: usize) -> usize {
-        let ap = self.ap_of[k];
-        self.ap_of.iter().filter(|&&a| a == ap).count().max(1)
+        self.ap_members[self.ap_of[k]].len().max(1)
+    }
+
+    /// Device hosting stream `k`.
+    pub fn device_of(&self, k: usize) -> usize {
+        self.device_of[k]
+    }
+
+    /// Number of devices in the topology.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Streams hosted on device `d`, ascending.
+    pub fn device_members(&self, d: usize) -> &[usize] {
+        &self.device_members[d]
+    }
+
+    /// Streams attached to AP `ap`, ascending.
+    pub fn ap_members(&self, ap: usize) -> &[usize] {
+        &self.ap_members[ap]
     }
 
     /// Transmission seconds at full spectrum for plan `p` of stream `k`.
@@ -333,176 +383,13 @@ impl Evaluator {
     }
 
     /// Price a configuration under the given allocation policies.
+    ///
+    /// Implemented as a fresh [`crate::eval_context::EvalContext`] rebuild,
+    /// so the full evaluator and the incremental delta path share one
+    /// pricing implementation — a from-scratch context *is* the oracle the
+    /// delta path is checked against.
     pub fn evaluate(&self, asg: &Assignment, policies: AllocPolicies) -> EvalResult {
-        let n = self.num_streams();
-        assert_eq!(asg.plan_idx.len(), n);
-        assert_eq!(asg.placement.len(), n);
-        let plans: Vec<&PlanPricing> = (0..n).map(|k| &self.menus[k][asg.plan_idx[k]]).collect();
-        // --- Stage 1: device queueing (independent of allocation).
-        // The device is a FIFO M/G/1 queue whose service distribution is
-        // the exact exit mixture, so the Pollaczek–Khinchine formula gives
-        // the expected wait: W = Λ·E[S²] / (2(1−ρ)), shared by every
-        // request on that device.
-        let mut dev_lambda: HashMap<usize, f64> = HashMap::new();
-        let mut dev_es2: HashMap<usize, f64> = HashMap::new(); // Λ·E[S²] accumulator
-        let mut dev_rho: HashMap<usize, f64> = HashMap::new();
-        for (k, &p) in plans.iter().enumerate() {
-            let mut es2 = p.behavior.remain_prob * p.dev_full * p.dev_full;
-            for (i, &q) in p.behavior.exit_probs.iter().enumerate() {
-                es2 += q * p.dev_to_exit[i] * p.dev_to_exit[i];
-            }
-            let d = self.device_of[k];
-            *dev_lambda.entry(d).or_default() += self.rate_hz[k];
-            *dev_es2.entry(d).or_default() += self.rate_hz[k] * es2;
-            *dev_rho.entry(d).or_default() += self.rate_hz[k] * p.exp_dev;
-        }
-        let dev_wait = |k: usize| -> f64 {
-            let d = self.device_of[k];
-            let rho = dev_rho[&d].min(RHO_CAP);
-            dev_es2[&d] / (2.0 * (1.0 - rho))
-        };
-        // --- Stage 2: compute shares per server (pre-edge uses fair tx).
-        let mut compute_shares = vec![0.0f64; n];
-        let offloaded: Vec<usize> = (0..n).filter(|&k| !plans[k].is_device_only()).collect();
-        for srv in 0..self.num_servers() {
-            let members: Vec<usize> = offloaded
-                .iter()
-                .copied()
-                .filter(|&k| asg.placement[k] == srv)
-                .collect();
-            if members.is_empty() {
-                continue;
-            }
-            let demands: Vec<ComputeDemand> = members
-                .iter()
-                .map(|&k| {
-                    let p = plans[k];
-                    ComputeDemand {
-                        stream: k,
-                        pre_edge_s: dev_wait(k)
-                            + p.dev_full
-                            + self.tx_full_seconds(k, p) * self.peers_on_ap(asg, &plans, k) as f64,
-                        edge_s_full: p.remain.max(1e-6) * p.edge_flops / self.server_caps[srv],
-                        // weight ∝ urgency so the weighted-sum fallback
-                        // minimizes the Σ L/D objective directly
-                        weight: 1.0 / self.deadline_s[k],
-                        deadline_s: self.deadline_s[k],
-                    }
-                })
-                .collect();
-            let shares = compute_alloc::allocate(&demands, policies.compute);
-            for (i, &k) in members.iter().enumerate() {
-                compute_shares[k] = shares[i];
-            }
-        }
-        // --- Stage 3: bandwidth shares per AP.
-        let mut bandwidth_shares = vec![0.0f64; n];
-        for ap in 0..self.num_aps {
-            let members: Vec<usize> = offloaded
-                .iter()
-                .copied()
-                .filter(|&k| self.ap_of[k] == ap)
-                .collect();
-            if members.is_empty() {
-                continue;
-            }
-            let demands: Vec<BandwidthDemand> = members
-                .iter()
-                .map(|&k| {
-                    let p = plans[k];
-                    let srv = asg.placement[k];
-                    let c = compute_shares[k].max(1e-9);
-                    BandwidthDemand {
-                        device: self.device_of[k],
-                        pre_tx_s: dev_wait(k) + p.dev_full,
-                        tx_s_full: p.remain.max(1e-6) * self.tx_full_seconds(k, p),
-                        post_tx_s: p.edge_flops / (self.server_caps[srv] * c),
-                        weight: 1.0 / self.deadline_s[k],
-                        deadline_s: self.deadline_s[k],
-                    }
-                })
-                .collect();
-            let shares = bandwidth_alloc::allocate(&demands, policies.bandwidth);
-            for (i, &k) in members.iter().enumerate() {
-                bandwidth_shares[k] = shares[i];
-            }
-        }
-        // --- Final pricing with utilization corrections.
-        let mut latency = vec![0.0f64; n];
-        let mut accuracy = vec![0.0f64; n];
-        let mut device_energy_j = vec![0.0f64; n];
-        let mut total_energy_j = vec![0.0f64; n];
-        for k in 0..n {
-            let p = plans[k];
-            accuracy[k] = p.exp_accuracy;
-            // Every request on the device waits the PK time first, then
-            // runs its own (path-dependent) service.
-            let w_dev = dev_wait(k);
-            let mut lat = 0.0;
-            for (i, &q) in p.behavior.exit_probs.iter().enumerate() {
-                lat += q * (w_dev + p.dev_to_exit[i]);
-            }
-            let mut full_path = w_dev + p.dev_full;
-            // Energy: device compute (service time × board power) is paid
-            // on every path; radio + edge only on the offloaded tail.
-            let mut dev_e = p.exp_dev * self.device_watts[k];
-            let mut tot_e = dev_e;
-            if !p.is_device_only() {
-                let b = bandwidth_shares[k].max(1e-9);
-                let tx = self.tx_full_seconds(k, p) / b;
-                // Uplink: M/D/1 (deterministic service at the planned
-                // rate), PK wait = λ·S²/(2(1−ρ)).
-                let lam_tx = self.rate_hz[k] * p.remain;
-                let rho_tx = (lam_tx * tx).min(RHO_CAP);
-                let w_tx = lam_tx * tx * tx / (2.0 * (1.0 - rho_tx));
-                let c = compute_shares[k].max(1e-9);
-                let srv = asg.placement[k];
-                let edge = p.edge_flops / (self.server_caps[srv] * c);
-                // Edge: dedicated processor-sharing slice — M/G/1-PS
-                // response s/(1−ρ) (insensitive to the service law).
-                let rho_edge = (self.rate_hz[k] * p.remain * edge).min(RHO_CAP);
-                full_path += w_tx + tx + self.rtt_s[k] / 2.0 + edge / (1.0 - rho_edge);
-                let radio = p.remain * tx * TX_WATTS;
-                dev_e += radio;
-                tot_e += radio + p.remain * p.edge_flops * self.server_jpf[srv];
-            }
-            lat += p.behavior.remain_prob * full_path;
-            latency[k] = lat;
-            device_energy_j[k] = dev_e;
-            total_energy_j[k] = tot_e;
-        }
-        let mut objective = 0.0;
-        let mut misses = 0usize;
-        for (k, &lat) in latency.iter().enumerate() {
-            let norm = lat / self.deadline_s[k];
-            objective += norm;
-            if lat > self.deadline_s[k] {
-                misses += 1;
-                objective += 10.0 * (norm - 1.0);
-            }
-        }
-        objective /= n as f64;
-        EvalResult {
-            latency_s: latency,
-            accuracy,
-            bandwidth_shares,
-            compute_shares,
-            objective,
-            expected_misses: misses,
-            device_energy_j,
-            total_energy_j,
-        }
-    }
-
-    /// How many offloading streams share `k`'s AP under `asg` (used for
-    /// the fair-share pre-estimate inside compute allocation).
-    fn peers_on_ap(&self, asg: &Assignment, plans: &[&PlanPricing], k: usize) -> usize {
-        let _ = asg;
-        let ap = self.ap_of[k];
-        (0..self.num_streams())
-            .filter(|&j| self.ap_of[j] == ap && !plans[j].is_device_only())
-            .count()
-            .max(1)
+        crate::eval_context::EvalContext::new(self, asg.clone(), policies).into_result()
     }
 }
 

@@ -28,6 +28,7 @@ pub mod baselines;
 pub mod compiler;
 pub mod config;
 pub mod distributed;
+pub mod eval_context;
 pub mod evaluator;
 pub mod online;
 pub mod optimizer;
@@ -36,9 +37,10 @@ pub mod runner;
 
 pub use baselines::{solve_with, Method};
 pub use config::{ScenarioConfig, ServerMix};
+pub use eval_context::{DeltaScratch, EvalContext};
 pub use evaluator::{EvalResult, Evaluator};
 pub use online::{DetectorConfig, FaultDetector, FaultDiagnosis, OnlineController};
-pub use optimizer::{OptimizerConfig, SearchTrace, Solution};
+pub use optimizer::{EvalMode, OptimizerConfig, SearchTrace, Solution};
 pub use problem::{JointProblem, StreamSpec};
 pub use runner::{
     run_solution, run_solution_seeds, run_solution_seeds_faulted, run_solution_seeds_recovered,

@@ -2,11 +2,33 @@
 //! approximation) over the per-stream plan menus, with the inner resource
 //! allocation re-solved exactly at every step, plus an exhaustive
 //! reference for small instances (F9's optimality-gap measurement).
+//!
+//! All three searches run over an evaluation [`Engine`] with two
+//! interchangeable backends: the classic full re-evaluation per probe,
+//! and the incremental [`EvalContext`] that re-solves only the resource
+//! groups a single-coordinate move dirties. Both produce bit-identical
+//! objective traces (the incremental caches are a pure function of the
+//! assignment — see `eval_context`), so [`EvalMode`] is purely a
+//! performance knob; the parity is enforced by property tests.
 
+use crate::eval_context::EvalContext;
 use crate::evaluator::{AllocPolicies, Assignment, EvalResult, Evaluator};
 use scalpel_alloc::placement::{self, PlacementStrategy, PlacementStream, ServerCap};
 use scalpel_sim::SimRng;
 use serde::{Deserialize, Serialize};
+
+/// Which evaluation backend the search probes moves with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvalMode {
+    /// Re-price the whole configuration from scratch on every probe
+    /// (the reference path; O(N) group solves per move).
+    Full,
+    /// Delta evaluation over cached group state: only the device queue,
+    /// servers and APs a move touches are re-solved. Bit-identical
+    /// objectives, large constant-factor speedup.
+    #[default]
+    Incremental,
+}
 
 /// Search knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -25,6 +47,8 @@ pub struct OptimizerConfig {
     pub policies: AllocPolicies,
     /// Placement strategy re-run whenever plans change.
     pub placement: PlacementStrategy,
+    /// Evaluation backend (trace-equivalent; Incremental is faster).
+    pub eval_mode: EvalMode,
 }
 
 impl Default for OptimizerConfig {
@@ -37,6 +61,7 @@ impl Default for OptimizerConfig {
             seed: 11,
             policies: AllocPolicies::optimal(),
             placement: PlacementStrategy::BestResponse,
+            eval_mode: EvalMode::default(),
         }
     }
 }
@@ -59,6 +84,176 @@ pub struct Solution {
     pub result: EvalResult,
     /// Search trajectory.
     pub trace: SearchTrace,
+}
+
+/// The evaluation backend behind the search loops. `Full` re-prices the
+/// entire configuration per probe; `Incremental` patches cached state.
+/// Both expose the same operations with bit-identical objectives, so the
+/// search code is written once against this enum.
+// One Engine exists per search, so the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Engine<'a> {
+    Full {
+        ev: &'a Evaluator,
+        policies: AllocPolicies,
+        asg: Assignment,
+        current: EvalResult,
+    },
+    Incremental(Box<EvalContext<'a>>),
+}
+
+impl<'a> Engine<'a> {
+    /// Build the backend for `cfg.eval_mode`, pricing `asg` once.
+    fn new(ev: &'a Evaluator, cfg: &OptimizerConfig, asg: Assignment) -> Self {
+        match cfg.eval_mode {
+            EvalMode::Full => {
+                let current = ev.evaluate(&asg, cfg.policies);
+                Engine::Full {
+                    ev,
+                    policies: cfg.policies,
+                    asg,
+                    current,
+                }
+            }
+            EvalMode::Incremental => {
+                Engine::Incremental(Box::new(EvalContext::new(ev, asg, cfg.policies)))
+            }
+        }
+    }
+
+    fn objective(&self) -> f64 {
+        match self {
+            Engine::Full { current, .. } => current.objective,
+            Engine::Incremental(ctx) => ctx.objective(),
+        }
+    }
+
+    fn plan_of(&self, k: usize) -> usize {
+        match self {
+            Engine::Full { asg, .. } => asg.plan_idx[k],
+            Engine::Incremental(ctx) => ctx.plan_of(k),
+        }
+    }
+
+    fn plan_indices(&self) -> &[usize] {
+        match self {
+            Engine::Full { asg, .. } => &asg.plan_idx,
+            Engine::Incremental(ctx) => ctx.plan_indices(),
+        }
+    }
+
+    fn placement(&self) -> &[usize] {
+        match self {
+            Engine::Full { asg, .. } => &asg.placement,
+            Engine::Incremental(ctx) => ctx.placement(),
+        }
+    }
+
+    fn assignment(&self) -> Assignment {
+        match self {
+            Engine::Full { asg, .. } => asg.clone(),
+            Engine::Incremental(ctx) => ctx.assignment(),
+        }
+    }
+
+    /// Objective for every plan in stream `k`'s menu, current state
+    /// otherwise unchanged. Entry `plan_of(k)` is the cached objective
+    /// (no evaluation spent); the caller accounts `menu_len - 1` probes.
+    fn score_menu(&self, k: usize) -> Vec<f64> {
+        match self {
+            Engine::Full {
+                ev,
+                policies,
+                asg,
+                current,
+            } => {
+                let cur = asg.plan_idx[k];
+                let mut probe = asg.clone();
+                (0..ev.menu(k).len())
+                    .map(|idx| {
+                        if idx == cur {
+                            current.objective
+                        } else {
+                            probe.plan_idx[k] = idx;
+                            ev.evaluate(&probe, *policies).objective
+                        }
+                    })
+                    .collect()
+            }
+            Engine::Incremental(ctx) => ctx.score_menu(k),
+        }
+    }
+
+    /// Adopt plan `idx` for stream `k`; returns the new objective.
+    fn commit_plan(&mut self, k: usize, idx: usize) -> f64 {
+        match self {
+            Engine::Full {
+                ev,
+                policies,
+                asg,
+                current,
+            } => {
+                asg.plan_idx[k] = idx;
+                *current = ev.evaluate(asg, *policies);
+                current.objective
+            }
+            Engine::Incremental(ctx) => ctx.commit_plan(k, idx),
+        }
+    }
+
+    /// Adopt a whole placement vector; returns the new objective.
+    fn set_placement(&mut self, new_placement: &[usize]) -> f64 {
+        match self {
+            Engine::Full {
+                ev,
+                policies,
+                asg,
+                current,
+            } => {
+                if asg.placement == new_placement {
+                    return current.objective;
+                }
+                asg.placement.copy_from_slice(new_placement);
+                *current = ev.evaluate(asg, *policies);
+                current.objective
+            }
+            Engine::Incremental(ctx) => ctx.set_placement(new_placement),
+        }
+    }
+
+    /// Adopt a whole assignment; returns the new objective.
+    fn reconfigure(&mut self, plan_idx: &[usize], placement: &[usize]) -> f64 {
+        match self {
+            Engine::Full {
+                ev,
+                policies,
+                asg,
+                current,
+            } => {
+                asg.plan_idx.copy_from_slice(plan_idx);
+                asg.placement.copy_from_slice(placement);
+                *current = ev.evaluate(asg, *policies);
+                current.objective
+            }
+            Engine::Incremental(ctx) => ctx.reconfigure(plan_idx, placement),
+        }
+    }
+
+    /// Pricing of the current state.
+    fn result(&self) -> EvalResult {
+        match self {
+            Engine::Full { current, .. } => current.clone(),
+            Engine::Incremental(ctx) => ctx.result(),
+        }
+    }
+
+    /// Pricing of an arbitrary assignment (moves the engine there; used
+    /// only to materialize the final [`Solution`], never counted as a
+    /// search evaluation — both backends derive it identically).
+    fn result_for(&mut self, asg: &Assignment) -> EvalResult {
+        self.reconfigure(&asg.plan_idx, &asg.placement);
+        self.result()
+    }
 }
 
 /// Placement for a fixed plan selection: streams weighted by their
@@ -129,57 +324,54 @@ pub fn coordinate_descent_from(
     cfg: &OptimizerConfig,
     start: Assignment,
 ) -> Solution {
-    let mut asg = start;
+    let mut eng = Engine::new(ev, cfg, start);
     let mut trace = SearchTrace::default();
-    let mut best = ev.evaluate(&asg, cfg.policies);
     trace.evaluations += 1;
-    trace.objective.push(best.objective);
+    trace.objective.push(eng.objective());
     for _ in 0..cfg.rounds {
         let mut improved = false;
         for k in 0..ev.num_streams() {
-            let current = asg.plan_idx[k];
+            let current = eng.plan_of(k);
+            let scores = eng.score_menu(k);
+            trace.evaluations += scores.len() - 1;
             let mut best_idx = current;
-            let mut best_obj = best.objective;
-            for idx in 0..ev.menu(k).len() {
+            let mut best_obj = eng.objective();
+            for (idx, &o) in scores.iter().enumerate() {
                 if idx == current {
                     continue;
                 }
-                asg.plan_idx[k] = idx;
-                let r = ev.evaluate(&asg, cfg.policies);
-                trace.evaluations += 1;
-                if r.objective < best_obj - 1e-12 {
-                    best_obj = r.objective;
+                if o < best_obj - 1e-12 {
+                    best_obj = o;
                     best_idx = idx;
                 }
             }
-            asg.plan_idx[k] = best_idx;
             if best_idx != current {
                 improved = true;
             }
-            // Re-evaluate at the chosen plan to refresh `best`.
-            best = ev.evaluate(&asg, cfg.policies);
+            // Adopt the chosen plan (a re-evaluation, as the full path
+            // always re-priced here even when the plan stood).
+            let obj = eng.commit_plan(k, best_idx);
             trace.evaluations += 1;
-            trace.objective.push(best.objective);
+            trace.objective.push(obj);
         }
         // Re-place with the new plan demands.
-        let new_placement = placement_for(ev, &asg.plan_idx, cfg.placement);
-        if new_placement != asg.placement {
-            asg.placement = new_placement;
-            let r = ev.evaluate(&asg, cfg.policies);
+        let new_placement = placement_for(ev, eng.plan_indices(), cfg.placement);
+        if new_placement != eng.placement() {
+            let pre = eng.objective();
+            let obj = eng.set_placement(&new_placement);
             trace.evaluations += 1;
-            if r.objective < best.objective {
+            if obj < pre {
                 improved = true;
             }
-            best = r;
-            trace.objective.push(best.objective);
+            trace.objective.push(obj);
         }
         if !improved {
             break;
         }
     }
     Solution {
-        assignment: asg,
-        result: best,
+        assignment: eng.assignment(),
+        result: eng.result(),
         trace,
     }
 }
@@ -189,11 +381,12 @@ pub fn coordinate_descent_from(
 /// temperature. Returns the best configuration visited.
 pub fn gibbs_refine(ev: &Evaluator, cfg: &OptimizerConfig, start: Solution) -> Solution {
     let mut rng = SimRng::new(cfg.seed, 4242);
-    let mut asg = start.assignment.clone();
     let mut trace = start.trace.clone();
-    let mut current = start.result.clone();
-    let mut best_asg = asg.clone();
-    let mut best = current.clone();
+    // Rebuilding the start state is not counted: the search inherits the
+    // already-priced descent result.
+    let mut eng = Engine::new(ev, cfg, start.assignment.clone());
+    let mut best_asg = start.assignment;
+    let mut best_obj = eng.objective();
     let mut temp = cfg.init_temperature;
     for it in 0..cfg.gibbs_iters {
         let k = rng.index(ev.num_streams());
@@ -202,20 +395,8 @@ pub fn gibbs_refine(ev: &Evaluator, cfg: &OptimizerConfig, start: Solution) -> S
             continue;
         }
         // Price every plan of stream k in the current context.
-        let saved = asg.plan_idx[k];
-        let mut objs = Vec::with_capacity(menu_len);
-        let mut results = Vec::with_capacity(menu_len);
-        for idx in 0..menu_len {
-            asg.plan_idx[k] = idx;
-            let r = if idx == saved {
-                current.clone()
-            } else {
-                trace.evaluations += 1;
-                ev.evaluate(&asg, cfg.policies)
-            };
-            objs.push(r.objective);
-            results.push(r);
-        }
+        let objs = eng.score_menu(k);
+        trace.evaluations += menu_len - 1;
         // Boltzmann sample.
         let min_obj = objs.iter().cloned().fold(f64::INFINITY, f64::min);
         let weights: Vec<f64> = objs
@@ -232,31 +413,33 @@ pub fn gibbs_refine(ev: &Evaluator, cfg: &OptimizerConfig, start: Solution) -> S
             }
             u -= w;
         }
-        asg.plan_idx[k] = chosen;
-        current = results.swap_remove(chosen);
-        if current.objective < best.objective {
-            best = current.clone();
-            best_asg = asg.clone();
+        // Committing the sampled plan reuses the trial's pricing (the
+        // cached state is a pure function of the assignment), so it is
+        // not another evaluation.
+        let obj = eng.commit_plan(k, chosen);
+        if obj < best_obj {
+            best_obj = obj;
+            best_asg = eng.assignment();
         }
-        trace.objective.push(best.objective);
+        trace.objective.push(best_obj);
         temp *= cfg.cooling;
         // Periodically re-run placement.
         if it % 50 == 49 {
-            let np = placement_for(ev, &asg.plan_idx, cfg.placement);
-            if np != asg.placement {
-                asg.placement = np;
-                current = ev.evaluate(&asg, cfg.policies);
+            let np = placement_for(ev, eng.plan_indices(), cfg.placement);
+            if np != eng.placement() {
+                let obj = eng.set_placement(&np);
                 trace.evaluations += 1;
-                if current.objective < best.objective {
-                    best = current.clone();
-                    best_asg = asg.clone();
+                if obj < best_obj {
+                    best_obj = obj;
+                    best_asg = eng.assignment();
                 }
             }
         }
     }
+    let result = eng.result_for(&best_asg);
     Solution {
         assignment: best_asg,
-        result: best,
+        result,
         trace,
     }
 }
@@ -283,34 +466,44 @@ pub fn exhaustive(ev: &Evaluator, cfg: &OptimizerConfig, limit: u64) -> Solution
     );
     let n = ev.num_streams();
     let mut idx = vec![0usize; n];
-    let mut best: Option<Solution> = None;
     let mut trace = SearchTrace::default();
+    let mut eng: Option<Engine<'_>> = None;
+    let mut best: Option<(Assignment, f64)> = None;
     loop {
         let placement = placement_for(ev, &idx, cfg.placement);
-        let asg = Assignment {
-            plan_idx: idx.clone(),
-            placement,
+        let obj = match &mut eng {
+            None => {
+                let e = Engine::new(
+                    ev,
+                    cfg,
+                    Assignment {
+                        plan_idx: idx.clone(),
+                        placement,
+                    },
+                );
+                let o = e.objective();
+                eng = Some(e);
+                o
+            }
+            Some(e) => e.reconfigure(&idx, &placement),
         };
-        let r = ev.evaluate(&asg, cfg.policies);
         trace.evaluations += 1;
-        let better = best
-            .as_ref()
-            .is_none_or(|b| r.objective < b.result.objective);
+        let better = best.as_ref().is_none_or(|(_, b)| obj < *b);
         if better {
-            trace.objective.push(r.objective);
-            best = Some(Solution {
-                assignment: asg,
-                result: r,
-                trace: SearchTrace::default(),
-            });
+            trace.objective.push(obj);
+            best = Some((eng.as_ref().expect("engine built above").assignment(), obj));
         }
         // Odometer increment.
         let mut pos = 0;
         loop {
             if pos == n {
-                let mut sol = best.expect("at least one combination evaluated");
-                sol.trace = trace;
-                return sol;
+                let (asg, _) = best.expect("at least one combination evaluated");
+                let result = eng.as_mut().expect("engine built above").result_for(&asg);
+                return Solution {
+                    assignment: asg,
+                    result,
+                    trace,
+                };
             }
             idx[pos] += 1;
             if idx[pos] < ev.menu(pos).len() {
@@ -423,5 +616,58 @@ mod tests {
         let asg = initial_assignment(&ev, PlacementStrategy::BestResponse);
         assert!(asg.placement.iter().all(|&s| s < ev.num_servers()));
         assert_eq!(asg.plan_idx.len(), ev.num_streams());
+    }
+
+    /// The two engines must walk the same trajectory: identical objective
+    /// traces (bitwise), evaluation counts, and final assignments.
+    #[test]
+    fn full_and_incremental_traces_are_bit_identical() {
+        let ev = tiny_evaluator();
+        let base = OptimizerConfig {
+            gibbs_iters: 80,
+            ..OptimizerConfig::default()
+        };
+        let full_cfg = OptimizerConfig {
+            eval_mode: EvalMode::Full,
+            ..base.clone()
+        };
+        let inc_cfg = OptimizerConfig {
+            eval_mode: EvalMode::Incremental,
+            ..base
+        };
+        let a = solve(&ev, &full_cfg);
+        let b = solve(&ev, &inc_cfg);
+        assert_eq!(a.trace.evaluations, b.trace.evaluations);
+        assert_eq!(a.trace.objective.len(), b.trace.objective.len());
+        for (i, (x, y)) in a.trace.objective.iter().zip(&b.trace.objective).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "trace[{i}]: {x} vs {y}");
+        }
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.result.objective.to_bits(), b.result.objective.to_bits());
+    }
+
+    /// Same for the exhaustive reference on a tiny space.
+    #[test]
+    fn exhaustive_engines_agree() {
+        let scfg = ScenarioConfig {
+            num_aps: 1,
+            devices_per_ap: 2,
+            arrival_rate_hz: 4.0,
+            ..ScenarioConfig::default()
+        };
+        let ev = Evaluator::new(&scfg.build(), None);
+        let full_cfg = OptimizerConfig {
+            eval_mode: EvalMode::Full,
+            ..OptimizerConfig::default()
+        };
+        let inc_cfg = OptimizerConfig {
+            eval_mode: EvalMode::Incremental,
+            ..OptimizerConfig::default()
+        };
+        let a = exhaustive(&ev, &full_cfg, 1_000_000);
+        let b = exhaustive(&ev, &inc_cfg, 1_000_000);
+        assert_eq!(a.trace.evaluations, b.trace.evaluations);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.result.objective.to_bits(), b.result.objective.to_bits());
     }
 }
