@@ -10,8 +10,19 @@ use crate::evaluator::{Assignment, EvalResult, Evaluator};
 use crate::optimizer::Solution;
 use crate::problem::JointProblem;
 use rayon::prelude::*;
-use scalpel_sim::{EdgeSim, FaultPlan, LatencyStats, RecoveryConfig, SimConfig, SimReport};
+use scalpel_sim::{
+    EdgeSim, FaultPlan, LatencyStats, RecoveryConfig, SimConfig, SimReport, SimScratch,
+};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread simulator scratch: the rayon seed fan-out reuses one
+    /// scratch per worker across seeds, postures, and fault intensities,
+    /// so only the first run on each worker pays for allocation. Safe to
+    /// reuse anywhere — every run resets it on entry.
+    static SIM_SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
 
 /// A method's end-to-end measured outcome (possibly seed-averaged).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -72,9 +83,9 @@ pub fn run_solution(
     sim: SimConfig,
 ) -> SimReport {
     let streams = compiler::compile(problem, ev, asg, result);
-    EdgeSim::new(problem.cluster.clone(), streams, sim)
-        .expect("compiled streams validate by construction")
-        .run()
+    let sim = EdgeSim::new(problem.cluster.clone(), streams, sim)
+        .expect("compiled streams validate by construction");
+    SIM_SCRATCH.with(|scratch| sim.run_with_scratch(&mut scratch.borrow_mut()))
 }
 
 /// Run one solution over several seeds in parallel and pool the samples.

@@ -1,5 +1,6 @@
 //! Topology of the heterogeneous edge: devices, access points, servers.
 
+use crate::error::SimError;
 use crate::net::LinkModel;
 use scalpel_models::ProcessorSpec;
 use serde::{Deserialize, Serialize};
@@ -50,30 +51,31 @@ pub struct Cluster {
 
 impl Cluster {
     /// Validate index integrity (device AP references, contiguous ids).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |detail: String| SimError::InvalidTopology { detail };
         for (i, d) in self.devices.iter().enumerate() {
             if d.id != i {
-                return Err(format!("device {i} has id {}", d.id));
+                return Err(bad(format!("device {i} has id {}", d.id)));
             }
             if d.ap >= self.aps.len() {
-                return Err(format!("device {i} references missing AP {}", d.ap));
+                return Err(bad(format!("device {i} references missing AP {}", d.ap)));
             }
         }
         for (i, a) in self.aps.iter().enumerate() {
             if a.id != i {
-                return Err(format!("ap {i} has id {}", a.id));
+                return Err(bad(format!("ap {i} has id {}", a.id)));
             }
             if a.bandwidth_hz <= 0.0 {
-                return Err(format!("ap {i} has non-positive bandwidth"));
+                return Err(bad(format!("ap {i} has non-positive bandwidth")));
             }
         }
         for (i, s) in self.servers.iter().enumerate() {
             if s.id != i {
-                return Err(format!("server {i} has id {}", s.id));
+                return Err(bad(format!("server {i} has id {}", s.id)));
             }
         }
         if self.devices.is_empty() {
-            return Err("cluster has no devices".into());
+            return Err(bad("cluster has no devices".into()));
         }
         Ok(())
     }

@@ -1,45 +1,89 @@
-//! Generic discrete-event queue.
+//! Generic discrete-event queue with cancellation and compaction.
 //!
-//! A binary heap keyed on `(time, sequence)`: events at equal timestamps
-//! pop in insertion order, which makes simulations deterministic without
-//! requiring `Ord` on the event payload.
+//! A 4-ary min-heap keyed on `(time, sequence)`: events at equal
+//! timestamps pop in insertion order, which makes simulations
+//! deterministic without requiring `Ord` on the event payload. Payloads
+//! live in a slot slab addressed by index, so heap entries are small
+//! `Copy` records and sift operations never move event bodies.
+//!
+//! [`EventQueue::schedule`] returns an [`EventKey`] that can later be
+//! passed to [`EventQueue::cancel`]. Cancelled entries become tombstones
+//! in the heap; the queue tracks its tombstone ratio and compacts in
+//! place once stale entries exceed half the heap (see
+//! [`EventQueue::cancel`]), so superseded timers never accumulate.
+//!
+//! Time semantics are pinned for reproducibility: popping a tombstone
+//! still advances `now` to its timestamp, and draining the queue leaves
+//! `now` at the maximum time ever scheduled — exactly where the pre-slab
+//! queue (which popped every stale entry) would have left it.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-struct Entry<E> {
+const NIL: u32 = u32::MAX;
+
+/// Handle to a scheduled event, returned by [`EventQueue::schedule`].
+///
+/// Keys are stamped: once the event fires or is cancelled, the key goes
+/// stale and further [`EventQueue::cancel`] calls with it are no-ops.
+/// `EventKey::NONE` is a key that never matches anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventKey {
+    slot: u32,
+    stamp: u32,
+}
+
+impl EventKey {
+    /// A key that refers to no event; cancelling it is a no-op.
+    pub const NONE: EventKey = EventKey {
+        slot: NIL,
+        stamp: 0,
+    };
+}
+
+impl Default for EventKey {
+    fn default() -> Self {
+        EventKey::NONE
+    }
+}
+
+/// Heap entry: 24 bytes, `Copy`, totally ordered by `(at, seq)` so pop
+/// order is independent of heap shape or arity.
+#[derive(Clone, Copy)]
+struct Entry {
     at: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
+    stamp: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl Entry {
+    #[inline]
+    fn before(&self, other: &Entry) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
     }
 }
 
-/// A future-event list with FIFO tie-breaking.
+struct Slot<E> {
+    event: Option<E>,
+    stamp: u32,
+}
+
+/// A future-event list with FIFO tie-breaking, O(1) cancellation, and
+/// tombstone compaction.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<Entry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     seq: u64,
     now: SimTime,
+    /// Maximum (clamped) time ever scheduled; `now` lands here on drain.
+    max_at: SimTime,
+    /// Tombstones currently sitting in the heap.
+    stale: usize,
+    scheduled: u64,
+    delivered: u64,
+    cancelled: u64,
+    compactions: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -52,10 +96,33 @@ impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
+            max_at: SimTime::ZERO,
+            stale: 0,
+            scheduled: 0,
+            delivered: 0,
+            cancelled: 0,
+            compactions: 0,
         }
+    }
+
+    /// Reset to the empty state at time zero, keeping allocations.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.seq = 0;
+        self.now = SimTime::ZERO;
+        self.max_at = SimTime::ZERO;
+        self.stale = 0;
+        self.scheduled = 0;
+        self.delivered = 0;
+        self.cancelled = 0;
+        self.compactions = 0;
     }
 
     /// Current simulation time (time of the last popped event).
@@ -63,52 +130,201 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.stale
     }
 
-    /// Whether no events are pending.
+    /// Whether no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Lifetime count of `schedule` calls.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Lifetime count of events delivered by `pop`.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Lifetime count of successful cancellations.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Number of tombstone compaction passes performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Schedule `event` at absolute time `at`. Scheduling in the past is a
     /// logic error and panics in debug builds; in release it is clamped to
-    /// `now` (the event fires immediately, preserving causality).
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    /// `now` (the event fires immediately, preserving causality). Returns
+    /// a key usable with [`cancel`](Self::cancel) until the event fires.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventKey {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
             self.now
         );
         let at = at.max(self.now);
+        self.max_at = self.max_at.max(at);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].event = Some(event);
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    event: Some(event),
+                    stamp: 0,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let stamp = self.slots[slot as usize].stamp;
         self.heap.push(Entry {
             at,
             seq: self.seq,
-            event,
+            slot,
+            stamp,
         });
         self.seq += 1;
+        self.scheduled += 1;
+        self.sift_up(self.heap.len() - 1);
+        EventKey { slot, stamp }
     }
 
     /// Schedule `event` after `delay_s` seconds of simulated time.
-    pub fn schedule_in(&mut self, delay_s: f64, event: E) {
+    pub fn schedule_in(&mut self, delay_s: f64, event: E) -> EventKey {
         let at = self.now.after_secs(delay_s);
-        self.schedule(at, event);
+        self.schedule(at, event)
     }
 
-    /// Pop the next event, advancing `now`. `None` when drained.
+    /// Cancel a previously scheduled event. Returns `true` if the key was
+    /// still live. The heap entry becomes a tombstone; once tombstones
+    /// reach half the heap (and the heap is non-trivial) the queue
+    /// compacts in place, which preserves pop order because entries are
+    /// totally ordered by `(at, seq)`.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.slot == NIL {
+            return false;
+        }
+        let slot = &mut self.slots[key.slot as usize];
+        if slot.stamp != key.stamp || slot.event.is_none() {
+            return false;
+        }
+        slot.event = None;
+        slot.stamp = slot.stamp.wrapping_add(1);
+        self.free.push(key.slot);
+        self.stale += 1;
+        self.cancelled += 1;
+        if self.stale >= 64 && self.stale * 2 >= self.heap.len() {
+            self.compact();
+        }
+        true
+    }
+
+    /// Drop every tombstone from the heap and re-heapify. O(n).
+    fn compact(&mut self) {
+        let slots = &self.slots;
+        self.heap
+            .retain(|e| slots[e.slot as usize].stamp == e.stamp);
+        self.stale = 0;
+        // Floyd heap construction: sift down from the last parent.
+        let n = self.heap.len();
+        if n > 1 {
+            for i in (0..=(n - 2) / 4).rev() {
+                self.sift_down(i);
+            }
+        }
+        self.compactions += 1;
+    }
+
+    /// Pop the next live event, advancing `now`. `None` when drained.
+    ///
+    /// Tombstones encountered on the way still advance `now` to their
+    /// timestamps, and draining leaves `now` at the maximum scheduled
+    /// time — matching the legacy queue, where stale entries were popped
+    /// (advancing the clock) and discarded by the caller.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| {
-            debug_assert!(e.at >= self.now, "time went backwards");
-            self.now = e.at;
-            (e.at, e.event)
-        })
+        while let Some(entry) = self.pop_entry() {
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.stamp != entry.stamp {
+                continue; // tombstone: clock advanced, payload long gone
+            }
+            let event = slot.event.take().expect("live entry has a payload");
+            slot.stamp = slot.stamp.wrapping_add(1);
+            self.free.push(entry.slot);
+            self.delivered += 1;
+            return Some((entry.at, event));
+        }
+        // Drained: land the clock where the legacy queue would have.
+        self.now = self.now.max(self.max_at);
+        None
     }
 
-    /// Peek at the next event time without popping.
+    /// Peek at the next entry's time without popping. Tombstones count:
+    /// this is the earliest timestamp the clock could advance to.
     pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|e| e.at)
+    }
+
+    fn pop_entry(&mut self) -> Option<Entry> {
+        let n = self.heap.len();
+        if n == 0 {
+            return None;
+        }
+        let top = self.heap.swap_remove(0);
+        if self.slots[top.slot as usize].stamp != top.stamp {
+            self.stale -= 1;
+        }
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.heap[parent].before(&entry) {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        let entry = self.heap[i];
+        loop {
+            let first = 4 * i + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            let last = (first + 4).min(n);
+            for c in first + 1..last {
+                if self.heap[c].before(&self.heap[best]) {
+                    best = c;
+                }
+            }
+            if entry.before(&self.heap[best]) {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            i = best;
+        }
+        self.heap[i] = entry;
     }
 }
 
@@ -179,5 +395,89 @@ mod tests {
         let (t, e) = q.pop().unwrap();
         assert_eq!(e, "late");
         assert_eq!(t, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn cancel_removes_an_event_and_goes_stale() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel of the same key is a no-op");
+        assert_eq!(q.len(), 1);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["b"]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_no_op_even_with_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        // "b" reuses a's slot; the stale key must not kill it.
+        q.schedule(SimTime::from_nanos(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn cancelled_entries_still_advance_the_clock() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        q.cancel(a);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_nanos(20), "b"));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), SimTime::from_nanos(20));
+    }
+
+    #[test]
+    fn drain_lands_now_on_max_scheduled_even_after_cancellation() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "a");
+        let late = q.schedule(SimTime::from_nanos(99), "late");
+        q.cancel(late);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert!(q.pop().is_none());
+        // The legacy queue would have popped the stale entry at t=99.
+        assert_eq!(q.now(), SimTime::from_nanos(99));
+    }
+
+    #[test]
+    fn compaction_preserves_pop_order() {
+        let mut q = EventQueue::new();
+        let mut keys = Vec::new();
+        for i in 0..400u64 {
+            keys.push(q.schedule(SimTime::from_nanos(1000 - i), i));
+        }
+        // Cancel the odd-indexed events: enough to trip the threshold.
+        for (i, k) in keys.iter().enumerate() {
+            if i % 2 == 1 {
+                q.cancel(*k);
+            }
+        }
+        assert!(q.compactions() > 0, "threshold should have fired");
+        assert_eq!(q.len(), 200);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let expected: Vec<u64> = (0..400).rev().filter(|i| i % 2 == 0).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn reset_clears_state_and_counters() {
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_nanos(5), 1);
+        q.cancel(k);
+        q.schedule(SimTime::from_nanos(7), 2);
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.scheduled(), 0);
+        assert_eq!(q.delivered(), 0);
+        assert_eq!(q.cancelled(), 0);
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), SimTime::ZERO, "max_at must reset too");
     }
 }

@@ -52,6 +52,28 @@ pub enum SimError {
         /// Human-readable description of the offending knob.
         detail: String,
     },
+    /// The cluster topology is inconsistent.
+    InvalidTopology {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A compiled stream failed validation.
+    InvalidStream {
+        /// The offending stream's index.
+        stream: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// Simulation-level configuration is inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// An arrival process carries out-of-range parameters.
+    InvalidArrival {
+        /// Human-readable description of the offending parameter.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -75,6 +97,18 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidRecovery { detail } => {
                 write!(f, "invalid recovery config: {detail}")
+            }
+            SimError::InvalidTopology { detail } => {
+                write!(f, "invalid topology: {detail}")
+            }
+            SimError::InvalidStream { stream, detail } => {
+                write!(f, "stream {stream}: {detail}")
+            }
+            SimError::InvalidConfig { detail } => {
+                write!(f, "invalid sim config: {detail}")
+            }
+            SimError::InvalidArrival { detail } => {
+                write!(f, "invalid arrival process: {detail}")
             }
         }
     }
@@ -138,5 +172,38 @@ mod tests {
         }
         .into();
         assert_eq!(s, "fault event 1 has invalid time -2");
+    }
+
+    #[test]
+    fn construction_variants_display_their_context() {
+        assert_eq!(
+            SimError::InvalidTopology {
+                detail: "cluster has no devices".into()
+            }
+            .to_string(),
+            "invalid topology: cluster has no devices"
+        );
+        assert_eq!(
+            SimError::InvalidStream {
+                stream: 4,
+                detail: "references missing server 9".into()
+            }
+            .to_string(),
+            "stream 4: references missing server 9"
+        );
+        assert_eq!(
+            SimError::InvalidConfig {
+                detail: "horizon must exceed warmup".into()
+            }
+            .to_string(),
+            "invalid sim config: horizon must exceed warmup"
+        );
+        assert_eq!(
+            SimError::InvalidArrival {
+                detail: "trace has no gaps".into()
+            }
+            .to_string(),
+            "invalid arrival process: trace has no gaps"
+        );
     }
 }

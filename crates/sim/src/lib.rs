@@ -30,20 +30,20 @@ pub mod tracelog;
 pub mod workload;
 
 pub use cluster::{ApSpec, Cluster, DeviceSpec, ServerSpec};
-pub use engine::EventQueue;
+pub use engine::{EventKey, EventQueue};
 pub use error::SimError;
 pub use faults::{FaultClass, FaultEvent, FaultKind, FaultPlan, FaultProfile};
 pub use metrics::{
     FaultClassStats, FaultMetrics, LatencyStats, RecoveryMetrics, SimReport, StreamStats,
 };
-pub use net::LinkModel;
+pub use net::{CachedLink, LinkModel};
 pub use recovery::{
     BreakerConfig, BreakerState, CircuitBreaker, HealthSnapshot, RecoveryConfig, RetryPolicy,
 };
 pub use rng::SimRng;
 pub use scalpel_surgery::{DegradeLadder, DegradeRung};
-pub use sim::{EdgeSim, SimConfig};
+pub use sim::{EdgeSim, SimConfig, SimScratch};
 pub use task::{CompiledStream, StreamId};
 pub use time::SimTime;
 pub use tracelog::{FaultRecord, RunTrace, TaskRecord};
-pub use workload::ArrivalProcess;
+pub use workload::{ArrivalGen, ArrivalProcess, ArrivalState};

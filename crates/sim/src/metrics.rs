@@ -36,6 +36,13 @@ impl LatencyStats {
 
     /// Compute from raw samples (consumed; sorted internally).
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        Self::from_mut_slice(&mut samples)
+    }
+
+    /// Like [`LatencyStats::from_samples`], but sorting the caller's
+    /// buffer in place — no allocation, same bits (the mean is summed
+    /// over the sorted order either way).
+    pub fn from_mut_slice(samples: &mut [f64]) -> Self {
         if samples.is_empty() {
             return Self::empty();
         }
@@ -276,7 +283,15 @@ pub(crate) struct StreamAccum {
 }
 
 impl StreamAccum {
-    pub fn finish(self, stream: usize) -> StreamStats {
+    /// Consuming wrapper over [`StreamAccum::finish_mut`].
+    #[cfg(test)]
+    pub fn finish(mut self, stream: usize) -> StreamStats {
+        self.finish_mut(stream)
+    }
+
+    /// Seal the accumulator into per-stream stats: sorts the latency buffer in place so
+    /// a scratch-held accumulator keeps its capacity across runs.
+    pub fn finish_mut(&mut self, stream: usize) -> StreamStats {
         let completed = self.latencies.len();
         let n = completed.max(1) as f64;
         StreamStats {
@@ -289,8 +304,21 @@ impl StreamAccum {
             mean_device_service: self.device_service_sum / n,
             mean_tx: self.tx_sum / self.tx_count.max(1) as f64,
             mean_edge: self.edge_sum / self.tx_count.max(1) as f64,
-            latency: LatencyStats::from_samples(self.latencies),
+            latency: LatencyStats::from_mut_slice(&mut self.latencies),
         }
+    }
+
+    /// Zero every counter, keeping the latency buffer's capacity.
+    pub fn reset(&mut self) {
+        self.latencies.clear();
+        self.on_time = 0;
+        self.acc_sum = 0.0;
+        self.early_exits = 0;
+        self.device_wait_sum = 0.0;
+        self.device_service_sum = 0.0;
+        self.tx_sum = 0.0;
+        self.tx_count = 0;
+        self.edge_sum = 0.0;
     }
 }
 

@@ -72,6 +72,61 @@ impl LinkModel {
         }
         bytes * 8.0 / rate
     }
+
+    /// Pre-evaluate the static channel math. `mean_snr` depends only on
+    /// link constants (power, path loss, distance, spectrum), yet
+    /// [`LinkModel::rate_bps`] re-derives it — two `log10`s and a `powf`
+    /// — on every call. A [`CachedLink`] pays that once, leaving at most
+    /// one `log2` per transmission; the cached values are exactly the
+    /// f64s the uncached path would recompute, so rates (and therefore
+    /// simulations) are bit-identical.
+    pub fn cached(&self) -> CachedLink {
+        let snr = self.mean_snr();
+        CachedLink {
+            bandwidth_hz: self.bandwidth_hz,
+            mean_snr: snr,
+            unit_eff: (1.0 + snr).log2(),
+        }
+    }
+}
+
+/// A [`LinkModel`] with its static channel math pre-evaluated for the
+/// per-transmission hot path. Build with [`LinkModel::cached`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedLink {
+    /// Full AP spectrum in Hz (the share multiplies this).
+    pub bandwidth_hz: f64,
+    /// Mean SNR (linear) over the allocated band — `LinkModel::mean_snr`.
+    pub mean_snr: f64,
+    /// Spectral efficiency at unit fading: `(1 + mean_snr).log2()`.
+    unit_eff: f64,
+}
+
+impl CachedLink {
+    /// Shannon rate in bits/s; bit-identical to [`LinkModel::rate_bps`].
+    pub fn rate_bps(&self, share: f64, fading_power: f64) -> f64 {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&share));
+        if share <= 0.0 {
+            return 0.0;
+        }
+        // `snr * 1.0 == snr` bit-for-bit, so the unit-fading shortcut
+        // returns exactly what the log2 below would.
+        let eff = if fading_power == 1.0 {
+            self.unit_eff
+        } else {
+            (1.0 + self.mean_snr * fading_power).log2()
+        };
+        share * self.bandwidth_hz * eff
+    }
+
+    /// Seconds to move `bytes`; bit-identical to [`LinkModel::tx_seconds`].
+    pub fn tx_seconds(&self, bytes: f64, share: f64, fading_power: f64) -> f64 {
+        let rate = self.rate_bps(share, fading_power);
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        bytes * 8.0 / rate
+    }
 }
 
 #[cfg(test)]

@@ -190,6 +190,20 @@ impl CircuitBreaker {
         }
     }
 
+    /// Return to the fresh, closed state under `cfg`, keeping the rolling
+    /// window's buffer so a reused breaker allocates nothing.
+    pub fn reset(&mut self, cfg: BreakerConfig) {
+        self.cfg = cfg;
+        self.state = BreakerState::Closed;
+        self.window.clear();
+        self.opened_at_s = 0.0;
+        self.probe_successes = 0;
+        self.probes_admitted = 0;
+        self.opens = 0;
+        self.half_opens = 0;
+        self.closes = 0;
+    }
+
     /// Current state (pure; open breakers stay open here even past the
     /// cooldown — promotion to half-open happens on traffic, in
     /// [`CircuitBreaker::try_acquire`]).

@@ -1,22 +1,30 @@
 //! The edge simulator: FIFO device compute → fading uplink → weighted
 //! processor-sharing edge server, driven by a deterministic event queue.
+//!
+//! The hot path is allocation-free in steady state: requests live in a
+//! slab ([`FlightPool`]) and move between device/uplink queues as index
+//! links, events carry [`EventKey`]s so superseded timers are cancelled
+//! (and eventually compacted) instead of popped lazily, and all per-run
+//! state lives in a reusable [`SimScratch`].
 
 use crate::cluster::Cluster;
-use crate::engine::EventQueue;
+use crate::engine::{EventKey, EventQueue};
+use crate::error::SimError;
 use crate::faults::{FaultClass, FaultKind, FaultPlan};
 use crate::metrics::{
     FaultClassStats, FaultMetrics, LatencyStats, RecoveryMetrics, SimReport, StreamAccum,
 };
-use crate::net::LinkModel;
-use crate::recovery::{BreakerState, CircuitBreaker, HealthSnapshot, RecoveryConfig};
+use crate::net::CachedLink;
+use crate::recovery::{
+    BreakerConfig, BreakerState, CircuitBreaker, HealthSnapshot, RecoveryConfig,
+};
 use crate::rng::SimRng;
 use crate::task::{CompiledStream, RunTask};
 use crate::time::SimTime;
 use crate::tracelog::{FaultRecord, RunTrace, TaskRecord};
-use crate::workload::ArrivalGen;
+use crate::workload::ArrivalState;
 use scalpel_surgery::DegradeRung;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Simulation horizon and determinism knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,8 +61,9 @@ impl Default for SimConfig {
     }
 }
 
-/// Events of the edge simulation.
-#[derive(Debug, Clone)]
+/// Events of the edge simulation. `Copy` so the event queue can store
+/// payloads in a flat slab with no per-event boxing or cloning.
+#[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Next request of `stream` arrives.
     Arrive { stream: usize },
@@ -79,8 +88,14 @@ enum Ev {
     Telemetry,
 }
 
-/// A request with its accumulated timing breakdown.
-#[derive(Debug, Clone)]
+/// Null slab index (`Option<u32>` without the discriminant).
+const NIL: u32 = u32::MAX;
+/// "Not degrading" sentinel for [`InFlight::degrade_to`].
+const NO_RUNG: u32 = u32::MAX;
+
+/// A request with its accumulated timing breakdown. `Copy` (36 × 8-byte
+/// words of plain data): queue moves copy an index, never this struct.
+#[derive(Debug, Clone, Copy)]
 struct InFlight {
     task: RunTask,
     device_wait: f64,
@@ -92,26 +107,166 @@ struct InFlight {
     attempts: u32,
     /// Hedged server override; `None` = the stream's primary server.
     target: Option<usize>,
-    /// Degradation rung this request is completing through, if any.
-    degrade_to: Option<DegradeRung>,
+    /// Rung index (into the stream's `degrade.rungs`) this request is
+    /// completing through; [`NO_RUNG`] = nominal path.
+    degrade_to: u32,
+    /// Pending retry watchdog, cancelled when the request leaves the
+    /// uplink so stale timers never pile up in the event heap.
+    retry_key: EventKey,
 }
 
-#[derive(Debug, Default)]
-struct DeviceState {
-    queue: VecDeque<InFlight>,
-    /// The request currently computing (service end handled by DeviceDone).
-    current: Option<InFlight>,
-}
-
-#[derive(Debug, Default)]
-struct UplinkState {
-    queue: VecDeque<InFlight>,
-    current: Option<InFlight>,
-}
-
-#[derive(Debug)]
-struct ActiveOnServer {
+/// Slot of the [`FlightPool`] slab: a request plus its intrusive link.
+#[derive(Debug, Clone, Copy)]
+struct FlightSlot {
     flight: InFlight,
+    /// Next request in whichever [`FlightList`] holds this slot, or the
+    /// next free slot while on the free list.
+    next: u32,
+}
+
+/// Slab allocator for [`InFlight`] records with an intrusive free list.
+/// Capacity is retained across runs, so steady state never reallocates.
+#[derive(Debug, Default)]
+struct FlightPool {
+    slots: Vec<FlightSlot>,
+    free_head: u32,
+}
+
+impl FlightPool {
+    fn alloc(&mut self, flight: InFlight) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            self.free_head = slot.next;
+            slot.flight = flight;
+            slot.next = NIL;
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "flight pool overflow");
+            self.slots.push(FlightSlot { flight, next: NIL });
+            idx
+        }
+    }
+
+    fn free(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.next = self.free_head;
+        self.free_head = idx;
+    }
+
+    fn get(&self, idx: u32) -> &InFlight {
+        &self.slots[idx as usize].flight
+    }
+
+    fn get_mut(&mut self, idx: u32) -> &mut InFlight {
+        &mut self.slots[idx as usize].flight
+    }
+
+    fn next_of(&self, idx: u32) -> u32 {
+        self.slots[idx as usize].next
+    }
+
+    /// Forget all flights but keep the slab's capacity.
+    fn reset(&mut self) {
+        self.slots.clear();
+        self.free_head = NIL;
+    }
+}
+
+/// FIFO of slab indices linked through [`FlightSlot::next`].
+#[derive(Debug, Clone, Copy)]
+struct FlightList {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for FlightList {
+    fn default() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+impl FlightList {
+    fn is_empty(&self) -> bool {
+        self.head == NIL
+    }
+
+    fn push_back(&mut self, pool: &mut FlightPool, idx: u32) {
+        pool.slots[idx as usize].next = NIL;
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            pool.slots[self.tail as usize].next = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+    }
+
+    fn push_front(&mut self, pool: &mut FlightPool, idx: u32) {
+        pool.slots[idx as usize].next = self.head;
+        if self.head == NIL {
+            self.tail = idx;
+        }
+        self.head = idx;
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self, pool: &mut FlightPool) -> Option<u32> {
+        if self.head == NIL {
+            return None;
+        }
+        let idx = self.head;
+        self.head = pool.slots[idx as usize].next;
+        if self.head == NIL {
+            self.tail = NIL;
+        }
+        self.len -= 1;
+        Some(idx)
+    }
+
+    /// Unlink `idx`, whose predecessor in this list is `prev` ([`NIL`] if
+    /// `idx` is the head).
+    fn unlink_after(&mut self, pool: &mut FlightPool, prev: u32, idx: u32) {
+        let next = pool.slots[idx as usize].next;
+        if prev == NIL {
+            self.head = next;
+        } else {
+            pool.slots[prev as usize].next = next;
+        }
+        if self.tail == idx {
+            self.tail = prev;
+        }
+        self.len -= 1;
+    }
+}
+
+/// A service station (device compute unit or uplink): its FIFO backlog
+/// plus the request currently in service ([`NIL`] = idle).
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    queue: FlightList,
+    current: u32,
+}
+
+impl Default for Lane {
+    fn default() -> Self {
+        Self {
+            queue: FlightList::default(),
+            current: NIL,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveOnServer {
+    /// Slab index of the request being served.
+    flight: u32,
     remaining_flops: f64,
     weight: f64,
     entered: SimTime,
@@ -159,6 +314,17 @@ impl ServerState {
             })
             .min_by(|x, y| x.partial_cmp(y).expect("finite"))
     }
+
+    /// Re-point this station at `spec` capacity and drop run state,
+    /// keeping the `active` vector's storage.
+    fn reset(&mut self, fps: f64) {
+        self.capacity_fps = fps;
+        self.base_fps = fps;
+        self.active.clear();
+        self.last = SimTime::ZERO;
+        self.gen = 0;
+        self.busy_s = 0.0;
+    }
 }
 
 /// The heterogeneous-edge discrete-event simulator.
@@ -174,31 +340,33 @@ impl EdgeSim {
         cluster: Cluster,
         streams: Vec<CompiledStream>,
         config: SimConfig,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, SimError> {
         cluster.validate()?;
         for (i, s) in streams.iter().enumerate() {
+            let bad = |detail: String| SimError::InvalidStream { stream: i, detail };
             if s.id != i {
-                return Err(format!("stream {i} has id {}", s.id));
+                return Err(bad(format!("has id {}", s.id)));
             }
             if s.device >= cluster.devices.len() {
-                return Err(format!("stream {i} references missing device {}", s.device));
+                return Err(bad(format!("references missing device {}", s.device)));
             }
             if let Some(srv) = s.server {
                 if srv >= cluster.servers.len() {
-                    return Err(format!("stream {i} references missing server {srv}"));
+                    return Err(bad(format!("references missing server {srv}")));
                 }
             }
             for &alt in &s.fallback_servers {
                 if alt >= cluster.servers.len() {
-                    return Err(format!(
-                        "stream {i} references missing fallback server {alt}"
-                    ));
+                    return Err(bad(format!("references missing fallback server {alt}")));
                 }
             }
-            s.validate()?;
+            s.validate().map_err(bad)?;
+            s.arrivals.validate()?;
         }
         if config.horizon_s <= config.warmup_s {
-            return Err("horizon must exceed warmup".into());
+            return Err(SimError::InvalidConfig {
+                detail: "horizon must exceed warmup".into(),
+            });
         }
         config.faults.validate(&cluster)?;
         config.recovery.validate()?;
@@ -211,7 +379,16 @@ impl EdgeSim {
 
     /// Run to completion and report measured statistics.
     pub fn run(&self) -> SimReport {
-        Runner::new(self).run().0
+        let mut scratch = SimScratch::new();
+        self.run_with_scratch(&mut scratch)
+    }
+
+    /// Run to completion reusing caller-owned scratch state. Semantically
+    /// identical to [`EdgeSim::run`] (bit-for-bit, regardless of what the
+    /// scratch previously simulated) but allocation-free once the scratch
+    /// is warm.
+    pub fn run_with_scratch(&self, scratch: &mut SimScratch) -> SimReport {
+        self.run_internal(scratch, false).0
     }
 
     /// Run to completion, additionally returning one [`TaskRecord`] per
@@ -224,10 +401,23 @@ impl EdgeSim {
     /// Run to completion with full event logging: per-completion timing
     /// records plus one [`FaultRecord`] per executed fault event.
     pub fn run_logged(&self) -> (SimReport, RunTrace) {
-        let mut runner = Runner::new(self);
-        runner.trace = Some(Vec::new());
-        runner.fault_trace = Some(Vec::new());
-        runner.run()
+        let mut scratch = SimScratch::new();
+        self.run_logged_with_scratch(&mut scratch)
+    }
+
+    /// [`EdgeSim::run_logged`] reusing caller-owned scratch state.
+    pub fn run_logged_with_scratch(&self, scratch: &mut SimScratch) -> (SimReport, RunTrace) {
+        self.run_internal(scratch, true)
+    }
+
+    fn run_internal(&self, scratch: &mut SimScratch, record: bool) -> (SimReport, RunTrace) {
+        scratch.reset(self);
+        scratch.record = record;
+        Runner {
+            sim: self,
+            st: scratch,
+        }
+        .run()
     }
 }
 
@@ -280,74 +470,6 @@ impl FaultAccum {
     }
 }
 
-/// Internal mutable run state (kept off `EdgeSim` so `run` is `&self` and
-/// sweeps can share one immutable setup across threads).
-struct Runner<'a> {
-    sim: &'a EdgeSim,
-    queue: EventQueue<Ev>,
-    devices: Vec<DeviceState>,
-    uplinks: Vec<UplinkState>,
-    servers: Vec<ServerState>,
-    links: Vec<LinkModel>,
-    arrival_gens: Vec<ArrivalGen>,
-    arrival_rngs: Vec<SimRng>,
-    difficulty_rng: SimRng,
-    fading_rng: SimRng,
-    accums: Vec<StreamAccum>,
-    generated: usize,
-    horizon: SimTime,
-    warmup: SimTime,
-    trace: Option<Vec<TaskRecord>>,
-    // --- fault-injection state ---
-    /// Whether each device is powered on.
-    device_up: Vec<bool>,
-    /// Generation counter invalidating in-flight `DeviceDone` events.
-    dev_gen: Vec<u64>,
-    /// Whether each AP's radio is up.
-    ap_up: Vec<bool>,
-    /// Effective-rate multiplier per AP (1.0 = nominal).
-    ap_bw_factor: Vec<f64>,
-    /// Generation counter invalidating in-flight `TxDone` events.
-    tx_gen: Vec<u64>,
-    /// Whether each stream has an `Arrive` event in the queue (suppressed
-    /// while its device is down; restarted on `DeviceUp`).
-    arrival_pending: Vec<bool>,
-    /// Stream ids hosted on each device.
-    streams_by_device: Vec<Vec<usize>>,
-    /// Currently-active fault count per class (attribution of misses).
-    active_faults: [usize; 4],
-    /// Outage start times, for recovery-time accounting.
-    device_down_at: Vec<Option<SimTime>>,
-    ap_down_at: Vec<Option<SimTime>>,
-    ap_degraded_at: Vec<Option<SimTime>>,
-    server_throttled_at: Vec<Option<SimTime>>,
-    fa: FaultAccum,
-    fault_trace: Option<Vec<FaultRecord>>,
-    // --- recovery state ---
-    /// Whether any recovery layer is on (gates every recovery code path).
-    recovery_active: bool,
-    /// Next unique request id.
-    next_req: u64,
-    /// Per-server breakers (present iff `recovery.breakers` is set).
-    srv_breakers: Option<Vec<CircuitBreaker>>,
-    /// Per-AP breakers (present iff `recovery.breakers` is set).
-    ap_breakers: Option<Vec<CircuitBreaker>>,
-    ra: RecoveryAccum,
-    /// Outstanding local-finish degradation work per device, seconds.
-    /// The ladder is load-aware: committed-but-unfinished suffix work
-    /// shrinks the slack offered to the next faller, so an overloaded
-    /// device falls to forced exits (zero extra compute) instead of
-    /// queueing unbounded local work that churn would strand wholesale.
-    degrade_backlog_s: Vec<f64>,
-    /// Telemetry snapshots, in epoch order.
-    health: Vec<HealthSnapshot>,
-    /// Cumulative measured completions / misses (telemetry deltas).
-    meas_completed: usize,
-    meas_misses: usize,
-    /// Counter values at the previous telemetry snapshot.
-    last_snap: SnapBase,
-}
-
 /// Counter baseline of the previous telemetry epoch.
 #[derive(Debug, Default, Clone, Copy)]
 struct SnapBase {
@@ -373,109 +495,398 @@ struct RecoveryAccum {
     degraded_acc_sum: f64,
 }
 
-impl<'a> Runner<'a> {
-    fn new(sim: &'a EdgeSim) -> Self {
-        let n_dev = sim.cluster.devices.len();
-        let n_ap = sim.cluster.aps.len();
-        let n_srv = sim.cluster.servers.len();
-        let devices = (0..n_dev).map(|_| DeviceState::default()).collect();
-        let uplinks = (0..n_dev).map(|_| UplinkState::default()).collect();
-        let servers = sim
-            .cluster
-            .servers
-            .iter()
-            .map(|s| ServerState {
-                capacity_fps: s.proc.flops_per_sec,
-                base_fps: s.proc.flops_per_sec,
-                active: Vec::new(),
-                last: SimTime::ZERO,
-                gen: 0,
-                busy_s: 0.0,
-            })
-            .collect();
-        let links = (0..n_dev).map(|d| sim.cluster.link(d)).collect();
-        let mut streams_by_device: Vec<Vec<usize>> = vec![Vec::new(); n_dev];
-        for (i, s) in sim.streams.iter().enumerate() {
-            streams_by_device[s.device].push(i);
-        }
-        let seed = sim.config.seed;
+/// Reusable per-run state of the simulator: the event queue, the flight
+/// slab, queues, breakers, RNGs and every metrics accumulator.
+///
+/// A scratch can be reused across seeds, postures, and unrelated
+/// [`EdgeSim`] instances — [`EdgeSim::run_with_scratch`] resets it on
+/// entry, so the report is bit-identical to a fresh run while the
+/// capacity of every buffer (slab slots, heap entries, latency vectors,
+/// breaker windows) is amortized across runs. Mirrors the optimizer's
+/// `AllocScratch` pattern.
+pub struct SimScratch {
+    queue: EventQueue<Ev>,
+    pool: FlightPool,
+    devices: Vec<Lane>,
+    uplinks: Vec<Lane>,
+    servers: Vec<ServerState>,
+    links: Vec<CachedLink>,
+    arrival_states: Vec<ArrivalState>,
+    arrival_rngs: Vec<SimRng>,
+    difficulty_rng: SimRng,
+    fading_rng: SimRng,
+    accums: Vec<StreamAccum>,
+    generated: usize,
+    horizon: SimTime,
+    warmup: SimTime,
+    /// Whether task/fault records are collected this run.
+    record: bool,
+    trace: Vec<TaskRecord>,
+    fault_trace: Vec<FaultRecord>,
+    // --- fault-injection state ---
+    /// Whether each device is powered on.
+    device_up: Vec<bool>,
+    /// Generation counter invalidating in-flight `DeviceDone` events.
+    dev_gen: Vec<u64>,
+    /// Whether each AP's radio is up.
+    ap_up: Vec<bool>,
+    /// Effective-rate multiplier per AP (1.0 = nominal).
+    ap_bw_factor: Vec<f64>,
+    /// Generation counter invalidating in-flight `TxDone` events.
+    tx_gen: Vec<u64>,
+    /// Whether each stream has an `Arrive` event in the queue (suppressed
+    /// while its device is down; restarted on `DeviceUp`).
+    arrival_pending: Vec<bool>,
+    /// Stream ids hosted on each device.
+    streams_by_device: Vec<Vec<usize>>,
+    /// Device ids attached to each AP (ascending).
+    devices_by_ap: Vec<Vec<usize>>,
+    /// Currently-active fault count per class (attribution of misses).
+    active_faults: [usize; 4],
+    /// Outage start times, for recovery-time accounting.
+    device_down_at: Vec<Option<SimTime>>,
+    ap_down_at: Vec<Option<SimTime>>,
+    ap_degraded_at: Vec<Option<SimTime>>,
+    server_throttled_at: Vec<Option<SimTime>>,
+    fa: FaultAccum,
+    // --- recovery state ---
+    /// Whether any recovery layer is on (gates every recovery code path).
+    recovery_active: bool,
+    /// Next unique request id.
+    next_req: u64,
+    /// Per-server breakers (present iff `recovery.breakers` is set).
+    srv_breakers: Option<Vec<CircuitBreaker>>,
+    /// Per-AP breakers (present iff `recovery.breakers` is set).
+    ap_breakers: Option<Vec<CircuitBreaker>>,
+    ra: RecoveryAccum,
+    /// Outstanding local-finish degradation work per device, seconds.
+    /// The ladder is load-aware: committed-but-unfinished suffix work
+    /// shrinks the slack offered to the next faller, so an overloaded
+    /// device falls to forced exits (zero extra compute) instead of
+    /// queueing unbounded local work that churn would strand wholesale.
+    degrade_backlog_s: Vec<f64>,
+    /// Telemetry snapshots, in epoch order.
+    health: Vec<HealthSnapshot>,
+    /// Cumulative measured completions / misses (telemetry deltas).
+    meas_completed: usize,
+    meas_misses: usize,
+    /// Counter values at the previous telemetry snapshot.
+    last_snap: SnapBase,
+    // --- pending-timer keys, for eager cancellation ---
+    /// Pending `DeviceDone` per device (stale once fired; cancel is a
+    /// stamped no-op then).
+    dev_done_key: Vec<EventKey>,
+    /// Pending `TxDone` per device.
+    tx_done_key: Vec<EventKey>,
+    /// Pending `ServerCheck` per server.
+    server_check_key: Vec<EventKey>,
+    /// Completion staging buffer for `on_server_check`.
+    done_buf: Vec<(u32, SimTime)>,
+    /// Pooled latency samples for the aggregate report.
+    lat_all: Vec<f64>,
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers grow on first use and are kept after.
+    pub fn new() -> Self {
         Self {
-            sim,
             queue: EventQueue::new(),
-            devices,
-            uplinks,
-            servers,
-            links,
-            arrival_gens: sim.streams.iter().map(|s| s.arrivals.generator()).collect(),
-            arrival_rngs: (0..sim.streams.len())
-                .map(|i| SimRng::new(seed, 1000 + i as u64))
-                .collect(),
-            difficulty_rng: SimRng::new(seed, 1),
-            fading_rng: SimRng::new(seed, 2),
-            accums: (0..sim.streams.len())
-                .map(|_| StreamAccum::default())
-                .collect(),
+            pool: FlightPool::default(),
+            devices: Vec::new(),
+            uplinks: Vec::new(),
+            servers: Vec::new(),
+            links: Vec::new(),
+            arrival_states: Vec::new(),
+            arrival_rngs: Vec::new(),
+            difficulty_rng: SimRng::new(0, 0),
+            fading_rng: SimRng::new(0, 0),
+            accums: Vec::new(),
             generated: 0,
-            horizon: SimTime::from_secs_f64(sim.config.horizon_s),
-            warmup: SimTime::from_secs_f64(sim.config.warmup_s),
-            trace: None,
-            device_up: vec![true; n_dev],
-            dev_gen: vec![0; n_dev],
-            ap_up: vec![true; n_ap],
-            ap_bw_factor: vec![1.0; n_ap],
-            tx_gen: vec![0; n_dev],
-            arrival_pending: vec![false; sim.streams.len()],
-            streams_by_device,
+            horizon: SimTime::ZERO,
+            warmup: SimTime::ZERO,
+            record: false,
+            trace: Vec::new(),
+            fault_trace: Vec::new(),
+            device_up: Vec::new(),
+            dev_gen: Vec::new(),
+            ap_up: Vec::new(),
+            ap_bw_factor: Vec::new(),
+            tx_gen: Vec::new(),
+            arrival_pending: Vec::new(),
+            streams_by_device: Vec::new(),
+            devices_by_ap: Vec::new(),
             active_faults: [0; 4],
-            device_down_at: vec![None; n_dev],
-            ap_down_at: vec![None; n_ap],
-            ap_degraded_at: vec![None; n_ap],
-            server_throttled_at: vec![None; n_srv],
+            device_down_at: Vec::new(),
+            ap_down_at: Vec::new(),
+            ap_degraded_at: Vec::new(),
+            server_throttled_at: Vec::new(),
             fa: FaultAccum::default(),
-            fault_trace: None,
-            recovery_active: sim.config.recovery.is_active(),
+            recovery_active: false,
             next_req: 0,
-            srv_breakers: sim
-                .config
-                .recovery
-                .breakers
-                .as_ref()
-                .map(|b| (0..n_srv).map(|_| CircuitBreaker::new(b.clone())).collect()),
-            ap_breakers: sim
-                .config
-                .recovery
-                .breakers
-                .as_ref()
-                .map(|b| (0..n_ap).map(|_| CircuitBreaker::new(b.clone())).collect()),
+            srv_breakers: None,
+            ap_breakers: None,
             ra: RecoveryAccum::default(),
-            degrade_backlog_s: vec![0.0; n_dev],
+            degrade_backlog_s: Vec::new(),
             health: Vec::new(),
             meas_completed: 0,
             meas_misses: 0,
             last_snap: SnapBase::default(),
+            dev_done_key: Vec::new(),
+            tx_done_key: Vec::new(),
+            server_check_key: Vec::new(),
+            done_buf: Vec::new(),
+            lat_all: Vec::new(),
         }
     }
 
+    /// Events scheduled during the last run.
+    pub fn events_scheduled(&self) -> u64 {
+        self.queue.scheduled()
+    }
+
+    /// Events delivered (popped live) during the last run.
+    pub fn events_delivered(&self) -> u64 {
+        self.queue.delivered()
+    }
+
+    /// Timers cancelled before firing during the last run.
+    pub fn events_cancelled(&self) -> u64 {
+        self.queue.cancelled()
+    }
+
+    /// Tombstone compaction passes performed during the last run.
+    pub fn queue_compactions(&self) -> u64 {
+        self.queue.compactions()
+    }
+
+    /// Rebind every buffer to `sim`'s shape and clear run state, reusing
+    /// capacity element-wise. Called on entry by every run, so no state
+    /// from a previous run (on any simulator) can leak into this one.
+    fn reset(&mut self, sim: &EdgeSim) {
+        let n_dev = sim.cluster.devices.len();
+        let n_ap = sim.cluster.aps.len();
+        let n_srv = sim.cluster.servers.len();
+        let n_str = sim.streams.len();
+        let seed = sim.config.seed;
+        self.queue.reset();
+        self.pool.reset();
+        self.devices.clear();
+        self.devices.resize_with(n_dev, Lane::default);
+        self.uplinks.clear();
+        self.uplinks.resize_with(n_dev, Lane::default);
+        if self.servers.len() == n_srv {
+            for (st, spec) in self.servers.iter_mut().zip(&sim.cluster.servers) {
+                st.reset(spec.proc.flops_per_sec);
+            }
+        } else {
+            self.servers.clear();
+            self.servers.extend(sim.cluster.servers.iter().map(|s| {
+                let mut st = ServerState {
+                    capacity_fps: 0.0,
+                    base_fps: 0.0,
+                    active: Vec::new(),
+                    last: SimTime::ZERO,
+                    gen: 0,
+                    busy_s: 0.0,
+                };
+                st.reset(s.proc.flops_per_sec);
+                st
+            }));
+        }
+        self.links.clear();
+        self.links
+            .extend((0..n_dev).map(|d| sim.cluster.link(d).cached()));
+        self.arrival_states.clear();
+        self.arrival_states.resize(n_str, ArrivalState::default());
+        self.arrival_rngs.clear();
+        self.arrival_rngs
+            .extend((0..n_str).map(|i| SimRng::new(seed, 1000 + i as u64)));
+        self.difficulty_rng = SimRng::new(seed, 1);
+        self.fading_rng = SimRng::new(seed, 2);
+        if self.accums.len() == n_str {
+            for a in &mut self.accums {
+                a.reset();
+            }
+        } else {
+            self.accums.clear();
+            self.accums.resize_with(n_str, StreamAccum::default);
+        }
+        self.generated = 0;
+        self.horizon = SimTime::from_secs_f64(sim.config.horizon_s);
+        self.warmup = SimTime::from_secs_f64(sim.config.warmup_s);
+        self.record = false;
+        self.trace.clear();
+        self.fault_trace.clear();
+        self.device_up.clear();
+        self.device_up.resize(n_dev, true);
+        self.dev_gen.clear();
+        self.dev_gen.resize(n_dev, 0);
+        self.ap_up.clear();
+        self.ap_up.resize(n_ap, true);
+        self.ap_bw_factor.clear();
+        self.ap_bw_factor.resize(n_ap, 1.0);
+        self.tx_gen.clear();
+        self.tx_gen.resize(n_dev, 0);
+        self.arrival_pending.clear();
+        self.arrival_pending.resize(n_str, false);
+        for v in &mut self.streams_by_device {
+            v.clear();
+        }
+        self.streams_by_device.resize_with(n_dev, Vec::new);
+        self.streams_by_device.truncate(n_dev);
+        for (i, s) in sim.streams.iter().enumerate() {
+            self.streams_by_device[s.device].push(i);
+        }
+        for v in &mut self.devices_by_ap {
+            v.clear();
+        }
+        self.devices_by_ap.resize_with(n_ap, Vec::new);
+        self.devices_by_ap.truncate(n_ap);
+        for (d, spec) in sim.cluster.devices.iter().enumerate() {
+            self.devices_by_ap[spec.ap].push(d);
+        }
+        self.active_faults = [0; 4];
+        self.device_down_at.clear();
+        self.device_down_at.resize(n_dev, None);
+        self.ap_down_at.clear();
+        self.ap_down_at.resize(n_ap, None);
+        self.ap_degraded_at.clear();
+        self.ap_degraded_at.resize(n_ap, None);
+        self.server_throttled_at.clear();
+        self.server_throttled_at.resize(n_srv, None);
+        self.fa = FaultAccum::default();
+        self.recovery_active = sim.config.recovery.is_active();
+        self.next_req = 0;
+        match &sim.config.recovery.breakers {
+            Some(bc) => {
+                reset_breakers(&mut self.srv_breakers, n_srv, bc);
+                reset_breakers(&mut self.ap_breakers, n_ap, bc);
+            }
+            None => {
+                self.srv_breakers = None;
+                self.ap_breakers = None;
+            }
+        }
+        self.ra = RecoveryAccum::default();
+        self.degrade_backlog_s.clear();
+        self.degrade_backlog_s.resize(n_dev, 0.0);
+        self.health.clear();
+        self.meas_completed = 0;
+        self.meas_misses = 0;
+        self.last_snap = SnapBase::default();
+        self.dev_done_key.clear();
+        self.dev_done_key.resize(n_dev, EventKey::NONE);
+        self.tx_done_key.clear();
+        self.tx_done_key.resize(n_dev, EventKey::NONE);
+        self.server_check_key.clear();
+        self.server_check_key.resize(n_srv, EventKey::NONE);
+        self.done_buf.clear();
+        self.lat_all.clear();
+    }
+}
+
+/// Size `slot` to `n` breakers configured with `cfg`, reusing the window
+/// buffers of existing breakers when the count matches.
+fn reset_breakers(slot: &mut Option<Vec<CircuitBreaker>>, n: usize, cfg: &BreakerConfig) {
+    match slot {
+        Some(v) if v.len() == n => {
+            for b in v.iter_mut() {
+                b.reset(cfg.clone());
+            }
+        }
+        _ => *slot = Some((0..n).map(|_| CircuitBreaker::new(cfg.clone())).collect()),
+    }
+}
+
+/// First rung whose committed device seconds fit within `avail`
+/// (replicates `DegradeLadder::best_within`, by index), else — on an
+/// idle device — the cheapest rung (replicates `cheapest`'s tie-break:
+/// least extra compute, then highest accuracy).
+fn pick_rung(rungs: &[DegradeRung], avail: f64, idle: bool) -> Option<usize> {
+    rungs
+        .iter()
+        .position(|r| r.extra_device_s <= avail)
+        .or_else(|| {
+            if !idle {
+                return None;
+            }
+            rungs
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.extra_device_s
+                        .total_cmp(&b.extra_device_s)
+                        .then(b.accuracy.total_cmp(&a.accuracy))
+                })
+                .map(|(i, _)| i)
+        })
+}
+
+/// Return a stranded flight's slot to the pool, folding its degrade
+/// backlog out and counting it if measured. Flights are freed one at a
+/// time (never walked while freeing) because `free` reuses the link.
+#[allow(clippy::too_many_arguments)]
+fn strand_flight(
+    sim: &EdgeSim,
+    pool: &mut FlightPool,
+    queue: &mut EventQueue<Ev>,
+    backlog: &mut f64,
+    stranded: &mut usize,
+    warmup: SimTime,
+    horizon: SimTime,
+    idx: u32,
+) {
+    let f = *pool.get(idx);
+    if f.degrade_to != NO_RUNG {
+        let extra = sim.streams[f.task.stream].degrade.rungs[f.degrade_to as usize].extra_device_s;
+        *backlog = (*backlog - extra).max(0.0);
+    }
+    if f.task.arrival >= warmup && f.task.arrival < horizon {
+        *stranded += 1;
+    }
+    queue.cancel(f.retry_key);
+    pool.free(idx);
+}
+
+/// One run of the simulation: an immutable [`EdgeSim`] plus the mutable
+/// [`SimScratch`] it writes into.
+struct Runner<'a> {
+    sim: &'a EdgeSim,
+    st: &'a mut SimScratch,
+}
+
+impl Runner<'_> {
     fn run(mut self) -> (SimReport, RunTrace) {
-        // Seed the first arrival of every stream.
-        for i in 0..self.sim.streams.len() {
-            let gap = self.arrival_gens[i].next_gap(&mut self.arrival_rngs[i]);
-            self.arrival_pending[i] = true;
-            self.queue
-                .schedule(SimTime::from_secs_f64(gap), Ev::Arrive { stream: i });
+        let sim = self.sim;
+        {
+            let st = &mut *self.st;
+            // Seed the first arrival of every stream.
+            for i in 0..sim.streams.len() {
+                let gap = st.arrival_states[i]
+                    .next_gap(&sim.streams[i].arrivals, &mut st.arrival_rngs[i]);
+                st.arrival_pending[i] = true;
+                st.queue
+                    .schedule(SimTime::from_secs_f64(gap), Ev::Arrive { stream: i });
+            }
+            // Schedule the fault plan as first-class events.
+            for (idx, fe) in sim.config.faults.events.iter().enumerate() {
+                st.queue
+                    .schedule(SimTime::from_secs_f64(fe.at_s), Ev::Fault { idx });
+            }
+            // First control-plane telemetry epoch, if enabled.
+            let epoch = sim.config.recovery.telemetry_epoch_s;
+            if epoch > 0.0 {
+                st.queue
+                    .schedule(SimTime::from_secs_f64(epoch), Ev::Telemetry);
+            }
         }
-        // Schedule the fault plan as first-class events.
-        for (idx, fe) in self.sim.config.faults.events.iter().enumerate() {
-            self.queue
-                .schedule(SimTime::from_secs_f64(fe.at_s), Ev::Fault { idx });
-        }
-        // First control-plane telemetry epoch, if enabled.
-        let epoch = self.sim.config.recovery.telemetry_epoch_s;
-        if epoch > 0.0 {
-            self.queue
-                .schedule(SimTime::from_secs_f64(epoch), Ev::Telemetry);
-        }
-        while let Some((now, ev)) = self.queue.pop() {
+        while let Some((now, ev)) = self.st.queue.pop() {
             match ev {
                 Ev::Arrive { stream } => self.on_arrive(now, stream),
                 Ev::DeviceDone { device, gen } => self.on_device_done(now, device, gen),
@@ -494,33 +905,35 @@ impl<'a> Runner<'a> {
     }
 
     fn measured(&self, arrival: SimTime) -> bool {
-        arrival >= self.warmup && arrival < self.horizon
+        arrival >= self.st.warmup && arrival < self.st.horizon
     }
 
     fn on_arrive(&mut self, now: SimTime, stream: usize) {
-        self.arrival_pending[stream] = false;
-        if now >= self.horizon {
+        let sim = self.sim;
+        let st = &mut *self.st;
+        st.arrival_pending[stream] = false;
+        if now >= st.horizon {
             return; // stop generating; the system drains
         }
-        let s = &self.sim.streams[stream];
-        if !self.device_up[s.device] {
+        let s = &sim.streams[stream];
+        if !st.device_up[s.device] {
             // The device is away: its arrival process pauses here and is
             // restarted by the matching DeviceUp event.
             return;
         }
         // Pre-sample the exit decision from the input's latent difficulty.
-        let u = self.difficulty_rng.open01();
+        let u = st.difficulty_rng.open01();
         let exit = s.behavior.sample_exit(u);
         let accuracy = match exit {
             Some(i) => s.acc_at_exit[i],
             None => s.acc_full,
         };
-        if self.measured(now) {
-            self.generated += 1;
+        if now >= st.warmup && now < st.horizon {
+            st.generated += 1;
         }
-        let req = self.next_req;
-        self.next_req += 1;
-        let flight = InFlight {
+        let req = st.next_req;
+        st.next_req += 1;
+        let idx = st.pool.alloc(InFlight {
             task: RunTask {
                 stream,
                 arrival: now,
@@ -533,71 +946,89 @@ impl<'a> Runner<'a> {
             req,
             attempts: 0,
             target: None,
-            degrade_to: None,
-        };
+            degrade_to: NO_RUNG,
+            retry_key: EventKey::NONE,
+        });
         let dev = s.device;
-        self.devices[dev].queue.push_back(flight);
+        st.devices[dev].queue.push_back(&mut st.pool, idx);
         self.maybe_start_device(now, dev);
         // Schedule the next arrival.
-        let gap = self.arrival_gens[stream].next_gap(&mut self.arrival_rngs[stream]);
-        self.arrival_pending[stream] = true;
-        self.queue
+        let st = &mut *self.st;
+        let gap = st.arrival_states[stream]
+            .next_gap(&sim.streams[stream].arrivals, &mut st.arrival_rngs[stream]);
+        st.arrival_pending[stream] = true;
+        st.queue
             .schedule(now.after_secs(gap), Ev::Arrive { stream });
     }
 
     fn maybe_start_device(&mut self, now: SimTime, device: usize) {
-        if !self.device_up[device] || self.devices[device].current.is_some() {
+        let sim = self.sim;
+        let st = &mut *self.st;
+        if !st.device_up[device] || st.devices[device].current != NIL {
             return;
         }
-        let Some(mut flight) = self.devices[device].queue.pop_front() else {
+        let Some(idx) = st.devices[device].queue.pop_front(&mut st.pool) else {
             return;
         };
-        let s = &self.sim.streams[flight.task.stream];
-        let service = if let Some(rung) = &flight.degrade_to {
+        let (stream, rung) = {
+            let f = st.pool.get(idx);
+            (f.task.stream, f.degrade_to)
+        };
+        let s = &sim.streams[stream];
+        let service = if rung != NO_RUNG {
             // Local-finish degradation: the suffix beyond the prefix the
             // device already ran.
-            rung.extra_device_s
+            s.degrade.rungs[rung as usize].extra_device_s
         } else {
-            match flight.task.exit {
+            match st.pool.get(idx).task.exit {
                 Some(i) => s.device_time_to_exit[i],
                 None => s.device_full_time,
             }
         };
-        if flight.degrade_to.is_some() {
-            flight.device_service += service;
-        } else {
-            flight.device_wait = now.secs_since(flight.task.arrival);
-            flight.device_service = service;
+        {
+            let f = st.pool.get_mut(idx);
+            if rung != NO_RUNG {
+                f.device_service += service;
+            } else {
+                f.device_wait = now.secs_since(f.task.arrival);
+                f.device_service = service;
+            }
         }
-        self.devices[device].current = Some(flight);
-        self.dev_gen[device] += 1;
-        let gen = self.dev_gen[device];
-        self.queue
+        st.devices[device].current = idx;
+        st.dev_gen[device] += 1;
+        let gen = st.dev_gen[device];
+        st.dev_done_key[device] = st
+            .queue
             .schedule(now.after_secs(service), Ev::DeviceDone { device, gen });
     }
 
     fn on_device_done(&mut self, now: SimTime, device: usize, gen: u64) {
-        if gen != self.dev_gen[device] {
+        if gen != self.st.dev_gen[device] {
             return; // the device went down mid-service; the work is gone
         }
-        let flight = self.devices[device]
-            .current
-            .take()
-            .expect("DeviceDone without a running request");
-        let s = &self.sim.streams[flight.task.stream];
-        if let Some(rung) = &flight.degrade_to {
+        let idx = self.st.devices[device].current;
+        assert!(idx != NIL, "DeviceDone without a running request");
+        self.st.devices[device].current = NIL;
+        let (stream, rung, exits) = {
+            let f = self.st.pool.get(idx);
+            (f.task.stream, f.degrade_to, f.task.exit.is_some())
+        };
+        let s = &self.sim.streams[stream];
+        if rung != NO_RUNG {
             // A local-finish degradation just completed its suffix; its
             // committed work leaves the ladder's backlog estimate.
-            self.degrade_backlog_s[device] =
-                (self.degrade_backlog_s[device] - rung.extra_device_s).max(0.0);
-            self.complete_degraded(now, flight);
-        } else if flight.task.exit.is_some() || s.server.is_none() {
+            let extra = s.degrade.rungs[rung as usize].extra_device_s;
+            self.st.degrade_backlog_s[device] =
+                (self.st.degrade_backlog_s[device] - extra).max(0.0);
+            self.complete_degraded(now, idx);
+        } else if exits || s.server.is_none() {
             // Completed on the device (early exit, or a device-only plan).
-            self.complete(now, flight, 0.0);
-        } else if self.recovery_active {
-            self.route_offload(now, flight, device);
+            self.complete(now, idx, 0.0);
+        } else if self.st.recovery_active {
+            self.route_offload(now, idx, device);
         } else {
-            self.uplinks[device].queue.push_back(flight);
+            let st = &mut *self.st;
+            st.uplinks[device].queue.push_back(&mut st.pool, idx);
             self.maybe_start_tx(now, device);
         }
         self.maybe_start_device(now, device);
@@ -607,20 +1038,24 @@ impl<'a> Runner<'a> {
     /// hedge to a fallback server, test deadline feasibility, and either
     /// queue on the uplink with a retry watchdog or fall down the
     /// degradation ladder.
-    fn route_offload(&mut self, now: SimTime, mut flight: InFlight, device: usize) {
+    fn route_offload(&mut self, now: SimTime, idx: u32, device: usize) {
         let sim = self.sim;
-        let s = &sim.streams[flight.task.stream];
+        let (stream, arrival, req, attempts) = {
+            let f = self.st.pool.get(idx);
+            (f.task.stream, f.task.arrival, f.req, f.attempts)
+        };
+        let s = &sim.streams[stream];
         let cfg = &sim.config.recovery;
         let primary = s.server.expect("offloaded stream has a server");
         let ap = sim.cluster.devices[device].ap;
         let now_s = now.as_secs_f64();
-        let slack = s.deadline_s - now.secs_since(flight.task.arrival);
+        let slack = s.deadline_s - now.secs_since(arrival);
 
         // The shared uplink is the only path off the device: an open AP
         // breaker fails the request over to the degradation ladder.
-        if let Some(ap_brk) = self.ap_breakers.as_mut() {
+        if let Some(ap_brk) = self.st.ap_breakers.as_mut() {
             if !ap_brk[ap].try_acquire(now_s) {
-                self.fall_back(now, flight, device);
+                self.fall_back(now, idx, device);
                 return;
             }
         }
@@ -639,10 +1074,10 @@ impl<'a> Runner<'a> {
             .iter()
             .copied(),
         ) {
-            if cfg.degrade && self.nominal_path_estimate(flight.task.stream, device, c) > slack {
+            if cfg.degrade && self.nominal_path_estimate(stream, device, c) > slack {
                 continue;
             }
-            if let Some(srv_brk) = self.srv_breakers.as_mut() {
+            if let Some(srv_brk) = self.st.srv_breakers.as_mut() {
                 if !srv_brk[c].try_acquire(now_s) {
                     continue;
                 }
@@ -651,25 +1086,27 @@ impl<'a> Runner<'a> {
             break;
         }
         let Some(target) = target else {
-            self.fall_back(now, flight, device);
+            self.fall_back(now, idx, device);
             return;
         };
         if target != primary {
-            self.ra.hedges += 1;
+            self.st.ra.hedges += 1;
         }
-        flight.target = Some(target);
+        self.st.pool.get_mut(idx).target = Some(target);
         if let Some(rp) = &cfg.retry {
-            let timeout = rp.timeout_s(flight.attempts, slack);
-            self.queue.schedule(
+            let timeout = rp.timeout_s(attempts, slack);
+            let key = self.st.queue.schedule(
                 now.after_secs(timeout),
                 Ev::RetryTimeout {
                     device,
-                    req: flight.req,
-                    attempt: flight.attempts,
+                    req,
+                    attempt: attempts,
                 },
             );
+            self.st.pool.get_mut(idx).retry_key = key;
         }
-        self.uplinks[device].queue.push_back(flight);
+        let st = &mut *self.st;
+        st.uplinks[device].queue.push_back(&mut st.pool, idx);
         self.maybe_start_tx(now, device);
     }
 
@@ -683,23 +1120,27 @@ impl<'a> Runner<'a> {
     fn nominal_path_estimate(&self, stream: usize, device: usize, target: usize) -> f64 {
         let s = &self.sim.streams[stream];
         let ap = self.sim.cluster.devices[device].ap;
-        let air = self.links[device].tx_seconds(s.tx_bytes, s.bandwidth_share, 1.0)
-            / self.ap_bw_factor[ap];
+        let air = self.st.links[device].tx_seconds(s.tx_bytes, s.bandwidth_share, 1.0)
+            / self.st.ap_bw_factor[ap];
         air + self.sim.cluster.aps[ap].rtt_s / 2.0
-            + s.edge_flops / self.servers[target].base_fps.max(1.0)
+            + s.edge_flops / self.st.servers[target].base_fps.max(1.0)
     }
 
     /// Last resort once the offload path is given up on: degrade if a rung
     /// exists, shed if policy allows, otherwise park the request back on
     /// the uplink with no further watchdogs (the no-recovery behavior).
-    fn fall_back(&mut self, now: SimTime, mut flight: InFlight, device: usize) {
+    fn fall_back(&mut self, now: SimTime, idx: u32, device: usize) {
         let sim = self.sim;
         let cfg = &sim.config.recovery;
-        let s = &sim.streams[flight.task.stream];
+        let (stream, arrival) = {
+            let f = self.st.pool.get(idx);
+            (f.task.stream, f.task.arrival)
+        };
+        let s = &sim.streams[stream];
         if cfg.degrade {
-            let slack = s.deadline_s - now.secs_since(flight.task.arrival);
+            let slack = s.deadline_s - now.secs_since(arrival);
             // Load-aware rung choice. Local-finish suffixes often dwarf
-            // the deadline slack (the `cheapest()` last resort exists
+            // the deadline slack (the cheapest-rung last resort exists
             // precisely because completing late beats stranding), so an
             // unconditional ladder turns device queues into piles of
             // slow local work that a later device-churn event strands
@@ -709,208 +1150,260 @@ impl<'a> Runner<'a> {
             // suffix); a busy one gets a zero-cost forced exit when the
             // stream has one, and otherwise falls through to shedding or
             // parking below.
-            let idle =
-                self.devices[device].queue.is_empty() && self.degrade_backlog_s[device] <= 0.0;
+            let idle = self.st.devices[device].queue.is_empty()
+                && self.st.degrade_backlog_s[device] <= 0.0;
             let avail = if idle { slack } else { 0.0 };
-            let rung = s
-                .degrade
-                .best_within(avail)
-                .or_else(|| if idle { s.degrade.cheapest() } else { None })
-                .cloned();
-            if let Some(rung) = rung {
-                let local = rung.extra_device_s > 0.0;
-                flight.degrade_to = Some(rung.clone());
+            if let Some(rung) = pick_rung(&s.degrade.rungs, avail, idle) {
+                let extra = s.degrade.rungs[rung].extra_device_s;
+                let local = extra > 0.0;
+                self.st.pool.get_mut(idx).degrade_to = rung as u32;
                 if local {
-                    self.degrade_backlog_s[device] += rung.extra_device_s;
-                    self.devices[device].queue.push_back(flight);
+                    let st = &mut *self.st;
+                    st.degrade_backlog_s[device] += extra;
+                    st.devices[device].queue.push_back(&mut st.pool, idx);
                     self.maybe_start_device(now, device);
                 } else {
                     // Forced exit: the head output already exists.
-                    self.complete_degraded(now, flight);
+                    self.complete_degraded(now, idx);
                 }
                 return;
             }
         }
         if cfg.shed_on_open {
-            if self.measured(flight.task.arrival) {
-                self.ra.shed += 1;
+            if self.measured(arrival) {
+                self.st.ra.shed += 1;
             }
+            self.st.pool.free(idx);
             return;
         }
-        self.uplinks[device].queue.push_back(flight);
+        let st = &mut *self.st;
+        st.uplinks[device].queue.push_back(&mut st.pool, idx);
         self.maybe_start_tx(now, device);
     }
 
     /// Account a degraded completion (forced exit or local finish).
-    fn complete_degraded(&mut self, now: SimTime, flight: InFlight) {
-        if !self.measured(flight.task.arrival) {
+    fn complete_degraded(&mut self, now: SimTime, idx: u32) {
+        let f = *self.st.pool.get(idx);
+        self.st.pool.free(idx);
+        if !self.measured(f.task.arrival) {
             return;
         }
-        let rung = flight
-            .degrade_to
-            .as_ref()
-            .expect("degraded completion carries its rung");
-        let s = &self.sim.streams[flight.task.stream];
-        self.ra.degraded += 1;
-        if now.secs_since(flight.task.arrival) <= s.deadline_s {
-            self.ra.degraded_on_time += 1;
+        assert!(
+            f.degrade_to != NO_RUNG,
+            "degraded completion carries its rung"
+        );
+        let s = &self.sim.streams[f.task.stream];
+        let rung = &s.degrade.rungs[f.degrade_to as usize];
+        let st = &mut *self.st;
+        st.ra.degraded += 1;
+        if now.secs_since(f.task.arrival) <= s.deadline_s {
+            st.ra.degraded_on_time += 1;
         }
-        self.ra.nominal_acc_sum += flight.task.accuracy;
-        self.ra.degraded_acc_sum += rung.accuracy;
+        st.ra.nominal_acc_sum += f.task.accuracy;
+        st.ra.degraded_acc_sum += rung.accuracy;
     }
 
     /// Retry watchdog: if the request is still sitting on the uplink with
     /// the same attempt count, the attempt has timed out — cancel it, feed
     /// the AP breaker, and retry or fall back.
     fn on_retry_timeout(&mut self, now: SimTime, device: usize, req: u64, attempt: u32) {
-        let Some(rp) = self.sim.config.recovery.retry.clone() else {
+        let sim = self.sim;
+        let Some(rp) = sim.config.recovery.retry.as_ref() else {
             return;
         };
         let now_s = now.as_secs_f64();
-        let ap = self.sim.cluster.devices[device].ap;
-        let in_current = self.uplinks[device]
-            .current
-            .as_ref()
-            .is_some_and(|f| f.req == req && f.attempts == attempt);
-        let (mut flight, pos) = if in_current {
-            self.tx_gen[device] += 1; // cancel the pending TxDone
-            let mut f = self.uplinks[device].current.take().expect("checked above");
-            f.tx_time = 0.0;
-            (f, 0)
-        } else {
-            let Some(pos) = self.uplinks[device]
-                .queue
-                .iter()
-                .position(|f| f.req == req && f.attempts == attempt)
-            else {
-                return; // stale: completed, stranded, or already retried
-            };
-            let f = self.uplinks[device]
-                .queue
-                .remove(pos)
-                .expect("position just found");
-            (f, pos)
+        let ap = sim.cluster.devices[device].ap;
+        let cur = self.st.uplinks[device].current;
+        let in_current = cur != NIL && {
+            let f = self.st.pool.get(cur);
+            f.req == req && f.attempts == attempt
         };
-        self.ra.timeouts += 1;
-        if let Some(b) = self.ap_breakers.as_mut() {
+        // Locate the request: transmitting now, or still queued (tracking
+        // its predecessor so an exhausted one can be unlinked in place).
+        let (idx, prev) = if in_current {
+            let st = &mut *self.st;
+            st.tx_gen[device] += 1; // cancel the pending TxDone
+            let key = st.tx_done_key[device];
+            st.queue.cancel(key);
+            st.uplinks[device].current = NIL;
+            st.pool.get_mut(cur).tx_time = 0.0;
+            (cur, NIL)
+        } else {
+            let st = &*self.st;
+            let mut prev = NIL;
+            let mut cand = st.uplinks[device].queue.head;
+            loop {
+                if cand == NIL {
+                    return; // stale: completed, stranded, or already retried
+                }
+                let f = st.pool.get(cand);
+                if f.req == req && f.attempts == attempt {
+                    break;
+                }
+                prev = cand;
+                cand = st.pool.next_of(cand);
+            }
+            (cand, prev)
+        };
+        self.st.ra.timeouts += 1;
+        if let Some(b) = self.st.ap_breakers.as_mut() {
             b[ap].record_failure(now_s);
         }
-        flight.attempts += 1;
-        if flight.attempts > rp.max_retries {
-            self.fall_back(now, flight, device);
+        let attempts = {
+            let f = self.st.pool.get_mut(idx);
+            f.attempts += 1;
+            f.attempts
+        };
+        if attempts > rp.max_retries {
+            if !in_current {
+                let st = &mut *self.st;
+                st.uplinks[device]
+                    .queue
+                    .unlink_after(&mut st.pool, prev, idx);
+            }
+            self.fall_back(now, idx, device);
         } else {
             if in_current {
-                self.ra.retries += 1;
+                self.st.ra.retries += 1;
             }
-            let s = &self.sim.streams[flight.task.stream];
-            let slack = s.deadline_s - now.secs_since(flight.task.arrival);
-            let timeout = rp.timeout_s(flight.attempts, slack);
-            self.queue.schedule(
+            let (stream, arrival) = {
+                let f = self.st.pool.get(idx);
+                (f.task.stream, f.task.arrival)
+            };
+            let s = &sim.streams[stream];
+            let slack = s.deadline_s - now.secs_since(arrival);
+            let timeout = rp.timeout_s(attempts, slack);
+            let key = self.st.queue.schedule(
                 now.after_secs(timeout),
                 Ev::RetryTimeout {
                     device,
                     req,
-                    attempt: flight.attempts,
+                    attempt: attempts,
                 },
             );
+            self.st.pool.get_mut(idx).retry_key = key;
             // A cancelled transmission restarts at the queue head; a
-            // merely-queued request keeps its place.
-            self.uplinks[device].queue.insert(pos, flight);
+            // merely-queued request keeps its place (it was never moved).
+            if in_current {
+                let st = &mut *self.st;
+                st.uplinks[device].queue.push_front(&mut st.pool, idx);
+            }
         }
         self.maybe_start_tx(now, device);
     }
 
     /// Emit one control-plane health snapshot and schedule the next epoch.
     fn on_telemetry(&mut self, now: SimTime) {
+        let sim = self.sim;
+        let st = &mut *self.st;
         let open = |brks: &Option<Vec<CircuitBreaker>>| -> Vec<bool> {
             brks.as_ref()
                 .map(|v| v.iter().map(|b| b.state() == BreakerState::Open).collect())
                 .unwrap_or_default()
         };
-        self.health.push(HealthSnapshot {
+        st.health.push(HealthSnapshot {
             at_s: now.as_secs_f64(),
-            completions: self.meas_completed - self.last_snap.completed,
-            slo_misses: self.meas_misses - self.last_snap.misses,
-            timeouts: self.ra.timeouts - self.last_snap.timeouts,
-            degraded: self.ra.degraded - self.last_snap.degraded,
-            shed: self.ra.shed - self.last_snap.shed,
-            server_open: open(&self.srv_breakers),
-            ap_open: open(&self.ap_breakers),
+            completions: st.meas_completed - st.last_snap.completed,
+            slo_misses: st.meas_misses - st.last_snap.misses,
+            timeouts: st.ra.timeouts - st.last_snap.timeouts,
+            degraded: st.ra.degraded - st.last_snap.degraded,
+            shed: st.ra.shed - st.last_snap.shed,
+            server_open: open(&st.srv_breakers),
+            ap_open: open(&st.ap_breakers),
         });
-        self.last_snap = SnapBase {
-            completed: self.meas_completed,
-            misses: self.meas_misses,
-            timeouts: self.ra.timeouts,
-            degraded: self.ra.degraded,
-            shed: self.ra.shed,
+        st.last_snap = SnapBase {
+            completed: st.meas_completed,
+            misses: st.meas_misses,
+            timeouts: st.ra.timeouts,
+            degraded: st.ra.degraded,
+            shed: st.ra.shed,
         };
-        let epoch = self.sim.config.recovery.telemetry_epoch_s;
-        if now < self.horizon {
-            self.queue.schedule(now.after_secs(epoch), Ev::Telemetry);
+        let epoch = sim.config.recovery.telemetry_epoch_s;
+        if now < st.horizon {
+            st.queue.schedule(now.after_secs(epoch), Ev::Telemetry);
         }
     }
 
     fn maybe_start_tx(&mut self, now: SimTime, device: usize) {
-        let ap = self.sim.cluster.devices[device].ap;
-        if !self.device_up[device] || !self.ap_up[ap] {
+        let sim = self.sim;
+        let st = &mut *self.st;
+        let ap = sim.cluster.devices[device].ap;
+        if !st.device_up[device] || !st.ap_up[ap] {
             return; // the radio is dark: data waits in the uplink queue
         }
-        if self.uplinks[device].current.is_some() {
+        if st.uplinks[device].current != NIL {
             return;
         }
-        let Some(mut flight) = self.uplinks[device].queue.pop_front() else {
+        let Some(idx) = st.uplinks[device].queue.pop_front(&mut st.pool) else {
             return;
         };
-        let s = &self.sim.streams[flight.task.stream];
-        let fading = if self.sim.config.fading {
-            self.fading_rng.fading_power()
+        let s = &sim.streams[st.pool.get(idx).task.stream];
+        let fading = if sim.config.fading {
+            st.fading_rng.fading_power()
         } else {
             1.0
         };
-        let link = &self.links[device];
-        let rtt = self.sim.cluster.aps[ap].rtt_s;
+        let rtt = sim.cluster.aps[ap].rtt_s;
         // A degraded link stretches airtime by 1/factor (effective-rate
         // collapse); propagation (rtt) is unaffected.
-        let air = link.tx_seconds(s.tx_bytes, s.bandwidth_share, fading) / self.ap_bw_factor[ap];
+        let air = st.links[device].tx_seconds(s.tx_bytes, s.bandwidth_share, fading)
+            / st.ap_bw_factor[ap];
         let tx = air + rtt / 2.0;
-        flight.tx_time = tx;
-        self.uplinks[device].current = Some(flight);
-        self.tx_gen[device] += 1;
-        let gen = self.tx_gen[device];
-        self.queue
+        st.pool.get_mut(idx).tx_time = tx;
+        st.uplinks[device].current = idx;
+        st.tx_gen[device] += 1;
+        let gen = st.tx_gen[device];
+        st.tx_done_key[device] = st
+            .queue
             .schedule(now.after_secs(tx), Ev::TxDone { device, gen });
     }
 
     fn on_tx_done(&mut self, now: SimTime, device: usize, gen: u64) {
-        if gen != self.tx_gen[device] {
+        let sim = self.sim;
+        if gen != self.st.tx_gen[device] {
             return; // superseded: an AP outage re-queued this transmission
         }
-        let flight = self.uplinks[device]
-            .current
-            .take()
-            .expect("TxDone without a transmission");
-        if let Some(b) = self.ap_breakers.as_mut() {
-            // The uplink delivered: the AP is healthy.
-            b[self.sim.cluster.devices[device].ap].record_success();
+        let idx = self.st.uplinks[device].current;
+        assert!(idx != NIL, "TxDone without a transmission");
+        {
+            let st = &mut *self.st;
+            st.uplinks[device].current = NIL;
+            // The delivered attempt's watchdog (if any) is now moot.
+            let key = st.pool.get(idx).retry_key;
+            st.queue.cancel(key);
         }
-        let s = &self.sim.streams[flight.task.stream];
-        let server = flight
-            .target
-            .unwrap_or_else(|| s.server.expect("offloaded request has a server"));
-        let srv = &mut self.servers[server];
-        srv.advance(now);
-        srv.active.push(ActiveOnServer {
-            flight,
-            remaining_flops: s.edge_flops.max(1.0),
-            weight: s.compute_weight,
-            entered: now,
-        });
+        if let Some(b) = self.st.ap_breakers.as_mut() {
+            // The uplink delivered: the AP is healthy.
+            b[sim.cluster.devices[device].ap].record_success();
+        }
+        let (stream, target) = {
+            let f = self.st.pool.get(idx);
+            (f.task.stream, f.target)
+        };
+        let s = &sim.streams[stream];
+        let server = target.unwrap_or_else(|| s.server.expect("offloaded request has a server"));
+        {
+            let srv = &mut self.st.servers[server];
+            srv.advance(now);
+            srv.active.push(ActiveOnServer {
+                flight: idx,
+                remaining_flops: s.edge_flops.max(1.0),
+                weight: s.compute_weight,
+                entered: now,
+            });
+        }
         self.reschedule_server(now, server);
         self.maybe_start_tx(now, device);
     }
 
     fn reschedule_server(&mut self, now: SimTime, server: usize) {
-        let srv = &mut self.servers[server];
+        let st = &mut *self.st;
+        // Supersede the outstanding check eagerly: every arrival and
+        // departure reschedules, so without cancellation these dominate
+        // the heap's tombstone population.
+        let key = st.server_check_key[server];
+        st.queue.cancel(key);
+        let srv = &mut st.servers[server];
         srv.gen += 1;
         if let Some(dt) = srv.time_to_next_completion() {
             let gen = srv.gen;
@@ -918,32 +1411,39 @@ impl<'a> Runner<'a> {
             // check can fire marginally *early*, leave a sub-nanosecond
             // residue of work, and respawn itself at +0 ns forever.
             let at = now.after_secs(dt) + SimTime::from_nanos(1);
-            self.queue.schedule(at, Ev::ServerCheck { server, gen });
+            st.server_check_key[server] = st.queue.schedule(at, Ev::ServerCheck { server, gen });
+        } else {
+            st.server_check_key[server] = EventKey::NONE;
         }
     }
 
     fn on_server_check(&mut self, now: SimTime, server: usize, gen: u64) {
-        if self.servers[server].gen != gen {
-            return; // superseded by a later arrival/departure
-        }
-        self.servers[server].advance(now);
-        // Complete everything that has (numerically) finished.
-        let mut done = Vec::new();
-        let srv = &mut self.servers[server];
-        // Anything within one nanosecond of work at full capacity counts as
-        // finished (floating-point + fixed-point-time slop).
-        let eps = (srv.capacity_fps * 1e-9).max(1.0);
-        let mut i = 0;
-        while i < srv.active.len() {
-            if srv.active[i].remaining_flops <= eps {
-                done.push(srv.active.swap_remove(i));
-            } else {
-                i += 1;
+        {
+            let st = &mut *self.st;
+            if st.servers[server].gen != gen {
+                return; // superseded by a later arrival/departure
+            }
+            st.servers[server].advance(now);
+            // Complete everything that has (numerically) finished.
+            st.done_buf.clear();
+            let srv = &mut st.servers[server];
+            // Anything within one nanosecond of work at full capacity counts
+            // as finished (floating-point + fixed-point-time slop).
+            let eps = (srv.capacity_fps * 1e-9).max(1.0);
+            let mut i = 0;
+            while i < srv.active.len() {
+                if srv.active[i].remaining_flops <= eps {
+                    let a = srv.active.swap_remove(i);
+                    st.done_buf.push((a.flight, a.entered));
+                } else {
+                    i += 1;
+                }
             }
         }
-        for a in done {
-            let edge_time = now.secs_since(a.entered);
-            self.complete(now, a.flight, edge_time);
+        for k in 0..self.st.done_buf.len() {
+            let (idx, entered) = self.st.done_buf[k];
+            let edge_time = now.secs_since(entered);
+            self.complete(now, idx, edge_time);
         }
         self.reschedule_server(now, server);
     }
@@ -952,18 +1452,19 @@ impl<'a> Runner<'a> {
     /// `DeviceDown` on an already-down device) are counted as injected but
     /// not applied, so arbitrary event sequences stay well-defined.
     fn on_fault(&mut self, now: SimTime, idx: usize) {
-        let kind = self.sim.config.faults.events[idx].kind.clone();
+        let sim = self.sim;
+        let kind = &sim.config.faults.events[idx].kind;
         let class = kind.class();
         let ci = class.index();
-        self.fa.injected += 1;
-        self.fa.per_injected[ci] += 1;
+        self.st.fa.injected += 1;
+        self.st.fa.per_injected[ci] += 1;
         let mut stranded_here = 0usize;
-        let applied = match kind.clone() {
+        let applied = match *kind {
             FaultKind::DeviceDown { device } => {
-                if self.device_up[device] {
-                    self.device_up[device] = false;
-                    self.device_down_at[device] = Some(now);
-                    self.active_faults[ci] += 1;
+                if self.st.device_up[device] {
+                    self.st.device_up[device] = false;
+                    self.st.device_down_at[device] = Some(now);
+                    self.st.active_faults[ci] += 1;
                     stranded_here = self.strand_device(device, class);
                     true
                 } else {
@@ -971,12 +1472,12 @@ impl<'a> Runner<'a> {
                 }
             }
             FaultKind::DeviceUp { device } => {
-                if !self.device_up[device] {
-                    self.device_up[device] = true;
-                    if let Some(t) = self.device_down_at[device].take() {
+                if !self.st.device_up[device] {
+                    self.st.device_up[device] = true;
+                    if let Some(t) = self.st.device_down_at[device].take() {
                         self.record_recovery(now, t);
                     }
-                    self.active_faults[ci] -= 1;
+                    self.st.active_faults[ci] -= 1;
                     self.resume_device_arrivals(now, device);
                     true
                 } else {
@@ -984,16 +1485,24 @@ impl<'a> Runner<'a> {
                 }
             }
             FaultKind::ApDown { ap } => {
-                if self.ap_up[ap] {
-                    self.ap_up[ap] = false;
-                    self.ap_down_at[ap] = Some(now);
-                    self.active_faults[ci] += 1;
+                if self.st.ap_up[ap] {
+                    let st = &mut *self.st;
+                    st.ap_up[ap] = false;
+                    st.ap_down_at[ap] = Some(now);
+                    st.active_faults[ci] += 1;
                     // In-flight transmissions are re-queued, not lost: the
                     // data survives on the device and retransmits on ApUp.
-                    for dev in self.sim.cluster.devices_on_ap(ap) {
-                        if let Some(flight) = self.uplinks[dev].current.take() {
-                            self.tx_gen[dev] += 1; // cancel the pending TxDone
-                            self.uplinks[dev].queue.push_front(flight);
+                    // (The retry watchdog, if armed, keeps running — it is
+                    // exactly how the outage gets detected.)
+                    for k in 0..st.devices_by_ap[ap].len() {
+                        let dev = st.devices_by_ap[ap][k];
+                        let cur = st.uplinks[dev].current;
+                        if cur != NIL {
+                            st.tx_gen[dev] += 1; // cancel the pending TxDone
+                            let key = st.tx_done_key[dev];
+                            st.queue.cancel(key);
+                            st.uplinks[dev].current = NIL;
+                            st.uplinks[dev].queue.push_front(&mut st.pool, cur);
                         }
                     }
                     true
@@ -1002,13 +1511,14 @@ impl<'a> Runner<'a> {
                 }
             }
             FaultKind::ApUp { ap } => {
-                if !self.ap_up[ap] {
-                    self.ap_up[ap] = true;
-                    if let Some(t) = self.ap_down_at[ap].take() {
+                if !self.st.ap_up[ap] {
+                    self.st.ap_up[ap] = true;
+                    if let Some(t) = self.st.ap_down_at[ap].take() {
                         self.record_recovery(now, t);
                     }
-                    self.active_faults[ci] -= 1;
-                    for dev in self.sim.cluster.devices_on_ap(ap) {
+                    self.st.active_faults[ci] -= 1;
+                    for k in 0..self.st.devices_by_ap[ap].len() {
+                        let dev = self.st.devices_by_ap[ap][k];
                         self.maybe_start_tx(now, dev);
                     }
                     true
@@ -1017,41 +1527,41 @@ impl<'a> Runner<'a> {
                 }
             }
             FaultKind::LinkDegrade { ap, factor } => {
-                if (self.ap_bw_factor[ap] - factor).abs() > f64::EPSILON {
-                    if self.ap_bw_factor[ap] >= 1.0 {
+                if (self.st.ap_bw_factor[ap] - factor).abs() > f64::EPSILON {
+                    if self.st.ap_bw_factor[ap] >= 1.0 {
                         // Entering the degraded state (vs. re-degrading).
-                        self.ap_degraded_at[ap] = Some(now);
-                        self.active_faults[ci] += 1;
+                        self.st.ap_degraded_at[ap] = Some(now);
+                        self.st.active_faults[ci] += 1;
                     }
-                    self.ap_bw_factor[ap] = factor;
+                    self.st.ap_bw_factor[ap] = factor;
                     true
                 } else {
                     false
                 }
             }
             FaultKind::LinkRestore { ap } => {
-                if self.ap_bw_factor[ap] < 1.0 {
-                    self.ap_bw_factor[ap] = 1.0;
-                    if let Some(t) = self.ap_degraded_at[ap].take() {
+                if self.st.ap_bw_factor[ap] < 1.0 {
+                    self.st.ap_bw_factor[ap] = 1.0;
+                    if let Some(t) = self.st.ap_degraded_at[ap].take() {
                         self.record_recovery(now, t);
                     }
-                    self.active_faults[ci] -= 1;
+                    self.st.active_faults[ci] -= 1;
                     true
                 } else {
                     false
                 }
             }
             FaultKind::ServerThrottle { server, factor } => {
-                let target = self.servers[server].base_fps * factor;
-                if (self.servers[server].capacity_fps - target).abs() > 1e-9 {
-                    if self.servers[server].capacity_fps >= self.servers[server].base_fps {
-                        self.server_throttled_at[server] = Some(now);
-                        self.active_faults[ci] += 1;
+                let target = self.st.servers[server].base_fps * factor;
+                if (self.st.servers[server].capacity_fps - target).abs() > 1e-9 {
+                    if self.st.servers[server].capacity_fps >= self.st.servers[server].base_fps {
+                        self.st.server_throttled_at[server] = Some(now);
+                        self.st.active_faults[ci] += 1;
                     }
                     // Settle processor sharing at the old rate first, then
                     // continue in-progress work at the degraded one.
-                    self.servers[server].advance(now);
-                    self.servers[server].capacity_fps = target;
+                    self.st.servers[server].advance(now);
+                    self.st.servers[server].capacity_fps = target;
                     self.reschedule_server(now, server);
                     true
                 } else {
@@ -1059,13 +1569,13 @@ impl<'a> Runner<'a> {
                 }
             }
             FaultKind::ServerRestore { server } => {
-                if self.servers[server].capacity_fps < self.servers[server].base_fps {
-                    self.servers[server].advance(now);
-                    self.servers[server].capacity_fps = self.servers[server].base_fps;
-                    if let Some(t) = self.server_throttled_at[server].take() {
+                if self.st.servers[server].capacity_fps < self.st.servers[server].base_fps {
+                    self.st.servers[server].advance(now);
+                    self.st.servers[server].capacity_fps = self.st.servers[server].base_fps;
+                    if let Some(t) = self.st.server_throttled_at[server].take() {
                         self.record_recovery(now, t);
                     }
-                    self.active_faults[ci] -= 1;
+                    self.st.active_faults[ci] -= 1;
                     self.reschedule_server(now, server);
                     true
                 } else {
@@ -1074,13 +1584,16 @@ impl<'a> Runner<'a> {
             }
         };
         if applied {
-            self.fa.applied += 1;
-            self.fa.per_applied[ci] += 1;
+            self.st.fa.applied += 1;
+            self.st.fa.per_applied[ci] += 1;
         }
-        if let Some(log) = &mut self.fault_trace {
-            log.push(FaultRecord {
+        if self.st.record {
+            // The only clone of a fault kind in the simulator: the log
+            // record owns its copy; the hot path above matched by
+            // reference.
+            self.st.fault_trace.push(FaultRecord {
                 at_s: now.as_secs_f64(),
-                kind,
+                kind: kind.clone(),
                 applied,
                 stranded: stranded_here,
             });
@@ -1092,63 +1605,111 @@ impl<'a> Runner<'a> {
     /// its streams already handed to an edge server still completes there.
     /// Returns the number of *measured* requests stranded.
     fn strand_device(&mut self, device: usize, class: FaultClass) -> usize {
-        let mut flights: Vec<InFlight> = Vec::new();
-        self.dev_gen[device] += 1; // invalidate any pending DeviceDone
-        self.tx_gen[device] += 1; // invalidate any pending TxDone
-        if let Some(f) = self.devices[device].current.take() {
-            flights.push(f);
+        let sim = self.sim;
+        let st = &mut *self.st;
+        let (warmup, horizon) = (st.warmup, st.horizon);
+        st.dev_gen[device] += 1; // invalidate any pending DeviceDone
+        st.tx_gen[device] += 1; // invalidate any pending TxDone
+        let key = st.dev_done_key[device];
+        st.queue.cancel(key);
+        let key = st.tx_done_key[device];
+        st.queue.cancel(key);
+        let mut stranded = 0usize;
+        let mut backlog = st.degrade_backlog_s[device];
+        let cur = st.devices[device].current;
+        if cur != NIL {
+            st.devices[device].current = NIL;
+            strand_flight(
+                sim,
+                &mut st.pool,
+                &mut st.queue,
+                &mut backlog,
+                &mut stranded,
+                warmup,
+                horizon,
+                cur,
+            );
         }
-        flights.extend(self.devices[device].queue.drain(..));
-        if let Some(f) = self.uplinks[device].current.take() {
-            flights.push(f);
+        while let Some(i) = st.devices[device].queue.pop_front(&mut st.pool) {
+            strand_flight(
+                sim,
+                &mut st.pool,
+                &mut st.queue,
+                &mut backlog,
+                &mut stranded,
+                warmup,
+                horizon,
+                i,
+            );
         }
-        flights.extend(self.uplinks[device].queue.drain(..));
-        for f in &flights {
-            if let Some(rung) = &f.degrade_to {
-                self.degrade_backlog_s[device] =
-                    (self.degrade_backlog_s[device] - rung.extra_device_s).max(0.0);
-            }
+        let cur = st.uplinks[device].current;
+        if cur != NIL {
+            st.uplinks[device].current = NIL;
+            strand_flight(
+                sim,
+                &mut st.pool,
+                &mut st.queue,
+                &mut backlog,
+                &mut stranded,
+                warmup,
+                horizon,
+                cur,
+            );
         }
-        let stranded = flights
-            .iter()
-            .filter(|f| self.measured(f.task.arrival))
-            .count();
-        self.fa.stranded += stranded;
-        self.fa.per_stranded[class.index()] += stranded;
+        while let Some(i) = st.uplinks[device].queue.pop_front(&mut st.pool) {
+            strand_flight(
+                sim,
+                &mut st.pool,
+                &mut st.queue,
+                &mut backlog,
+                &mut stranded,
+                warmup,
+                horizon,
+                i,
+            );
+        }
+        st.degrade_backlog_s[device] = backlog;
+        st.fa.stranded += stranded;
+        st.fa.per_stranded[class.index()] += stranded;
         stranded
     }
 
     /// Restart the arrival process of every stream on a returning device.
     fn resume_device_arrivals(&mut self, now: SimTime, device: usize) {
-        if now >= self.horizon {
+        let sim = self.sim;
+        let st = &mut *self.st;
+        if now >= st.horizon {
             return; // past the generation window: nothing to resume
         }
-        for k in 0..self.streams_by_device[device].len() {
-            let stream = self.streams_by_device[device][k];
-            if !self.arrival_pending[stream] {
-                let gap = self.arrival_gens[stream].next_gap(&mut self.arrival_rngs[stream]);
-                self.arrival_pending[stream] = true;
-                self.queue
+        for k in 0..st.streams_by_device[device].len() {
+            let stream = st.streams_by_device[device][k];
+            if !st.arrival_pending[stream] {
+                let gap = st.arrival_states[stream]
+                    .next_gap(&sim.streams[stream].arrivals, &mut st.arrival_rngs[stream]);
+                st.arrival_pending[stream] = true;
+                st.queue
                     .schedule(now.after_secs(gap), Ev::Arrive { stream });
             }
         }
     }
 
     fn record_recovery(&mut self, now: SimTime, since: SimTime) {
-        self.fa.recovery_sum_s += now.secs_since(since);
-        self.fa.recoveries += 1;
+        self.st.fa.recovery_sum_s += now.secs_since(since);
+        self.st.fa.recoveries += 1;
     }
 
-    fn complete(&mut self, now: SimTime, flight: InFlight, edge_time: f64) {
+    fn complete(&mut self, now: SimTime, idx: u32, edge_time: f64) {
         let sim = self.sim;
-        let s = &sim.streams[flight.task.stream];
-        let latency = now.secs_since(flight.task.arrival);
-        if flight.tx_time > 0.0 {
+        let f = *self.st.pool.get(idx);
+        self.st.pool.free(idx);
+        let s = &sim.streams[f.task.stream];
+        let latency = now.secs_since(f.task.arrival);
+        if f.tx_time > 0.0 {
             // Offloaded outcome feeds the target server's health window
             // (for all requests, measured or not — runtime health tracking
             // does not know about measurement windows).
-            if let Some(brk) = self.srv_breakers.as_mut() {
-                let target = flight
+            if let Some(brk) = self.st.srv_breakers.as_mut() {
+                let target = f
                     .target
                     .unwrap_or_else(|| s.server.expect("offloaded request has a server"));
                 if latency <= s.deadline_s {
@@ -1158,77 +1719,77 @@ impl<'a> Runner<'a> {
                 }
             }
         }
-        if !self.measured(flight.task.arrival) {
+        if !self.measured(f.task.arrival) {
             return;
         }
-        self.meas_completed += 1;
+        let st = &mut *self.st;
+        st.meas_completed += 1;
         if latency > s.deadline_s {
-            self.meas_misses += 1;
+            st.meas_misses += 1;
         }
-        let under_fault = self.active_faults.iter().any(|&c| c > 0);
+        let under_fault = st.active_faults.iter().any(|&c| c > 0);
         if under_fault {
-            self.fa.completions_during += 1;
+            st.fa.completions_during += 1;
         }
-        let acc = &mut self.accums[flight.task.stream];
+        let acc = &mut st.accums[f.task.stream];
         acc.latencies.push(latency);
         if latency <= s.deadline_s {
             acc.on_time += 1;
         } else if under_fault {
             // Attribute the SLO violation to every currently-active class.
-            self.fa.misses_during += 1;
-            for (ci, &n) in self.active_faults.iter().enumerate() {
+            st.fa.misses_during += 1;
+            for (ci, &n) in st.active_faults.iter().enumerate() {
                 if n > 0 {
-                    self.fa.per_misses[ci] += 1;
+                    st.fa.per_misses[ci] += 1;
                 }
             }
         }
-        acc.acc_sum += flight.task.accuracy;
-        if flight.task.exit.is_some() {
+        let acc = &mut st.accums[f.task.stream];
+        acc.acc_sum += f.task.accuracy;
+        if f.task.exit.is_some() {
             acc.early_exits += 1;
         }
-        acc.device_wait_sum += flight.device_wait;
-        acc.device_service_sum += flight.device_service;
-        if flight.tx_time > 0.0 {
-            acc.tx_sum += flight.tx_time;
+        acc.device_wait_sum += f.device_wait;
+        acc.device_service_sum += f.device_service;
+        if f.tx_time > 0.0 {
+            acc.tx_sum += f.tx_time;
             acc.tx_count += 1;
             acc.edge_sum += edge_time;
         }
-        if let Some(trace) = &mut self.trace {
-            trace.push(TaskRecord {
-                stream: flight.task.stream,
-                arrival_s: flight.task.arrival.as_secs_f64(),
-                device_wait_s: flight.device_wait,
-                device_service_s: flight.device_service,
-                tx_s: flight.tx_time,
+        if st.record {
+            st.trace.push(TaskRecord {
+                stream: f.task.stream,
+                arrival_s: f.task.arrival.as_secs_f64(),
+                device_wait_s: f.device_wait,
+                device_service_s: f.device_service,
+                tx_s: f.tx_time,
                 edge_s: edge_time,
                 latency_s: latency,
-                exit: flight.task.exit,
+                exit: f.task.exit,
             });
         }
     }
 
-    fn finish(mut self) -> (SimReport, RunTrace) {
+    fn finish(&mut self) -> (SimReport, RunTrace) {
+        let st = &mut *self.st;
         let trace = RunTrace {
-            tasks: self.trace.take().unwrap_or_default(),
-            faults: self.fault_trace.take().unwrap_or_default(),
-            health: std::mem::take(&mut self.health),
+            tasks: std::mem::take(&mut st.trace),
+            faults: std::mem::take(&mut st.fault_trace),
+            health: std::mem::take(&mut st.health),
         };
         let mut recovery = RecoveryMetrics::empty();
-        recovery.timeouts = self.ra.timeouts;
-        recovery.retries = self.ra.retries;
-        recovery.hedges = self.ra.hedges;
-        recovery.degraded = self.ra.degraded;
-        recovery.degraded_on_time = self.ra.degraded_on_time;
-        recovery.shed = self.ra.shed;
-        if self.ra.degraded > 0 {
-            let n = self.ra.degraded as f64;
-            recovery.mean_degraded_accuracy = self.ra.degraded_acc_sum / n;
-            recovery.accuracy_cost = (self.ra.nominal_acc_sum - self.ra.degraded_acc_sum) / n;
+        recovery.timeouts = st.ra.timeouts;
+        recovery.retries = st.ra.retries;
+        recovery.hedges = st.ra.hedges;
+        recovery.degraded = st.ra.degraded;
+        recovery.degraded_on_time = st.ra.degraded_on_time;
+        recovery.shed = st.ra.shed;
+        if st.ra.degraded > 0 {
+            let n = st.ra.degraded as f64;
+            recovery.mean_degraded_accuracy = st.ra.degraded_acc_sum / n;
+            recovery.accuracy_cost = (st.ra.nominal_acc_sum - st.ra.degraded_acc_sum) / n;
         }
-        for brks in [&self.srv_breakers, &self.ap_breakers]
-            .into_iter()
-            .flatten()
-        {
+        for brks in [&st.srv_breakers, &st.ap_breakers].into_iter().flatten() {
             for b in brks {
                 recovery.breaker_opens += b.opens;
                 recovery.breaker_half_opens += b.half_opens;
@@ -1238,59 +1799,65 @@ impl<'a> Runner<'a> {
         // Requests still queued when the event queue drained are stalled
         // behind an unrecovered fault (a clean run always drains fully).
         // Count them so nothing is silently dropped.
+        let (warmup, horizon) = (st.warmup, st.horizon);
+        let measured = |t: SimTime| t >= warmup && t < horizon;
         let mut stalled = 0usize;
-        for d in 0..self.devices.len() {
-            stalled += self.devices[d]
-                .queue
-                .iter()
-                .chain(self.devices[d].current.iter())
-                .chain(self.uplinks[d].queue.iter())
-                .chain(self.uplinks[d].current.iter())
-                .filter(|f| self.measured(f.task.arrival))
-                .count();
+        for d in 0..st.devices.len() {
+            for lane in [st.devices[d], st.uplinks[d]] {
+                let mut i = lane.queue.head;
+                while i != NIL {
+                    if measured(st.pool.get(i).task.arrival) {
+                        stalled += 1;
+                    }
+                    i = st.pool.next_of(i);
+                }
+                if lane.current != NIL && measured(st.pool.get(lane.current).task.arrival) {
+                    stalled += 1;
+                }
+            }
         }
-        for srv in &self.servers {
-            stalled += srv
-                .active
-                .iter()
-                .filter(|a| self.measured(a.flight.task.arrival))
-                .count();
+        for srv in &st.servers {
+            for a in &srv.active {
+                if measured(st.pool.get(a.flight).task.arrival) {
+                    stalled += 1;
+                }
+            }
         }
-        self.fa.stalled = stalled;
-        let end_s = self.queue.now().as_secs_f64().max(1e-12);
-        let server_utilization: Vec<f64> = self
+        st.fa.stalled = stalled;
+        let end_s = st.queue.now().as_secs_f64().max(1e-12);
+        let server_utilization: Vec<f64> = st
             .servers
             .iter()
             .map(|s| (s.busy_s / end_s).clamp(0.0, 1.0))
             .collect();
-        let mut all = Vec::new();
+        st.lat_all.clear();
         let mut on_time = 0usize;
         let mut acc_sum = 0.0;
         let mut early = 0usize;
-        let per_stream: Vec<_> = self
-            .accums
-            .into_iter()
-            .enumerate()
-            .map(|(i, a)| {
-                all.extend_from_slice(&a.latencies);
-                on_time += a.on_time;
-                acc_sum += a.acc_sum;
-                early += a.early_exits;
-                a.finish(i)
-            })
-            .collect();
-        let completed = all.len();
+        let mut per_stream = Vec::with_capacity(st.accums.len());
+        for i in 0..st.accums.len() {
+            // Pool the raw samples before `finish_mut` sorts them in place
+            // (the aggregate's accumulation order must match the legacy
+            // per-stream concatenation exactly).
+            st.lat_all.extend_from_slice(&st.accums[i].latencies);
+            let a = &mut st.accums[i];
+            on_time += a.on_time;
+            acc_sum += a.acc_sum;
+            early += a.early_exits;
+            per_stream.push(a.finish_mut(i));
+        }
+        let completed = st.lat_all.len();
         let n = completed.max(1) as f64;
         let report = SimReport {
-            generated: self.generated,
+            generated: st.generated,
             completed,
-            latency: LatencyStats::from_samples(all),
+            latency: LatencyStats::from_mut_slice(&mut st.lat_all),
             deadline_ratio: on_time as f64 / n,
             mean_accuracy: acc_sum / n,
             early_exit_fraction: early as f64 / n,
             server_utilization,
             per_stream,
-            faults: self.fa.finish(),
+            faults: std::mem::take(&mut st.fa).finish(),
             recovery,
         };
         (report, trace)

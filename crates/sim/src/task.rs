@@ -140,7 +140,7 @@ impl CompiledStream {
 }
 
 /// One in-flight request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunTask {
     /// Stream this request belongs to.
     pub stream: StreamId,

@@ -1,5 +1,6 @@
 //! Arrival processes for inference request streams.
 
+use crate::error::SimError;
 use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -56,30 +57,81 @@ impl ArrivalProcess {
         }
     }
 
+    /// Check parameters are finite and in range.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |detail: String| SimError::InvalidArrival { detail };
+        match self {
+            ArrivalProcess::Poisson { rate_hz } => {
+                if !rate_hz.is_finite() || *rate_hz <= 0.0 {
+                    return Err(bad(format!("Poisson rate must be positive, got {rate_hz}")));
+                }
+            }
+            ArrivalProcess::Periodic {
+                period_s,
+                jitter_frac,
+            } => {
+                if !period_s.is_finite() || *period_s <= 0.0 {
+                    return Err(bad(format!("period must be positive, got {period_s}")));
+                }
+                if !jitter_frac.is_finite() || *jitter_frac < 0.0 {
+                    return Err(bad(format!(
+                        "jitter fraction must be non-negative, got {jitter_frac}"
+                    )));
+                }
+            }
+            ArrivalProcess::Mmpp2 {
+                rate_low,
+                rate_high,
+                switch_rate,
+            } => {
+                for (name, r) in [
+                    ("rate_low", rate_low),
+                    ("rate_high", rate_high),
+                    ("switch_rate", switch_rate),
+                ] {
+                    if !r.is_finite() || *r <= 0.0 {
+                        return Err(bad(format!("MMPP {name} must be positive, got {r}")));
+                    }
+                }
+            }
+            ArrivalProcess::Trace { gaps } => {
+                if gaps.is_empty() {
+                    return Err(bad("trace has no gaps".into()));
+                }
+                for (i, g) in gaps.iter().enumerate() {
+                    if !g.is_finite() || *g < 0.0 {
+                        return Err(bad(format!("trace gap {i} must be non-negative, got {g}")));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Stateful generator for this process.
     pub fn generator(&self) -> ArrivalGen {
         ArrivalGen {
             process: self.clone(),
-            mmpp_high: false,
-            mmpp_residual: 0.0,
-            trace_pos: 0,
+            state: ArrivalState::default(),
         }
     }
 }
 
-/// Stateful arrival generator (owned per stream by the simulator).
-#[derive(Debug, Clone)]
-pub struct ArrivalGen {
-    process: ArrivalProcess,
+/// The mutable cursor of an arrival process: everything `next_gap` needs
+/// beyond the (immutable, shareable) process parameters. `Copy`, so the
+/// simulator keeps one per stream in flat scratch storage with no
+/// per-run clone of trace gap vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArrivalState {
     mmpp_high: bool,
     mmpp_residual: f64,
     trace_pos: usize,
 }
 
-impl ArrivalGen {
-    /// Sample the next inter-arrival gap in seconds.
-    pub fn next_gap(&mut self, rng: &mut SimRng) -> f64 {
-        match &self.process {
+impl ArrivalState {
+    /// Sample the next inter-arrival gap of `process` in seconds.
+    pub fn next_gap(&mut self, process: &ArrivalProcess, rng: &mut SimRng) -> f64 {
+        match process {
             ArrivalProcess::Poisson { rate_hz } => rng.exponential(*rate_hz),
             ArrivalProcess::Periodic {
                 period_s,
@@ -121,6 +173,21 @@ impl ArrivalGen {
                 g
             }
         }
+    }
+}
+
+/// Stateful arrival generator (a process plus its cursor), for callers
+/// that want a self-contained sampler.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    state: ArrivalState,
+}
+
+impl ArrivalGen {
+    /// Sample the next inter-arrival gap in seconds.
+    pub fn next_gap(&mut self, rng: &mut SimRng) -> f64 {
+        self.state.next_gap(&self.process, rng)
     }
 }
 
@@ -196,5 +263,59 @@ mod tests {
         let got: Vec<f64> = (0..6).map(|_| g.next_gap(&mut rng)).collect();
         assert_eq!(got, vec![0.1, 0.2, 0.3, 0.1, 0.2, 0.3]);
         assert!((p.mean_rate() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(ArrivalProcess::Poisson { rate_hz: 4.0 }.validate().is_ok());
+        assert!(ArrivalProcess::Poisson { rate_hz: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson {
+            rate_hz: f64::INFINITY
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Periodic {
+            period_s: 0.1,
+            jitter_frac: 0.2
+        }
+        .validate()
+        .is_ok());
+        assert!(ArrivalProcess::Periodic {
+            period_s: 0.0,
+            jitter_frac: 0.2
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Periodic {
+            period_s: 0.1,
+            jitter_frac: -0.5
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Mmpp2 {
+            rate_low: 2.0,
+            rate_high: 18.0,
+            switch_rate: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(ArrivalProcess::Mmpp2 {
+            rate_low: 2.0,
+            rate_high: f64::NAN,
+            switch_rate: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Trace {
+            gaps: vec![0.1, 0.2]
+        }
+        .validate()
+        .is_ok());
+        assert!(ArrivalProcess::Trace { gaps: vec![] }.validate().is_err());
+        assert!(ArrivalProcess::Trace {
+            gaps: vec![0.1, -0.2]
+        }
+        .validate()
+        .is_err());
     }
 }

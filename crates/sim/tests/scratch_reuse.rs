@@ -1,0 +1,209 @@
+//! Scratch reuse is observation-free: a [`SimScratch`] that has already
+//! simulated other seeds (or other postures) must produce bit-for-bit
+//! the report and trace a fresh scratch would. Anything less means run
+//! state leaked across `reset` — the one failure mode that would make
+//! the optimizer's per-worker scratch reuse unsound.
+
+use scalpel_models::{ExitBehavior, ProcessorClass};
+use scalpel_sim::{
+    ApSpec, ArrivalProcess, Cluster, CompiledStream, DeviceSpec, EdgeSim, FaultProfile,
+    RecoveryConfig, RunTrace, ServerSpec, SimConfig, SimReport, SimScratch,
+};
+
+const N_DEVICES: usize = 3;
+const N_APS: usize = 2;
+const N_SERVERS: usize = 2;
+const HORIZON_S: f64 = 8.0;
+
+fn cluster() -> Cluster {
+    Cluster {
+        devices: (0..N_DEVICES)
+            .map(|id| DeviceSpec {
+                id,
+                proc: ProcessorClass::JetsonNano.spec(),
+                ap: id % N_APS,
+                distance_m: 30.0,
+            })
+            .collect(),
+        aps: (0..N_APS)
+            .map(|id| ApSpec {
+                id,
+                bandwidth_hz: 20e6,
+                rtt_s: 2e-3,
+            })
+            .collect(),
+        servers: (0..N_SERVERS)
+            .map(|id| ServerSpec {
+                id,
+                proc: ProcessorClass::EdgeGpuT4.spec(),
+            })
+            .collect(),
+    }
+}
+
+fn streams() -> Vec<CompiledStream> {
+    (0..N_DEVICES)
+        .map(|d| CompiledStream {
+            id: d,
+            device: d,
+            server: Some(d % N_SERVERS),
+            arrivals: ArrivalProcess::Poisson { rate_hz: 3.0 },
+            deadline_s: 0.25,
+            device_time_to_exit: vec![],
+            device_full_time: 0.004,
+            tx_bytes: 8e4,
+            edge_flops: 5e8,
+            behavior: ExitBehavior::no_exits(0.76),
+            acc_at_exit: vec![],
+            acc_full: 0.76,
+            bandwidth_share: 1.0 / N_DEVICES as f64,
+            compute_weight: 1.0,
+            degrade: scalpel_sim::DegradeLadder::none(),
+            fallback_servers: vec![],
+        })
+        .collect()
+}
+
+/// A faulted, fully-recovered posture: exercises the breakers, retry
+/// watchdogs and shed/degrade paths that keep the most per-run state.
+fn config(seed: u64) -> SimConfig {
+    SimConfig {
+        horizon_s: HORIZON_S,
+        warmup_s: 1.0,
+        seed,
+        fading: true,
+        faults: FaultProfile {
+            seed: 5,
+            rate_hz: 0.8,
+            mean_outage_s: 1.5,
+            start_s: 0.5,
+            classes: Vec::new(),
+        }
+        .plan(N_DEVICES, N_APS, N_SERVERS, HORIZON_S),
+        recovery: RecoveryConfig::full(),
+    }
+}
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.generated, b.generated, "{what}: generated");
+    assert_eq!(a.completed, b.completed, "{what}: completed");
+    assert_eq!(a.latency.count, b.latency.count, "{what}: latency count");
+    assert_eq!(
+        a.latency.mean.to_bits(),
+        b.latency.mean.to_bits(),
+        "{what}: latency mean"
+    );
+    assert_eq!(
+        a.latency.p99.to_bits(),
+        b.latency.p99.to_bits(),
+        "{what}: latency p99"
+    );
+    assert_eq!(
+        a.deadline_ratio.to_bits(),
+        b.deadline_ratio.to_bits(),
+        "{what}: deadline ratio"
+    );
+    assert_eq!(
+        a.mean_accuracy.to_bits(),
+        b.mean_accuracy.to_bits(),
+        "{what}: mean accuracy"
+    );
+    for (i, (p, q)) in a
+        .server_utilization
+        .iter()
+        .zip(&b.server_utilization)
+        .enumerate()
+    {
+        assert_eq!(p.to_bits(), q.to_bits(), "{what}: utilization[{i}]");
+    }
+    assert_eq!(a.per_stream.len(), b.per_stream.len(), "{what}: streams");
+    for (p, q) in a.per_stream.iter().zip(&b.per_stream) {
+        assert_eq!(p.completed, q.completed, "{what}: stream completed");
+        assert_eq!(
+            p.latency.mean.to_bits(),
+            q.latency.mean.to_bits(),
+            "{what}: stream latency"
+        );
+        assert_eq!(
+            p.mean_device_wait.to_bits(),
+            q.mean_device_wait.to_bits(),
+            "{what}: stream wait"
+        );
+    }
+    assert_eq!(a.faults, b.faults, "{what}: fault metrics");
+    assert_eq!(a.recovery, b.recovery, "{what}: recovery metrics");
+}
+
+fn assert_traces_identical(a: &RunTrace, b: &RunTrace, what: &str) {
+    assert_eq!(a.tasks.len(), b.tasks.len(), "{what}: task count");
+    for (i, (p, q)) in a.tasks.iter().zip(&b.tasks).enumerate() {
+        assert_eq!(p.stream, q.stream, "{what}: task[{i}] stream");
+        assert_eq!(p.exit, q.exit, "{what}: task[{i}] exit");
+        for (n, (x, y)) in [
+            (p.arrival_s, q.arrival_s),
+            (p.device_wait_s, q.device_wait_s),
+            (p.device_service_s, q.device_service_s),
+            (p.tx_s, q.tx_s),
+            (p.edge_s, q.edge_s),
+            (p.latency_s, q.latency_s),
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: task[{i}] field {n} diverged"
+            );
+        }
+    }
+    assert_eq!(a.faults, b.faults, "{what}: fault records");
+    assert_eq!(a.health, b.health, "{what}: health snapshots");
+}
+
+/// Seeds {a, b} through one shared scratch — including re-running seed
+/// `a` after `b` has dirtied every buffer — match fresh-scratch runs
+/// bit-for-bit, reports and full trace logs alike.
+#[test]
+fn reused_scratch_runs_match_fresh_runs_across_seeds() {
+    let (seed_a, seed_b) = (41, 42);
+    let sim_a = EdgeSim::new(cluster(), streams(), config(seed_a)).expect("valid");
+    let sim_b = EdgeSim::new(cluster(), streams(), config(seed_b)).expect("valid");
+    let (fresh_a, trace_a) = sim_a.run_logged();
+    let (fresh_b, trace_b) = sim_b.run_logged();
+    // The two seeds must actually diverge, or reuse equality is vacuous.
+    assert_ne!(
+        trace_a.tasks.len() + trace_a.faults.len(),
+        0,
+        "seed {seed_a} produced an empty run"
+    );
+
+    let mut scratch = SimScratch::new();
+    let (r1, t1) = sim_a.run_logged_with_scratch(&mut scratch);
+    assert_reports_identical(&fresh_a, &r1, "seed a, warm-up pass");
+    assert_traces_identical(&trace_a, &t1, "seed a, warm-up pass");
+
+    let (r2, t2) = sim_b.run_logged_with_scratch(&mut scratch);
+    assert_reports_identical(&fresh_b, &r2, "seed b after seed a");
+    assert_traces_identical(&trace_b, &t2, "seed b after seed a");
+
+    let (r3, t3) = sim_a.run_logged_with_scratch(&mut scratch);
+    assert_reports_identical(&fresh_a, &r3, "seed a after seed b");
+    assert_traces_identical(&trace_a, &t3, "seed a after seed b");
+}
+
+/// An un-logged reused-scratch run agrees with `EdgeSim::run`, and the
+/// logging flag itself leaves no residue in the scratch.
+#[test]
+fn logging_leaves_no_residue_in_reused_scratch() {
+    let sim = EdgeSim::new(cluster(), streams(), config(7)).expect("valid");
+    let fresh = sim.run();
+    let mut scratch = SimScratch::new();
+    let (_, logged_trace) = sim.run_logged_with_scratch(&mut scratch);
+    assert!(
+        !logged_trace.tasks.is_empty(),
+        "logged run recorded nothing"
+    );
+    let unlogged = sim.run_with_scratch(&mut scratch);
+    assert_reports_identical(&fresh, &unlogged, "unlogged after logged");
+}
