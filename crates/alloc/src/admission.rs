@@ -66,7 +66,7 @@ pub fn screen(ids: &[usize], demands: &[HyperbolicDemand], deadlines: &[f64]) ->
     }
     let total_need: f64 = needs.iter().map(|n| n.need).sum();
     // Drop the neediest until the rest fit.
-    needs.sort_by(|a, b| b.need.partial_cmp(&a.need).expect("finite needs"));
+    needs.sort_by(|a, b| b.need.total_cmp(&a.need));
     let mut current: f64 = total_need;
     let mut cut_idx = 0usize;
     while current > 1.0 + 1e-12 && cut_idx < needs.len() {

@@ -95,6 +95,9 @@ pub fn allocate_into(
             }
         }
     }
+    // Post-condition: shares are finite, non-negative, and on the simplex
+    // even when the demand vector was adversarial. No-op for valid inputs.
+    convex::sanitize_shares(out);
 }
 
 fn fill_hyper(demands: &[BandwidthDemand], scratch: &mut AllocScratch) {

@@ -112,6 +112,9 @@ pub fn allocate_into(
             }
         }
     }
+    // Post-condition: shares are finite, non-negative, and on the simplex
+    // even when the demand vector was adversarial. No-op for valid inputs.
+    convex::sanitize_shares(out);
 }
 
 fn fill_hyper(demands: &[ComputeDemand], scratch: &mut AllocScratch) {

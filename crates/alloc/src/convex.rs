@@ -14,6 +14,74 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Largest magnitude any demand component is allowed to carry. Values
+/// above this (including `+∞`) are clamped so bracketing loops and share
+/// sums stay finite; realistic latencies are tens of orders of magnitude
+/// below it, so clamping never perturbs a sane profile.
+pub const MAX_COMPONENT: f64 = 1e30;
+
+/// Map an arbitrary `f64` into the domain the solvers are exact on:
+/// `NaN` and negatives become `0.0`, oversized values (including `+∞`)
+/// clamp to [`MAX_COMPONENT`]. Identity for every valid input.
+#[inline]
+pub fn sanitize(x: f64) -> f64 {
+    if x.is_nan() || x < 0.0 {
+        0.0
+    } else if x > MAX_COMPONENT {
+        MAX_COMPONENT
+    } else {
+        x
+    }
+}
+
+/// Post-condition repair for a share vector: non-finite or negative
+/// entries become `0.0`, and if the sum exceeds the simplex (beyond a
+/// `1e-9` tolerance) the vector is renormalized onto it. Returns `true`
+/// if anything was changed. Valid share vectors pass through untouched,
+/// bit-for-bit.
+pub fn sanitize_shares(shares: &mut [f64]) -> bool {
+    let mut changed = false;
+    for s in shares.iter_mut() {
+        if !s.is_finite() || *s < 0.0 {
+            *s = 0.0;
+            changed = true;
+        }
+    }
+    let sum: f64 = shares.iter().sum();
+    if sum > 1.0 + 1e-9 {
+        for s in shares.iter_mut() {
+            *s /= sum;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Typed error for the checked allocator entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Two parallel input slices disagree in length.
+    LengthMismatch {
+        /// Number of demands supplied.
+        demands: usize,
+        /// Length of the companion slice (weights or deadlines).
+        companion: usize,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::LengthMismatch { demands, companion } => write!(
+                f,
+                "allocation input length mismatch: {demands} demands vs {companion} companions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
 /// Reusable buffers for the borrowed-scratch allocator entry points
 /// (`compute_alloc::allocate_into`, `bandwidth_alloc::allocate_into`).
 /// Holding one of these across calls removes every per-call heap
@@ -37,10 +105,14 @@ pub struct HyperbolicDemand {
 }
 
 impl HyperbolicDemand {
-    /// Construct (panics on negative inputs in debug builds).
+    /// Construct, sanitizing each component (`NaN`/negative → `0.0`,
+    /// oversized → [`MAX_COMPONENT`]) so a corrupt profile cannot poison
+    /// a solve. Identity for valid inputs.
     pub fn new(fixed: f64, scaled: f64) -> Self {
-        debug_assert!(fixed >= 0.0 && scaled >= 0.0);
-        Self { fixed, scaled }
+        Self {
+            fixed: sanitize(fixed),
+            scaled: sanitize(scaled),
+        }
     }
 
     /// Latency at share `c`.
@@ -64,17 +136,34 @@ pub fn weighted_sum_shares(demands: &[HyperbolicDemand], weights: &[f64]) -> Vec
     out
 }
 
+/// [`weighted_sum_shares`] checking that the inputs line up instead of
+/// silently padding; otherwise identical to [`weighted_sum_shares`].
+pub fn try_weighted_sum_shares(
+    demands: &[HyperbolicDemand],
+    weights: &[f64],
+) -> Result<Vec<f64>, AllocError> {
+    if demands.len() != weights.len() {
+        return Err(AllocError::LengthMismatch {
+            demands: demands.len(),
+            companion: weights.len(),
+        });
+    }
+    Ok(weighted_sum_shares(demands, weights))
+}
+
 /// [`weighted_sum_shares`] writing into a caller-owned buffer (cleared
 /// first); identical arithmetic, no allocation when `out` has capacity.
+/// Missing weights are treated as `0.0`, extra weights are ignored, and
+/// `NaN`/negative/oversized inputs are sanitized — a malformed profile
+/// yields a degraded (possibly all-zeros) allocation, never a panic.
 pub fn weighted_sum_shares_into(demands: &[HyperbolicDemand], weights: &[f64], out: &mut Vec<f64>) {
-    assert_eq!(demands.len(), weights.len());
     out.clear();
-    out.extend(demands.iter().zip(weights).map(|(d, &w)| {
-        debug_assert!(w >= 0.0);
-        (w * d.scaled).sqrt()
+    out.extend(demands.iter().enumerate().map(|(i, d)| {
+        let w = sanitize(weights.get(i).copied().unwrap_or(0.0));
+        (w * sanitize(d.scaled)).sqrt()
     }));
     let total: f64 = out.iter().sum();
-    if total <= 0.0 {
+    if total <= 0.0 || !total.is_finite() {
         out.iter_mut().for_each(|x| *x = 0.0);
         return;
     }
@@ -100,19 +189,34 @@ pub fn minmax_shares(demands: &[HyperbolicDemand]) -> (f64, Vec<f64>) {
 pub fn minmax_shares_into(demands: &[HyperbolicDemand], out: &mut Vec<f64>) -> f64 {
     out.clear();
     out.resize(demands.len(), 0.0);
-    let served = || demands.iter().filter(|d| d.scaled > 0.0);
+    // All reads go through `sanitize` so directly-constructed demands with
+    // NaN/∞ components cannot hang the bracket search or emit NaN shares;
+    // for valid inputs every sanitized read is bit-identical to the raw one.
+    let served = || {
+        demands
+            .iter()
+            .map(|d| (sanitize(d.fixed), sanitize(d.scaled)))
+            .filter(|&(_, e)| e > 0.0)
+    };
     if served().next().is_none() {
-        return demands.iter().map(|d| d.fixed).fold(0.0, f64::max);
+        return demands
+            .iter()
+            .map(|d| sanitize(d.fixed))
+            .fold(0.0, f64::max);
     }
     // g(λ) = Σ e/(λ - a) is strictly decreasing for λ > max a; find g = 1.
-    let a_max = served().map(|d| d.fixed).fold(f64::NEG_INFINITY, f64::max);
-    let g = |lambda: f64| -> f64 { served().map(|d| d.scaled / (lambda - d.fixed)).sum() };
+    let a_max = served().map(|(a, _)| a).fold(f64::NEG_INFINITY, f64::max);
+    let g = |lambda: f64| -> f64 { served().map(|(a, e)| e / (lambda - a)).sum() };
     // Bracket: lo slightly above a_max (g → ∞), hi doubling until g < 1.
-    let e_sum: f64 = served().map(|d| d.scaled).sum();
+    // With sanitized components hi − a_k ≥ e_sum, so g(hi) ≤ 1 already at
+    // the first hi; the doubling loop and its cap are a pure safety net.
+    let e_sum: f64 = served().map(|(_, e)| e).sum();
     let mut lo = a_max;
     let mut hi = a_max + e_sum.max(1e-12); // g(hi) ≤ Σe/e_sum... may be ≥ 1
-    while g(hi) > 1.0 {
+    let mut bracket_iters = 0;
+    while g(hi) > 1.0 && bracket_iters < 2048 {
         hi = a_max + (hi - a_max) * 2.0;
+        bracket_iters += 1;
     }
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
@@ -127,13 +231,14 @@ pub fn minmax_shares_into(demands: &[HyperbolicDemand], out: &mut Vec<f64>) -> f
     }
     let lambda = hi;
     for (i, d) in demands.iter().enumerate() {
-        if d.scaled > 0.0 {
-            out[i] = d.scaled / (lambda - d.fixed);
+        let (a, e) = (sanitize(d.fixed), sanitize(d.scaled));
+        if e > 0.0 {
+            out[i] = e / (lambda - a);
         }
     }
     // Normalize the residual bisection error exactly onto the simplex.
     let s: f64 = out.iter().sum();
-    if s > 0.0 {
+    if s > 0.0 && s.is_finite() {
         for x in out.iter_mut() {
             *x /= s;
         }
@@ -145,20 +250,24 @@ pub fn minmax_shares_into(demands: &[HyperbolicDemand], out: &mut Vec<f64>) -> f
 /// `c_k ≥ e_k/(D_k − a_k)`, so feasibility is `Σ e_k/(D_k − a_k) ≤ 1`.
 /// A stream with `a_k ≥ D_k` and `e_k > 0` is infeasible outright.
 pub fn deadline_feasible(demands: &[HyperbolicDemand], deadlines: &[f64]) -> bool {
-    assert_eq!(demands.len(), deadlines.len());
+    // Missing deadlines are treated as unconstrained (`+∞`); NaN deadlines
+    // propagate into a NaN `need`, which fails the final comparison — a
+    // malformed instance reads as infeasible instead of panicking.
     let mut need = 0.0;
-    for (d, &dl) in demands.iter().zip(deadlines) {
-        if d.scaled == 0.0 {
-            if d.fixed > dl {
+    for (i, d) in demands.iter().enumerate() {
+        let dl = deadlines.get(i).copied().unwrap_or(f64::INFINITY);
+        let (a, e) = (sanitize(d.fixed), sanitize(d.scaled));
+        if e == 0.0 {
+            if a > dl || dl.is_nan() {
                 return false;
             }
             continue;
         }
-        let slack = dl - d.fixed;
+        let slack = dl - a;
         if slack <= 0.0 {
             return false;
         }
-        need += d.scaled / slack;
+        need += e / slack;
     }
     need <= 1.0 + 1e-12
 }
@@ -183,6 +292,29 @@ pub fn deadline_shares(
     }
 }
 
+/// [`deadline_shares`] checking that the inputs line up instead of
+/// silently padding; `Ok(None)` means the deadlines are jointly
+/// infeasible.
+pub fn try_deadline_shares(
+    demands: &[HyperbolicDemand],
+    deadlines: &[f64],
+    weights: &[f64],
+) -> Result<Option<Vec<f64>>, AllocError> {
+    if demands.len() != deadlines.len() {
+        return Err(AllocError::LengthMismatch {
+            demands: demands.len(),
+            companion: deadlines.len(),
+        });
+    }
+    if demands.len() != weights.len() {
+        return Err(AllocError::LengthMismatch {
+            demands: demands.len(),
+            companion: weights.len(),
+        });
+    }
+    Ok(deadline_shares(demands, deadlines, weights))
+}
+
 /// [`deadline_shares`] writing into caller-owned buffers: `out` receives
 /// the shares, `roots` is bisection scratch. Returns `false` when the
 /// deadlines are jointly infeasible (then `out`'s contents are
@@ -197,17 +329,20 @@ pub fn deadline_shares_into(
     roots: &mut Vec<f64>,
     out: &mut Vec<f64>,
 ) -> bool {
-    assert_eq!(demands.len(), weights.len());
     if !deadline_feasible(demands, deadlines) {
         return false;
     }
-    // `out` carries the per-stream minimums until the final fill.
+    // `out` carries the per-stream minimums until the final fill. Missing
+    // deadlines read as `+∞` (zero minimum), missing weights as `0.0`,
+    // matching `deadline_feasible`'s padding.
     out.clear();
-    out.extend(demands.iter().zip(deadlines).map(|(d, &dl)| {
-        if d.scaled == 0.0 {
+    out.extend(demands.iter().enumerate().map(|(i, d)| {
+        let dl = deadlines.get(i).copied().unwrap_or(f64::INFINITY);
+        let (a, e) = (sanitize(d.fixed), sanitize(d.scaled));
+        if e == 0.0 {
             0.0
         } else {
-            d.scaled / (dl - d.fixed)
+            e / (dl - a)
         }
     }));
     let used: f64 = out.iter().sum();
@@ -215,12 +350,10 @@ pub fn deadline_shares_into(
         return true;
     }
     roots.clear();
-    roots.extend(
-        demands
-            .iter()
-            .zip(weights)
-            .map(|(d, &w)| (w * d.scaled).sqrt()),
-    );
+    roots.extend(demands.iter().enumerate().map(|(i, d)| {
+        let w = sanitize(weights.get(i).copied().unwrap_or(0.0));
+        (w * sanitize(d.scaled)).sqrt()
+    }));
     let total_root: f64 = roots.iter().sum();
     if total_root <= 0.0 {
         return true;

@@ -18,6 +18,7 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod admission;
 pub mod bandwidth_alloc;
@@ -27,6 +28,7 @@ pub mod placement;
 
 pub use admission::{screen, screen_with_breakers, AdmissionResult};
 pub use convex::{
-    deadline_shares, minmax_shares, weighted_sum_shares, AllocScratch, HyperbolicDemand,
+    deadline_shares, minmax_shares, sanitize_shares, try_deadline_shares, try_weighted_sum_shares,
+    weighted_sum_shares, AllocError, AllocScratch, HyperbolicDemand,
 };
 pub use placement::{PlacementStrategy, ServerLoadModel};

@@ -62,8 +62,10 @@ impl ServerLoadModel {
                 servers
                     .iter()
                     .map(|s| {
-                        debug_assert!(s.capacity_fps > 0.0);
-                        (k.weight * k.edge_flops / s.capacity_fps).sqrt()
+                        // Sanitized so a zero-capacity or NaN-profiled
+                        // server yields a zero load term instead of NaN
+                        // poisoning every comparison downstream.
+                        crate::convex::sanitize(k.weight * k.edge_flops / s.capacity_fps).sqrt()
                     })
                     .collect()
             })
@@ -128,18 +130,19 @@ fn greedy(streams: &[PlacementStream], servers: &[ServerCap]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let wa = model.ell[a].iter().cloned().fold(f64::INFINITY, f64::min);
         let wb = model.ell[b].iter().cloned().fold(f64::INFINITY, f64::min);
-        wb.partial_cmp(&wa).expect("finite loads")
+        wb.total_cmp(&wa)
     });
     let mut loads = vec![0.0; servers.len()];
     let mut assignment = vec![0usize; streams.len()];
     for &k in &order {
-        let (best_s, _) = (0..servers.len())
+        let best_s = (0..servers.len())
             .map(|s| {
                 let l = model.ell[k][s];
                 (s, 2.0 * loads[s] * l + l * l) // marginal increase of L_s²
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("non-empty servers");
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(s, _)| s)
+            .unwrap_or(0);
         assignment[k] = best_s;
         loads[best_s] += model.ell[k][best_s];
     }

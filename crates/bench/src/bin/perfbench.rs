@@ -20,7 +20,7 @@
 use scalpel_bench::table::Table;
 use scalpel_core::config::{ScenarioConfig, ServerMix};
 use scalpel_core::evaluator::Evaluator;
-use scalpel_core::optimizer::{self, EvalMode, OptimizerConfig, Solution};
+use scalpel_core::optimizer::{self, Budget, EvalMode, OptimizerConfig, Solution};
 use std::time::Instant;
 
 struct SizeReport {
@@ -114,6 +114,16 @@ fn bench_size(streams: usize, smoke: bool) -> SizeReport {
     let incremental_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     assert_parity(&full, &inc, ev.num_streams());
+
+    // Anytime-API guard: an unconstrained budget must be a pure pass-through
+    // — same trace, same assignment, same objective bits as plain `solve`.
+    let anytime = optimizer::solve_with_budget(&ev, &inc_cfg, Budget::UNLIMITED);
+    assert!(
+        anytime.converged,
+        "N={}: unlimited budget reported non-convergence",
+        ev.num_streams()
+    );
+    assert_parity(&inc, &anytime.solution, ev.num_streams());
 
     SizeReport {
         streams: ev.num_streams(),

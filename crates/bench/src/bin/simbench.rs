@@ -24,11 +24,11 @@
 //! the numbers quoted in EXPERIMENTS.md.
 
 use scalpel_bench::table::Table;
-use scalpel_core::baselines::{solve_with, Method};
+use scalpel_core::baselines::{self, solve_with, Method};
 use scalpel_core::compiler;
 use scalpel_core::config::{ScenarioConfig, ServerMix};
 use scalpel_core::evaluator::Evaluator;
-use scalpel_core::optimizer::OptimizerConfig;
+use scalpel_core::optimizer::{Budget, OptimizerConfig};
 use scalpel_core::runner;
 use scalpel_sim::{
     EdgeSim, FaultProfile, LatencyStats, RecoveryConfig, SimConfig, SimReport, SimScratch,
@@ -120,14 +120,29 @@ fn scenario(requests: usize, recovered: bool) -> ScenarioConfig {
 fn build_sim(cfg: &ScenarioConfig) -> EdgeSim {
     let problem = cfg.build();
     let ev = Evaluator::new(&problem, None);
-    let sol = solve_with(
-        &ev,
-        Method::Neurosurgeon,
-        &OptimizerConfig {
-            rounds: 1,
-            gibbs_iters: 0,
-            ..Default::default()
-        },
+    let opt_cfg = OptimizerConfig {
+        rounds: 1,
+        gibbs_iters: 0,
+        ..Default::default()
+    };
+    let sol = solve_with(&ev, Method::Neurosurgeon, &opt_cfg);
+    // Anytime-API guard: with no budget the budgeted entry point must plan
+    // exactly like the plain one, so the simulated trace below is the same
+    // golden trace regardless of which entry point callers use.
+    let anytime =
+        baselines::solve_with_budget(&ev, Method::Neurosurgeon, &opt_cfg, Budget::UNLIMITED);
+    assert!(
+        anytime.converged,
+        "unlimited budget reported non-convergence"
+    );
+    assert_eq!(
+        sol.assignment, anytime.solution.assignment,
+        "budgeted planner diverged from plain planner"
+    );
+    assert_eq!(
+        sol.result.objective.to_bits(),
+        anytime.solution.result.objective.to_bits(),
+        "budgeted planner objective bits diverged"
     );
     let streams = compiler::compile(&problem, &ev, &sol.assignment, &sol.result);
     EdgeSim::new(problem.cluster.clone(), streams, cfg.sim.clone())

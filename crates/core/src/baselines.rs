@@ -12,9 +12,12 @@
 //! | Joint         | joint surgery search            | optimal               |
 
 use crate::evaluator::{AllocPolicies, Assignment, Evaluator, PlanPricing};
-use crate::optimizer::{self, OptimizerConfig, SearchTrace, Solution};
+use crate::optimizer::{
+    self, Budget, BudgetSpent, OptimizerConfig, SearchTrace, Solution, SolveOutcome,
+};
 use scalpel_alloc::placement::PlacementStrategy;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// The seven methods compared throughout the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -82,13 +85,9 @@ fn device_only_idx(menu: &[PlanPricing]) -> usize {
             // work — the closest available approximation.
             menu.iter()
                 .enumerate()
-                .max_by(|a, b| {
-                    a.1.dev_full
-                        .partial_cmp(&b.1.dev_full)
-                        .expect("finite device seconds")
-                })
+                .max_by(|a, b| a.1.dev_full.total_cmp(&b.1.dev_full))
                 .map(|(i, _)| i)
-                .expect("non-empty menu")
+                .unwrap_or(0)
         })
 }
 
@@ -99,13 +98,9 @@ fn full_offload_idx(menu: &[PlanPricing]) -> usize {
         .unwrap_or_else(|| {
             menu.iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    a.1.dev_full
-                        .partial_cmp(&b.1.dev_full)
-                        .expect("finite device seconds")
-                })
+                .min_by(|a, b| a.1.dev_full.total_cmp(&b.1.dev_full))
                 .map(|(i, _)| i)
-                .expect("non-empty menu")
+                .unwrap_or(0)
         })
 }
 
@@ -141,12 +136,8 @@ fn neurosurgeon_idx(ev: &Evaluator, k: usize) -> usize {
         candidates
     };
     pool.into_iter()
-        .min_by(|&a, &b| {
-            static_score(ev, k, &menu[a])
-                .partial_cmp(&static_score(ev, k, &menu[b]))
-                .expect("finite scores")
-        })
-        .expect("non-empty menu")
+        .min_by(|&a, &b| static_score(ev, k, &menu[a]).total_cmp(&static_score(ev, k, &menu[b])))
+        .unwrap_or(0)
 }
 
 /// FixedExit: a statically-chosen multi-exit configuration — the
@@ -160,11 +151,7 @@ fn fixed_exit_idx(ev: &Evaluator, k: usize) -> usize {
         .filter(|(_, p)| {
             !p.plan.exits.is_empty() && p.plan.prune == scalpel_surgery::PruneLevel::None
         })
-        .min_by(|a, b| {
-            static_score(ev, k, a.1)
-                .partial_cmp(&static_score(ev, k, b.1))
-                .expect("finite scores")
-        })
+        .min_by(|a, b| static_score(ev, k, a.1).total_cmp(&static_score(ev, k, b.1)))
         .map(|(i, _)| i)
         .unwrap_or_else(|| neurosurgeon_idx(ev, k))
 }
@@ -220,6 +207,39 @@ pub fn solve_with(ev: &Evaluator, method: Method, cfg: &OptimizerConfig) -> Solu
             fixed(idx, placement, cfg.policies)
         }
         Method::Joint => optimizer::solve(ev, cfg),
+    }
+}
+
+/// Budgeted variant of [`solve_with`]. The search-based methods
+/// (SurgeryOnly, Joint) run their anytime search under `budget` and may
+/// return `converged: false` with the best incumbent found; the fixed
+/// methods price exactly one configuration and always converge.
+pub fn solve_with_budget(
+    ev: &Evaluator,
+    method: Method,
+    cfg: &OptimizerConfig,
+    budget: Budget,
+) -> SolveOutcome {
+    match method {
+        Method::SurgeryOnly => {
+            let mut c = cfg.clone();
+            c.policies = AllocPolicies::equal();
+            c.placement = PlacementStrategy::RoundRobin;
+            optimizer::solve_with_budget(ev, &c, budget)
+        }
+        Method::Joint => optimizer::solve_with_budget(ev, cfg, budget),
+        _ => {
+            let started = Instant::now();
+            let solution = solve_with(ev, method, cfg);
+            SolveOutcome {
+                converged: true,
+                spent: BudgetSpent {
+                    evaluations: 1,
+                    wall_s: started.elapsed().as_secs_f64(),
+                },
+                solution,
+            }
+        }
     }
 }
 

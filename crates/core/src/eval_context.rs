@@ -799,8 +799,15 @@ impl<'a> EvalContext<'a> {
         self.offloaded[k] = new_off;
         if old_off && (!new_off || new_srv != old_srv) {
             let m = &mut self.server_members[old_srv];
-            let pos = m.binary_search(&k).expect("server membership out of sync");
-            m.remove(pos);
+            // Membership is maintained by this function alone; a miss can
+            // only mean a bug, so flag it in debug builds but keep release
+            // builds panic-free (removing nothing is then the safe no-op).
+            match m.binary_search(&k) {
+                Ok(pos) => {
+                    m.remove(pos);
+                }
+                Err(_) => debug_assert!(false, "server membership out of sync"),
+            }
         }
         if new_off && (!old_off || new_srv != old_srv) {
             let m = &mut self.server_members[new_srv];

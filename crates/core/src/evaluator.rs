@@ -158,6 +158,25 @@ pub struct Evaluator {
 }
 
 impl Evaluator {
+    /// Fallible constructor: strict ingest validation first, then menu
+    /// construction, rejecting any stream whose candidate menu comes out
+    /// empty (accuracy floor unsatisfiable at every cut/exit setting).
+    /// Use this for inputs that did not already pass
+    /// [`crate::validate::validate_problem`].
+    pub fn try_new(
+        problem: &JointProblem,
+        menu_cfg: Option<CandidateConfig>,
+    ) -> Result<Self, crate::validate::ProblemError> {
+        crate::validate::check_strict(problem)?;
+        let ev = Self::new(problem, menu_cfg);
+        for (k, menu) in ev.menus.iter().enumerate() {
+            if menu.is_empty() {
+                return Err(crate::validate::ProblemError::EmptyExitMenu { stream: k });
+            }
+        }
+        Ok(ev)
+    }
+
     /// Build menus and pricing caches for a problem. `menu_cfg` controls
     /// candidate generation; pass `None` for the defaults.
     pub fn new(problem: &JointProblem, menu_cfg: Option<CandidateConfig>) -> Self {

@@ -22,6 +22,7 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod admission_report;
 pub mod baselines;
@@ -34,15 +35,19 @@ pub mod online;
 pub mod optimizer;
 pub mod problem;
 pub mod runner;
+pub mod validate;
 
 pub use baselines::{solve_with, Method};
 pub use config::{ScenarioConfig, ServerMix};
 pub use eval_context::{DeltaScratch, EvalContext};
 pub use evaluator::{EvalResult, Evaluator};
 pub use online::{DetectorConfig, FaultDetector, FaultDiagnosis, OnlineController};
-pub use optimizer::{EvalMode, OptimizerConfig, SearchTrace, Solution};
+pub use optimizer::{
+    Budget, BudgetSpent, EvalMode, OptimizerConfig, SearchTrace, Solution, SolveOutcome,
+};
 pub use problem::{JointProblem, StreamSpec};
 pub use runner::{
     run_solution, run_solution_seeds, run_solution_seeds_faulted, run_solution_seeds_recovered,
     MethodOutcome,
 };
+pub use validate::{validate_problem, ProblemError, RepairAction, RepairReport, ValidationPolicy};

@@ -8,7 +8,7 @@
 //! coordinate descent runs from there (usually converging in one sweep).
 
 use crate::evaluator::{Assignment, Evaluator, PlanPricing};
-use crate::optimizer::{self, OptimizerConfig, Solution};
+use crate::optimizer::{self, Budget, OptimizerConfig, Solution};
 use crate::problem::JointProblem;
 use scalpel_sim::{FaultKind, FaultPlan, HealthSnapshot};
 use scalpel_surgery::SurgeryPlan;
@@ -26,6 +26,10 @@ pub struct AdaptReport {
     pub evaluations: usize,
     /// Wall-clock milliseconds of the re-solve.
     pub resolve_ms: f64,
+    /// Whether the re-solve ran to completion. `false` means the budget
+    /// expired and the adopted solution is the best incumbent found —
+    /// at worst the remapped previous plan, never anything invalid.
+    pub converged: bool,
     /// Streams whose plan changed.
     pub plans_changed: usize,
     /// Streams whose server changed.
@@ -58,7 +62,9 @@ pub fn closest_idx(menu: &[PlanPricing], old: &SurgeryPlan) -> usize {
             )
         })
         .map(|(i, _)| i)
-        .expect("non-empty menu")
+        // Validation guarantees non-empty menus; tolerate a bypassed
+        // ingest by pointing at index 0 instead of aborting a re-plan.
+        .unwrap_or(0)
 }
 
 /// Remap an assignment onto a rebuilt evaluator: for each stream, find the
@@ -287,12 +293,27 @@ impl OnlineController {
     /// React to changed conditions: re-price the stale decisions on the
     /// new evaluator, warm-start descent from them, and adopt the result.
     pub fn adapt(&mut self, old_ev: &Evaluator, new_ev: &Evaluator) -> AdaptReport {
+        self.adapt_with_budget(old_ev, new_ev, Budget::UNLIMITED)
+    }
+
+    /// [`adapt`](Self::adapt) under a re-planning budget. When the budget
+    /// expires mid-descent the controller adopts the best incumbent found
+    /// so far — which is never worse than the remapped previous plan — so
+    /// replanning under churn degrades gracefully instead of stalling.
+    pub fn adapt_with_budget(
+        &mut self,
+        old_ev: &Evaluator,
+        new_ev: &Evaluator,
+        budget: Budget,
+    ) -> AdaptReport {
         let warm = remap_assignment(old_ev, new_ev, &self.solution.assignment);
         let stale = new_ev.evaluate(&warm, self.cfg.policies);
         let t0 = Instant::now();
         let mut quick = self.cfg.clone();
         quick.gibbs_iters = 0; // descent-only for fast adaptation
-        let adapted = optimizer::coordinate_descent_from(new_ev, &quick, warm.clone());
+        let outcome = optimizer::descent_from_with_budget(new_ev, &quick, warm.clone(), budget);
+        let converged = outcome.converged;
+        let adapted = outcome.solution;
         let resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
         let plans_changed = warm
             .plan_idx
@@ -311,6 +332,7 @@ impl OnlineController {
             adapted_objective: adapted.result.objective,
             evaluations: adapted.trace.evaluations,
             resolve_ms,
+            converged,
             plans_changed,
             placements_changed,
         };

@@ -16,6 +16,7 @@ use crate::evaluator::{AllocPolicies, Assignment, EvalResult, Evaluator};
 use scalpel_alloc::placement::{self, PlacementStrategy, PlacementStream, ServerCap};
 use scalpel_sim::SimRng;
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Which evaluation backend the search probes moves with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -84,6 +85,123 @@ pub struct Solution {
     pub result: EvalResult,
     /// Search trajectory.
     pub trace: SearchTrace,
+}
+
+/// Resource limits for an anytime solve. `None` means unlimited on that
+/// axis; [`Budget::UNLIMITED`] makes [`solve_with_budget`] behave exactly
+/// like [`solve`] (bit-identical trace — no clock is consulted on the
+/// unlimited path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock limit for the whole solve.
+    pub wall_time: Option<Duration>,
+    /// Cap on configuration evaluations (as counted by `SearchTrace`).
+    pub max_evals: Option<usize>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub const UNLIMITED: Budget = Budget {
+        wall_time: None,
+        max_evals: None,
+    };
+
+    /// A wall-clock-only budget.
+    pub fn wall(limit: Duration) -> Self {
+        Budget {
+            wall_time: Some(limit),
+            max_evals: None,
+        }
+    }
+
+    /// An evaluation-count-only budget.
+    pub fn evals(limit: usize) -> Self {
+        Budget {
+            wall_time: None,
+            max_evals: Some(limit),
+        }
+    }
+
+    /// Whether neither axis is limited.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_time.is_none() && self.max_evals.is_none()
+    }
+}
+
+/// What an anytime solve actually consumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSpent {
+    /// Configuration evaluations performed.
+    pub evaluations: usize,
+    /// Wall-clock seconds elapsed.
+    pub wall_s: f64,
+}
+
+/// Result of an anytime solve: the best configuration found, whether the
+/// search ran to its natural end (`converged`) or was cut off by the
+/// budget, and what it spent. The solution is always valid and complete —
+/// an exhausted budget degrades quality, never well-formedness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveOutcome {
+    /// Best-so-far solution at the point the search stopped.
+    pub solution: Solution,
+    /// `true` iff the search finished without hitting the budget.
+    pub converged: bool,
+    /// Evaluations and wall time consumed.
+    pub spent: BudgetSpent,
+}
+
+/// Internal budget bookkeeping threaded through the search loops. The
+/// unlimited tracker never consults the clock and always answers `false`,
+/// so the unconstrained search path is control-flow-identical (and
+/// therefore trace-bit-identical) to the pre-budget implementation.
+struct BudgetTracker {
+    deadline: Option<Instant>,
+    max_evals: Option<usize>,
+    exhausted: bool,
+}
+
+impl BudgetTracker {
+    fn unlimited() -> Self {
+        BudgetTracker {
+            deadline: None,
+            max_evals: None,
+            exhausted: false,
+        }
+    }
+
+    fn new(budget: Budget) -> Self {
+        BudgetTracker {
+            deadline: budget.wall_time.map(|d| Instant::now() + d),
+            max_evals: budget.max_evals,
+            exhausted: false,
+        }
+    }
+
+    /// Whether the budget is spent, given `evals` evaluations so far.
+    /// Sticky: once exhausted, stays exhausted.
+    fn check(&mut self, evals: usize) -> bool {
+        if self.exhausted {
+            return true;
+        }
+        if let Some(max) = self.max_evals {
+            if evals >= max {
+                self.exhausted = true;
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.exhausted = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
 }
 
 /// The evaluation backend behind the search loops. `Full` re-prices the
@@ -297,9 +415,12 @@ pub fn initial_assignment(ev: &Evaluator, strategy: PlacementStrategy) -> Assign
                         let p = &menu[i];
                         p.exp_dev + p.remain * (ev.tx_full_seconds(k, p) * 4.0 + 1e-3)
                     };
-                    score(a).partial_cmp(&score(b)).expect("finite scores")
+                    score(a).total_cmp(&score(b))
                 })
-                .expect("menus are non-empty")
+                // Validation guarantees non-empty menus; an empty one can
+                // only mean the caller bypassed ingest, so fall back to 0
+                // rather than abort mid-solve.
+                .unwrap_or(0)
         })
         .collect();
     let placement = placement_for(ev, &plan_idx, strategy);
@@ -317,6 +438,34 @@ pub fn coordinate_descent(ev: &Evaluator, cfg: &OptimizerConfig) -> Solution {
     coordinate_descent_from(ev, cfg, start)
 }
 
+/// [`coordinate_descent_from`] under a budget: warm-start descent that
+/// stops at the budget and reports what it spent. Used by the online
+/// controller so replanning under churn degrades to the (remapped)
+/// incumbent instead of blocking.
+pub fn descent_from_with_budget(
+    ev: &Evaluator,
+    cfg: &OptimizerConfig,
+    start: Assignment,
+    budget: Budget,
+) -> SolveOutcome {
+    let started = Instant::now();
+    let mut tracker = if budget.is_unlimited() {
+        BudgetTracker::unlimited()
+    } else {
+        BudgetTracker::new(budget)
+    };
+    let solution = descent_impl(ev, cfg, start, &mut tracker);
+    let spent = BudgetSpent {
+        evaluations: solution.trace.evaluations,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    SolveOutcome {
+        converged: !tracker.is_exhausted(),
+        solution,
+        spent,
+    }
+}
+
 /// [`coordinate_descent`] from an explicit starting assignment (used by
 /// the convergence experiment to show descent from a naive configuration).
 pub fn coordinate_descent_from(
@@ -324,13 +473,31 @@ pub fn coordinate_descent_from(
     cfg: &OptimizerConfig,
     start: Assignment,
 ) -> Solution {
+    descent_impl(ev, cfg, start, &mut BudgetTracker::unlimited())
+}
+
+/// Budget-aware descent body. With the unlimited tracker every branch the
+/// tracker guards is dead, so the walk — and its trace — is bit-identical
+/// to the historical unbudgeted implementation. When the budget runs out
+/// mid-round the engine already holds the best committed configuration
+/// (descent only ever commits improving plans), so the incumbent is
+/// returned as a complete, valid solution.
+fn descent_impl(
+    ev: &Evaluator,
+    cfg: &OptimizerConfig,
+    start: Assignment,
+    tracker: &mut BudgetTracker,
+) -> Solution {
     let mut eng = Engine::new(ev, cfg, start);
     let mut trace = SearchTrace::default();
     trace.evaluations += 1;
     trace.objective.push(eng.objective());
-    for _ in 0..cfg.rounds {
+    'rounds: for _ in 0..cfg.rounds {
         let mut improved = false;
         for k in 0..ev.num_streams() {
+            if tracker.check(trace.evaluations) {
+                break 'rounds;
+            }
             let current = eng.plan_of(k);
             let scores = eng.score_menu(k);
             trace.evaluations += scores.len() - 1;
@@ -380,6 +547,18 @@ pub fn coordinate_descent_from(
 /// plan from the Boltzmann distribution of the objective, annealing the
 /// temperature. Returns the best configuration visited.
 pub fn gibbs_refine(ev: &Evaluator, cfg: &OptimizerConfig, start: Solution) -> Solution {
+    gibbs_impl(ev, cfg, start, &mut BudgetTracker::unlimited())
+}
+
+/// Budget-aware Gibbs body; see [`descent_impl`] for the parity argument.
+/// The chain tracks its best-visited assignment separately, so a budget
+/// cut simply materializes the incumbent early.
+fn gibbs_impl(
+    ev: &Evaluator,
+    cfg: &OptimizerConfig,
+    start: Solution,
+    tracker: &mut BudgetTracker,
+) -> Solution {
     let mut rng = SimRng::new(cfg.seed, 4242);
     let mut trace = start.trace.clone();
     // Rebuilding the start state is not counted: the search inherits the
@@ -389,6 +568,9 @@ pub fn gibbs_refine(ev: &Evaluator, cfg: &OptimizerConfig, start: Solution) -> S
     let mut best_obj = eng.objective();
     let mut temp = cfg.init_temperature;
     for it in 0..cfg.gibbs_iters {
+        if tracker.check(trace.evaluations) {
+            break;
+        }
         let k = rng.index(ev.num_streams());
         let menu_len = ev.menu(k).len();
         if menu_len <= 1 {
@@ -453,57 +635,88 @@ pub fn solve(ev: &Evaluator, cfg: &OptimizerConfig) -> Solution {
     gibbs_refine(ev, cfg, descended)
 }
 
-/// Exhaustive search over the full plan product space (placement re-solved
-/// per combination). Panics if the space exceeds `limit` combinations.
-pub fn exhaustive(ev: &Evaluator, cfg: &OptimizerConfig, limit: u64) -> Solution {
+/// Anytime variant of [`solve`]: runs descent then Gibbs under `budget`,
+/// checkpointing best-so-far, and returns the incumbent with a
+/// convergence flag instead of running unbounded. With
+/// [`Budget::UNLIMITED`] the trace (and solution) is bit-identical to
+/// [`solve`]. The budget is checked between per-stream steps, so the
+/// wall-clock overshoot is bounded by one menu scan.
+pub fn solve_with_budget(ev: &Evaluator, cfg: &OptimizerConfig, budget: Budget) -> SolveOutcome {
+    let started = Instant::now();
+    let mut tracker = if budget.is_unlimited() {
+        BudgetTracker::unlimited()
+    } else {
+        BudgetTracker::new(budget)
+    };
+    let start = initial_assignment(ev, cfg.placement);
+    let descended = descent_impl(ev, cfg, start, &mut tracker);
+    let solution = if cfg.gibbs_iters == 0 || tracker.is_exhausted() {
+        descended
+    } else {
+        gibbs_impl(ev, cfg, descended, &mut tracker)
+    };
+    let spent = BudgetSpent {
+        evaluations: solution.trace.evaluations,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    SolveOutcome {
+        converged: !tracker.is_exhausted(),
+        solution,
+        spent,
+    }
+}
+
+/// Size of the full plan product space.
+fn combo_count(ev: &Evaluator) -> u64 {
     let mut combos: u64 = 1;
     for k in 0..ev.num_streams() {
         combos = combos.saturating_mul(ev.menu(k).len() as u64);
     }
-    assert!(
-        combos <= limit,
-        "exhaustive space {combos} exceeds limit {limit}"
-    );
+    combos
+}
+
+/// Exhaustive search over the full plan product space (placement re-solved
+/// per combination). Panics if the space exceeds `limit` combinations;
+/// [`try_exhaustive`] is the non-panicking variant.
+pub fn exhaustive(ev: &Evaluator, cfg: &OptimizerConfig, limit: u64) -> Solution {
+    match try_exhaustive(ev, cfg, limit) {
+        Some(sol) => sol,
+        None => panic!("exhaustive space {} exceeds limit {limit}", combo_count(ev)),
+    }
+}
+
+/// Exhaustive search, refusing (with `None`) rather than panicking when
+/// the product space exceeds `limit` combinations. Evaluation order,
+/// counts and the recorded trace are identical to the historical
+/// implementation.
+pub fn try_exhaustive(ev: &Evaluator, cfg: &OptimizerConfig, limit: u64) -> Option<Solution> {
+    if combo_count(ev) > limit {
+        return None;
+    }
     let n = ev.num_streams();
     let mut idx = vec![0usize; n];
     let mut trace = SearchTrace::default();
-    let mut eng: Option<Engine<'_>> = None;
-    let mut best: Option<(Assignment, f64)> = None;
-    loop {
-        let placement = placement_for(ev, &idx, cfg.placement);
-        let obj = match &mut eng {
-            None => {
-                let e = Engine::new(
-                    ev,
-                    cfg,
-                    Assignment {
-                        plan_idx: idx.clone(),
-                        placement,
-                    },
-                );
-                let o = e.objective();
-                eng = Some(e);
-                o
-            }
-            Some(e) => e.reconfigure(&idx, &placement),
-        };
-        trace.evaluations += 1;
-        let better = best.as_ref().is_none_or(|(_, b)| obj < *b);
-        if better {
-            trace.objective.push(obj);
-            best = Some((eng.as_ref().expect("engine built above").assignment(), obj));
-        }
+    // Evaluate the all-zeros combination first so the engine and incumbent
+    // exist unconditionally for the rest of the sweep.
+    let placement = placement_for(ev, &idx, cfg.placement);
+    let mut eng = Engine::new(
+        ev,
+        cfg,
+        Assignment {
+            plan_idx: idx.clone(),
+            placement,
+        },
+    );
+    trace.evaluations += 1;
+    let mut best_obj = eng.objective();
+    let mut best_asg = eng.assignment();
+    trace.objective.push(best_obj);
+    'sweep: loop {
         // Odometer increment.
         let mut pos = 0;
         loop {
             if pos == n {
-                let (asg, _) = best.expect("at least one combination evaluated");
-                let result = eng.as_mut().expect("engine built above").result_for(&asg);
-                return Solution {
-                    assignment: asg,
-                    result,
-                    trace,
-                };
+                break 'sweep;
             }
             idx[pos] += 1;
             if idx[pos] < ev.menu(pos).len() {
@@ -512,7 +725,21 @@ pub fn exhaustive(ev: &Evaluator, cfg: &OptimizerConfig, limit: u64) -> Solution
             idx[pos] = 0;
             pos += 1;
         }
+        let placement = placement_for(ev, &idx, cfg.placement);
+        let obj = eng.reconfigure(&idx, &placement);
+        trace.evaluations += 1;
+        if obj < best_obj {
+            trace.objective.push(obj);
+            best_obj = obj;
+            best_asg = eng.assignment();
+        }
     }
+    let result = eng.result_for(&best_asg);
+    Some(Solution {
+        assignment: best_asg,
+        result,
+        trace,
+    })
 }
 
 #[cfg(test)]
@@ -589,6 +816,70 @@ mod tests {
             sol.result.objective,
             ex.result.objective
         );
+    }
+
+    #[test]
+    fn unlimited_budget_reproduces_solve_bit_for_bit() {
+        let ev = tiny_evaluator();
+        let cfg = OptimizerConfig::default();
+        let plain = solve(&ev, &cfg);
+        let outcome = solve_with_budget(&ev, &cfg, Budget::UNLIMITED);
+        assert!(outcome.converged);
+        assert_eq!(
+            plain.result.objective.to_bits(),
+            outcome.solution.result.objective.to_bits()
+        );
+        assert_eq!(plain.trace.objective, outcome.solution.trace.objective);
+        assert_eq!(plain.trace.evaluations, outcome.solution.trace.evaluations);
+        assert_eq!(outcome.spent.evaluations, plain.trace.evaluations);
+    }
+
+    #[test]
+    fn eval_budget_stops_early_with_a_valid_incumbent() {
+        let ev = tiny_evaluator();
+        let cfg = OptimizerConfig::default();
+        let full = solve_with_budget(&ev, &cfg, Budget::UNLIMITED);
+        let max_menu: usize = (0..ev.num_streams())
+            .map(|k| ev.menu(k).len())
+            .max()
+            .unwrap();
+        let cap = 5;
+        let cut = solve_with_budget(&ev, &cfg, Budget::evals(cap));
+        assert!(!cut.converged);
+        // Overshoot bounded by one per-stream menu scan.
+        assert!(
+            cut.spent.evaluations <= cap + max_menu,
+            "spent {} vs cap {cap} + menu {max_menu}",
+            cut.spent.evaluations
+        );
+        assert!(cut.spent.evaluations < full.spent.evaluations);
+        assert!(cut.solution.result.objective.is_finite());
+        assert_eq!(cut.solution.assignment.plan_idx.len(), ev.num_streams());
+        for (k, &i) in cut.solution.assignment.plan_idx.iter().enumerate() {
+            assert!(i < ev.menu(k).len());
+        }
+    }
+
+    #[test]
+    fn zero_wall_budget_returns_initial_incumbent_immediately() {
+        let ev = tiny_evaluator();
+        let cfg = OptimizerConfig::default();
+        let outcome = solve_with_budget(&ev, &cfg, Budget::wall(Duration::ZERO));
+        assert!(!outcome.converged);
+        assert!(outcome.solution.result.objective.is_finite());
+        // At most the initial evaluation plus one guarded menu scan.
+        let max_menu: usize = (0..ev.num_streams())
+            .map(|k| ev.menu(k).len())
+            .max()
+            .unwrap();
+        assert!(outcome.spent.evaluations <= 1 + max_menu);
+    }
+
+    #[test]
+    fn try_exhaustive_refuses_oversized_spaces() {
+        let ev = tiny_evaluator();
+        let cfg = OptimizerConfig::default();
+        assert!(try_exhaustive(&ev, &cfg, 1).is_none());
     }
 
     #[test]

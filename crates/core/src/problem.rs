@@ -36,33 +36,11 @@ pub struct JointProblem {
 }
 
 impl JointProblem {
-    /// Validate cross-references.
-    pub fn validate(&self) -> Result<(), String> {
-        self.cluster.validate()?;
-        if self.models.is_empty() {
-            return Err("no models".into());
-        }
-        if self.models.len() != self.model_accuracy.len() {
-            return Err("models/accuracy arity mismatch".into());
-        }
-        if self.streams.is_empty() {
-            return Err("no streams".into());
-        }
-        for (i, s) in self.streams.iter().enumerate() {
-            if s.device >= self.cluster.devices.len() {
-                return Err(format!("stream {i}: missing device {}", s.device));
-            }
-            if s.model >= self.models.len() {
-                return Err(format!("stream {i}: missing model {}", s.model));
-            }
-            if s.deadline_s <= 0.0 {
-                return Err(format!("stream {i}: non-positive deadline"));
-            }
-            if !(0.0..=1.0).contains(&s.accuracy_floor) {
-                return Err(format!("stream {i}: accuracy floor out of range"));
-            }
-        }
-        Ok(())
+    /// Validate cross-references and numerical sanity. Delegates to the
+    /// strict checks in [`crate::validate`]; use
+    /// [`crate::validate::validate_problem`] for the repairing variant.
+    pub fn validate(&self) -> Result<(), crate::validate::ProblemError> {
+        crate::validate::check_strict(self)
     }
 
     /// The backbone of stream `k`.
@@ -86,7 +64,7 @@ impl JointProblem {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use scalpel_models::{zoo, ProcessorClass};
     use scalpel_sim::{ApSpec, DeviceSpec, ServerSpec};

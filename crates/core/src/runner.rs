@@ -82,10 +82,23 @@ pub fn run_solution(
     result: &EvalResult,
     sim: SimConfig,
 ) -> SimReport {
+    try_run_solution(problem, ev, asg, result, sim)
+        .unwrap_or_else(|e| panic!("compiled streams validate by construction: {e}"))
+}
+
+/// [`run_solution`] surfacing simulator-construction failures as a typed
+/// error instead of panicking — the entry point for callers feeding
+/// unvalidated or repaired problems.
+pub fn try_run_solution(
+    problem: &JointProblem,
+    ev: &Evaluator,
+    asg: &Assignment,
+    result: &EvalResult,
+    sim: SimConfig,
+) -> Result<SimReport, String> {
     let streams = compiler::compile(problem, ev, asg, result);
-    let sim = EdgeSim::new(problem.cluster.clone(), streams, sim)
-        .expect("compiled streams validate by construction");
-    SIM_SCRATCH.with(|scratch| sim.run_with_scratch(&mut scratch.borrow_mut()))
+    let sim = EdgeSim::new(problem.cluster.clone(), streams, sim)?;
+    Ok(SIM_SCRATCH.with(|scratch| sim.run_with_scratch(&mut scratch.borrow_mut())))
 }
 
 /// Run one solution over several seeds in parallel and pool the samples.

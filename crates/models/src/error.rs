@@ -1,9 +1,124 @@
 //! Error type shared by the model substrate.
 
+use crate::tensor::TensorShape;
 use std::fmt;
 
+/// Precisely which shape rule a layer's input violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeErrorKind {
+    /// A convolution received the wrong number of input channels.
+    ChannelMismatch {
+        /// Channels the layer expects.
+        expected: usize,
+        /// Channels actually received.
+        actual: usize,
+    },
+    /// Grouped convolution whose groups do not divide the channel counts.
+    InvalidGrouping {
+        /// The group count (zero is invalid outright).
+        groups: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+    },
+    /// A conv/pool window larger than its input plane.
+    WindowTooLarge {
+        /// Kernel size.
+        kernel: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+    },
+    /// A linear layer received the wrong flattened feature count.
+    FeatureMismatch {
+        /// Features the layer expects.
+        expected: usize,
+        /// Features actually received.
+        actual: usize,
+    },
+    /// A multi-input op (`Add`/`Concat`) received disagreeing shapes.
+    ShapeDisagreement {
+        /// The op name ("add" or "concat").
+        op: &'static str,
+        /// Shape of the first input.
+        first: TensorShape,
+        /// The disagreeing shape.
+        other: TensorShape,
+    },
+}
+
+impl fmt::Display for ShapeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeErrorKind::ChannelMismatch { expected, actual } => {
+                write!(f, "conv expects {expected} input channels, got {actual}")
+            }
+            ShapeErrorKind::InvalidGrouping {
+                groups,
+                in_c,
+                out_c,
+            } => {
+                write!(
+                    f,
+                    "groups={groups} must divide in_c={in_c} and out_c={out_c}"
+                )
+            }
+            ShapeErrorKind::WindowTooLarge { kernel, h, w } => {
+                write!(f, "window {kernel} larger than input {h}x{w}")
+            }
+            ShapeErrorKind::FeatureMismatch { expected, actual } => {
+                write!(f, "linear expects {expected} features, got {actual}")
+            }
+            ShapeErrorKind::ShapeDisagreement { op, first, other } => {
+                write!(f, "{op} inputs differ: {first} vs {other}")
+            }
+        }
+    }
+}
+
+/// Precisely why an exit cannot be attached where requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExitErrorKind {
+    /// The requested host node does not exist.
+    MissingNode,
+    /// The host is the final classifier (an exit there is redundant).
+    FinalClassifier,
+    /// The confidence threshold is outside `[0, 1)`.
+    ThresholdOutOfRange {
+        /// The offending threshold.
+        threshold: f64,
+    },
+    /// Two exits share the same host node.
+    DuplicateHost,
+    /// The host does not precede the partition cut.
+    HostAfterCut {
+        /// The cut position the host must precede.
+        cut: usize,
+    },
+}
+
+impl fmt::Display for ExitErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitErrorKind::MissingNode => write!(f, "node does not exist"),
+            ExitErrorKind::FinalClassifier => {
+                write!(f, "cannot attach an exit at the final classifier")
+            }
+            ExitErrorKind::ThresholdOutOfRange { threshold } => {
+                write!(f, "threshold {threshold} outside [0,1)")
+            }
+            ExitErrorKind::DuplicateHost => write!(f, "duplicate exit host"),
+            ExitErrorKind::HostAfterCut { cut } => {
+                write!(f, "exit host must precede the cut at {cut}")
+            }
+        }
+    }
+}
+
 /// Errors raised while building or analyzing model graphs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
     /// A node referenced an input id that does not exist (or is not earlier
     /// in topological order).
@@ -17,8 +132,8 @@ pub enum ModelError {
     ShapeMismatch {
         /// The offending node id.
         node: usize,
-        /// Human-readable description of the mismatch.
-        detail: String,
+        /// Which shape rule was violated.
+        kind: ShapeErrorKind,
     },
     /// A layer has the wrong number of inputs (e.g. `Add` with one input).
     ArityMismatch {
@@ -41,7 +156,7 @@ pub enum ModelError {
         /// The requested host node.
         node: usize,
         /// Why the exit cannot be attached there.
-        detail: String,
+        kind: ExitErrorKind,
     },
 }
 
@@ -51,8 +166,8 @@ impl fmt::Display for ModelError {
             ModelError::DanglingInput { node, input } => {
                 write!(f, "node {node} references dangling input {input}")
             }
-            ModelError::ShapeMismatch { node, detail } => {
-                write!(f, "shape mismatch at node {node}: {detail}")
+            ModelError::ShapeMismatch { node, kind } => {
+                write!(f, "shape mismatch at node {node}: {kind}")
             }
             ModelError::ArityMismatch {
                 node,
@@ -66,8 +181,8 @@ impl fmt::Display for ModelError {
             ModelError::InvalidCut { position } => {
                 write!(f, "position {position} is not a valid single-tensor cut")
             }
-            ModelError::InvalidExit { node, detail } => {
-                write!(f, "cannot attach exit at node {node}: {detail}")
+            ModelError::InvalidExit { node, kind } => {
+                write!(f, "cannot attach exit at node {node}: {kind}")
             }
         }
     }

@@ -7,7 +7,7 @@
 //! and never pays transmission or edge compute. This is the BranchyNet-style
 //! construction the paper family (LEIME et al.) builds on.
 
-use crate::error::ModelError;
+use crate::error::{ExitErrorKind, ModelError};
 use crate::graph::{ModelGraph, NodeId};
 use crate::tensor::TensorShape;
 use serde::{Deserialize, Serialize};
@@ -98,19 +98,19 @@ impl MultiExitModel {
             if node >= base.len() {
                 return Err(ModelError::InvalidExit {
                     node,
-                    detail: "node does not exist".into(),
+                    kind: ExitErrorKind::MissingNode,
                 });
             }
             if node + 1 == base.len() {
                 return Err(ModelError::InvalidExit {
                     node,
-                    detail: "cannot attach an exit at the final classifier".into(),
+                    kind: ExitErrorKind::FinalClassifier,
                 });
             }
             if !(0.0..1.0).contains(&threshold) {
                 return Err(ModelError::InvalidExit {
                     node,
-                    detail: format!("threshold {threshold} outside [0,1)"),
+                    kind: ExitErrorKind::ThresholdOutOfRange { threshold },
                 });
             }
             let feature = base.shape(node);
@@ -126,7 +126,7 @@ impl MultiExitModel {
             if w[0].node == w[1].node {
                 return Err(ModelError::InvalidExit {
                     node: w[0].node,
-                    detail: "duplicate exit host".into(),
+                    kind: ExitErrorKind::DuplicateHost,
                 });
             }
         }

@@ -136,7 +136,7 @@ impl ModelGraph {
 
     /// Output shape of the whole model.
     pub fn output_shape(&self) -> TensorShape {
-        *self.shapes.last().expect("graph is never empty")
+        self.shapes.last().copied().unwrap_or(self.input_shape)
     }
 
     /// FLOPs of node `id`.
@@ -156,7 +156,7 @@ impl ModelGraph {
 
     /// Total model FLOPs.
     pub fn total_flops(&self) -> u64 {
-        *self.prefix_flops.last().expect("graph is never empty")
+        self.prefix_flops.last().copied().unwrap_or(0)
     }
 
     /// Total parameter count.
@@ -166,7 +166,7 @@ impl ModelGraph {
 
     /// Total roofline memory traffic in bytes.
     pub fn total_mem_bytes(&self) -> u64 {
-        *self.prefix_mem.last().expect("graph is never empty")
+        self.prefix_mem.last().copied().unwrap_or(0)
     }
 
     /// FLOPs of the prefix `0..boundary`.

@@ -9,7 +9,7 @@
 //!   parameters, in the given datatype — used by
 //!   [`crate::profile::ProcessorSpec`] to decide compute- vs memory-bound.
 
-use crate::error::ModelError;
+use crate::error::{ModelError, ShapeErrorKind};
 use crate::tensor::{DType, TensorShape};
 use serde::{Deserialize, Serialize};
 
@@ -138,15 +138,20 @@ impl LayerKind {
                 if x.c != in_c {
                     return Err(ModelError::ShapeMismatch {
                         node,
-                        detail: format!("conv expects {in_c} input channels, got {}", x.c),
+                        kind: ShapeErrorKind::ChannelMismatch {
+                            expected: in_c,
+                            actual: x.c,
+                        },
                     });
                 }
                 if groups == 0 || in_c % groups != 0 || out_c % groups != 0 {
                     return Err(ModelError::ShapeMismatch {
                         node,
-                        detail: format!(
-                            "groups={groups} must divide in_c={in_c} and out_c={out_c}"
-                        ),
+                        kind: ShapeErrorKind::InvalidGrouping {
+                            groups,
+                            in_c,
+                            out_c,
+                        },
                     });
                 }
                 let h = TensorShape::conv_out(x.h, kernel, stride, padding);
@@ -154,7 +159,11 @@ impl LayerKind {
                 if h == 0 || w == 0 {
                     return Err(ModelError::ShapeMismatch {
                         node,
-                        detail: format!("conv window {kernel} larger than input {}x{}", x.h, x.w),
+                        kind: ShapeErrorKind::WindowTooLarge {
+                            kernel,
+                            h: x.h,
+                            w: x.w,
+                        },
                     });
                 }
                 Ok(TensorShape::chw(out_c, h, w))
@@ -164,7 +173,10 @@ impl LayerKind {
                 if x.elements() != in_f {
                     return Err(ModelError::ShapeMismatch {
                         node,
-                        detail: format!("linear expects {in_f} features, got {}", x.elements()),
+                        kind: ShapeErrorKind::FeatureMismatch {
+                            expected: in_f,
+                            actual: x.elements(),
+                        },
                     });
                 }
                 Ok(TensorShape::flat(out_f))
@@ -181,7 +193,11 @@ impl LayerKind {
                 if h == 0 || w == 0 {
                     return Err(ModelError::ShapeMismatch {
                         node,
-                        detail: format!("pool window {kernel} larger than input {}x{}", x.h, x.w),
+                        kind: ShapeErrorKind::WindowTooLarge {
+                            kernel,
+                            h: x.h,
+                            w: x.w,
+                        },
                     });
                 }
                 Ok(TensorShape::chw(x.c, h, w))
@@ -206,7 +222,11 @@ impl LayerKind {
                     if *x != first {
                         return Err(ModelError::ShapeMismatch {
                             node,
-                            detail: format!("add inputs differ: {first} vs {x}"),
+                            kind: ShapeErrorKind::ShapeDisagreement {
+                                op: "add",
+                                first,
+                                other: *x,
+                            },
                         });
                     }
                 }
@@ -226,7 +246,11 @@ impl LayerKind {
                     if x.h != first.h || x.w != first.w {
                         return Err(ModelError::ShapeMismatch {
                             node,
-                            detail: format!("concat spatial dims differ: {first} vs {x}"),
+                            kind: ShapeErrorKind::ShapeDisagreement {
+                                op: "concat",
+                                first,
+                                other: *x,
+                            },
                         });
                     }
                     c += x.c;

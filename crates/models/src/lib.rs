@@ -22,6 +22,7 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod difficulty;
 pub mod error;
@@ -34,7 +35,7 @@ pub mod tensor;
 pub mod zoo;
 
 pub use difficulty::{DifficultyModel, ExitBehavior};
-pub use error::ModelError;
+pub use error::{ExitErrorKind, ModelError, ShapeErrorKind};
 pub use exits::{ExitHead, ExitPoint, MultiExitModel};
 pub use graph::{CutPoint, GraphBuilder, ModelGraph, Node, NodeId, INPUT};
 pub use layer::{Activation, LayerKind, PoolKind};

@@ -206,7 +206,7 @@ impl LatencyModel {
 
     /// Predicted seconds for the whole model.
     pub fn total_seconds(&self) -> f64 {
-        *self.prefix_time.last().expect("graph is never empty")
+        self.prefix_time.last().copied().unwrap_or(0.0)
     }
 
     /// Predicted seconds for an arbitrary extra kernel (e.g. an exit head,

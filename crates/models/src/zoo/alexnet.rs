@@ -45,7 +45,7 @@ pub fn alexnet(classes: usize) -> ModelGraph {
     let f2 = g.chain("fc2", linear(4096, 4096), d2);
     let a2 = g.chain("relu7", relu(), f2);
     g.chain("fc3", linear(4096, classes), a2);
-    g.build().expect("alexnet is statically valid")
+    super::build_static(g, "alexnet")
 }
 
 #[cfg(test)]

@@ -95,7 +95,7 @@ pub fn googlenet(classes: usize) -> ModelGraph {
     let fl = g.chain("flatten", LayerKind::Flatten, gap);
     let dr = g.chain("drop", LayerKind::Dropout, fl);
     g.chain("fc", linear(1024, classes), dr);
-    g.build().expect("googlenet is statically valid")
+    super::build_static(g, "googlenet")
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@ pub fn lenet5(classes: usize) -> ModelGraph {
     let f2 = g.chain("fc2", linear(120, 84), a1);
     let a2 = g.chain("relu4", relu(), f2);
     g.chain("fc3", linear(84, classes), a2);
-    g.build().expect("lenet5 is statically valid")
+    super::build_static(g, "lenet5")
 }
 
 #[cfg(test)]

@@ -91,7 +91,7 @@ pub fn mobilenet_v2(classes: usize) -> ModelGraph {
     let fl = g.chain("flatten", LayerKind::Flatten, gap);
     let dr = g.chain("drop", LayerKind::Dropout, fl);
     g.chain("fc", linear(1280, classes), dr);
-    g.build().expect("mobilenet_v2 is statically valid")
+    super::build_static(g, "mobilenet_v2")
 }
 
 #[cfg(test)]

@@ -23,7 +23,18 @@ pub use resnet::{resnet101, resnet18, resnet34, resnet50};
 pub use squeezenet::squeezenet;
 pub use vgg::{vgg11, vgg16};
 
-use crate::graph::ModelGraph;
+use crate::graph::{GraphBuilder, ModelGraph};
+
+/// Finalize a zoo builder. Every zoo architecture is wired by static code
+/// with no external input, so a build failure is a bug in the builder
+/// itself — this centralizes the invariant (and the only panic the zoo is
+/// allowed) in one place.
+pub(crate) fn build_static(g: GraphBuilder, arch: &'static str) -> ModelGraph {
+    match g.build() {
+        Ok(model) => model,
+        Err(e) => panic!("{arch} backbone is statically valid: {e}"),
+    }
+}
 
 /// Names of every model in the zoo.
 pub const ALL_NAMES: &[&str] = &[

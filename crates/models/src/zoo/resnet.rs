@@ -117,7 +117,7 @@ fn resnet_basic(name: &str, blocks: [usize; 4], classes: usize) -> ModelGraph {
     let gap = g.chain("gap", LayerKind::GlobalAvgPool, tail);
     let fl = g.chain("flatten", LayerKind::Flatten, gap);
     g.chain("fc", linear(512, classes), fl);
-    g.build().expect("resnet is statically valid")
+    super::build_static(g, "resnet")
 }
 
 /// ResNet-18 on `3×224×224` — 11.69 M parameters, ~3.6 GFLOPs.
@@ -162,7 +162,7 @@ fn resnet_bottleneck(name: &str, blocks: [usize; 4], classes: usize) -> ModelGra
     let gap = g.chain("gap", LayerKind::GlobalAvgPool, tail);
     let fl = g.chain("flatten", LayerKind::Flatten, gap);
     g.chain("fc", linear(2048, classes), fl);
-    g.build().expect("bottleneck resnet is statically valid")
+    super::build_static(g, "bottleneck resnet")
 }
 
 #[cfg(test)]

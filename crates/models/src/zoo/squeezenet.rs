@@ -56,7 +56,7 @@ pub fn squeezenet(classes: usize) -> ModelGraph {
     let cr = g.chain("classifier.relu", relu(), cc);
     let gap = g.chain("gap", LayerKind::GlobalAvgPool, cr);
     g.chain("flatten", LayerKind::Flatten, gap);
-    g.build().expect("squeezenet is statically valid")
+    super::build_static(g, "squeezenet")
 }
 
 #[cfg(test)]

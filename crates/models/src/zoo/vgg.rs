@@ -37,7 +37,7 @@ fn vgg(name: &str, cfg: &[&[usize]], classes: usize) -> ModelGraph {
     let a2 = g.chain("fc2_relu", relu(), f2);
     let d2 = g.chain("drop2", LayerKind::Dropout, a2);
     g.chain("fc3", linear(4096, classes), d2);
-    g.build().expect("vgg is statically valid")
+    super::build_static(g, "vgg")
 }
 
 /// VGG-11 (configuration A) on `3×224×224`.

@@ -312,9 +312,10 @@ pub fn generate(
             }
         }
     }
-    let filtered = crate::pareto::pareto_filter(out, |c| c.profile.demand_vector());
-    debug_assert!(!filtered.is_empty(), "candidate menu must not be empty");
-    filtered
+    // The menu can legitimately come out empty (e.g. an accuracy floor no
+    // plan can clear); callers surface that as a typed validation error
+    // rather than asserting here.
+    crate::pareto::pareto_filter(out, |c| c.profile.demand_vector())
 }
 
 #[cfg(test)]

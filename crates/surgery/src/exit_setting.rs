@@ -78,7 +78,7 @@ struct Entry {
 
 /// Keep only Pareto-optimal `(cost ↓, acc ↑)` entries.
 fn pareto_prune(mut entries: Vec<Entry>) -> Vec<Entry> {
-    entries.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
+    entries.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     let mut out: Vec<Entry> = Vec::with_capacity(entries.len());
     let mut best_acc = f64::NEG_INFINITY;
     for e in entries {

@@ -14,7 +14,9 @@ use scalpel_models::{CutPoint, ModelGraph};
 /// would otherwise crowd the menu).
 pub fn candidate_cuts(model: &ModelGraph, max_cuts: usize) -> Vec<CutPoint> {
     let all = model.cut_points();
-    assert!(max_cuts >= 2, "need at least the two extreme cuts");
+    // The two extreme cuts (full offload, device-only) are mandatory, so a
+    // smaller request is clamped up rather than rejected.
+    let max_cuts = max_cuts.max(2);
     if all.len() <= max_cuts {
         return all;
     }

@@ -1,7 +1,7 @@
 //! The surgery plan: one stream's restructuring of its backbone.
 
 use crate::pruning::PruneLevel;
-use scalpel_models::{ModelError, ModelGraph, MultiExitModel, NodeId};
+use scalpel_models::{ExitErrorKind, ModelError, ModelGraph, MultiExitModel, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// A complete model-surgery decision for one stream.
@@ -66,13 +66,13 @@ impl SurgeryPlan {
             if host >= self.cut {
                 return Err(ModelError::InvalidExit {
                     node: host,
-                    detail: format!("exit host must precede the cut at {}", self.cut),
+                    kind: ExitErrorKind::HostAfterCut { cut: self.cut },
                 });
             }
             if !(0.0..1.0).contains(&threshold) {
                 return Err(ModelError::InvalidExit {
                     node: host,
-                    detail: format!("threshold {threshold} outside [0,1)"),
+                    kind: ExitErrorKind::ThresholdOutOfRange { threshold },
                 });
             }
         }
