@@ -12,8 +12,15 @@
 //! time, evaluations/second and the speedup. Results land in
 //! `BENCH_optimizer.json` (override with `--out`).
 //!
+//! The fleet-scale section benchmarks `solve_sharded` (partition →
+//! parallel shard solves → reconcile → polish) at N = 4096 / 10⁴ / 10⁵
+//! and measures the objective gap to the centralized solver at N = 512,
+//! asserting it stays ≤ 2% (DESIGN.md §2.12).
+//!
 //! `--smoke` runs the smallest size with a short search: a CI-friendly
-//! parity check with no timing assertions (timings are still recorded).
+//! parity check with no timing assertions (timings are still recorded),
+//! plus one sharded row (N = 4096) with determinism/trace-parity
+//! assertions and the N = 512 gap check.
 //! The full run (`cargo run --release -p scalpel-bench --bin perfbench`)
 //! regenerates the numbers quoted in EXPERIMENTS.md.
 
@@ -21,7 +28,11 @@ use scalpel_bench::table::Table;
 use scalpel_core::config::{ScenarioConfig, ServerMix};
 use scalpel_core::evaluator::Evaluator;
 use scalpel_core::optimizer::{self, Budget, EvalMode, OptimizerConfig, Solution};
+use scalpel_core::shard::{self, ShardConfig};
 use std::time::Instant;
+
+/// Asserted ceiling on the sharded-vs-centralized objective gap at N=512.
+const GAP_BOUND_PCT: f64 = 2.0;
 
 struct SizeReport {
     streams: usize,
@@ -141,7 +152,113 @@ fn evals_per_sec(evals: usize, ms: f64) -> f64 {
     evals as f64 / (ms / 1e3).max(1e-12)
 }
 
-fn write_json(path: &str, smoke: bool, rows: &[SizeReport]) {
+struct ShardRow {
+    streams: usize,
+    shards: usize,
+    wall_ms: f64,
+    evaluations: usize,
+    objective: f64,
+    remap_misses: usize,
+    reconcile_moves: usize,
+    converged: bool,
+}
+
+/// Sharded-solver configuration used by every fleet-scale row: default
+/// 2048-stream cap, one light descent+Gibbs pass per shard.
+fn fleet_cfg(smoke: bool) -> ShardConfig {
+    ShardConfig {
+        opt: OptimizerConfig {
+            rounds: 1,
+            gibbs_iters: if smoke { 10 } else { 30 },
+            ..Default::default()
+        },
+        ..ShardConfig::default()
+    }
+}
+
+fn bench_sharded(streams: usize, smoke: bool) -> ShardRow {
+    let problem = scenario(streams).build();
+    let cfg = fleet_cfg(smoke);
+    // The two smaller rows run to convergence (deterministic, asserted in
+    // smoke); the 10⁵ row runs under a 180 s wall budget — the anytime
+    // contract at fleet scale, with `converged` recorded honestly.
+    let budget = if streams >= 100_000 {
+        Budget::wall(std::time::Duration::from_secs(180))
+    } else {
+        Budget::UNLIMITED
+    };
+    eprintln!("  [sharded] N={streams}: solving…");
+    let t0 = Instant::now();
+    let out = shard::solve_sharded(&problem, &cfg, budget)
+        .unwrap_or_else(|e| panic!("N={streams}: sharded solve rejected: {e}"));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        out.outcome.solution.result.objective.is_finite(),
+        "N={streams}: sharded objective not finite"
+    );
+    if smoke {
+        // Determinism / trace parity: a second unbudgeted run must walk a
+        // bit-identical trace to a bit-identical incumbent.
+        let again = shard::solve_sharded(&problem, &cfg, Budget::UNLIMITED)
+            .unwrap_or_else(|e| panic!("N={streams}: sharded re-solve rejected: {e}"));
+        assert_parity(&out.outcome.solution, &again.outcome.solution, streams);
+    }
+    ShardRow {
+        streams: problem.streams.len(),
+        shards: out.plan.shards.len(),
+        wall_ms,
+        evaluations: out.outcome.spent.evaluations,
+        objective: out.outcome.solution.result.objective,
+        remap_misses: out.remap_misses,
+        reconcile_moves: out.reconcile.moves,
+        converged: out.outcome.converged,
+    }
+}
+
+struct GapReport {
+    streams: usize,
+    central: f64,
+    sharded: f64,
+    gap_pct: f64,
+}
+
+/// Objective gap to the centralized solver, measured where the
+/// centralized solve is still tractable (N = 512) with the shard cap
+/// forced low enough that bisection actually splits the fleet.
+fn measure_gap(smoke: bool) -> GapReport {
+    let streams = 512;
+    let problem = scenario(streams).build();
+    let ev = Evaluator::new(&problem, None);
+    let opt = OptimizerConfig {
+        rounds: if smoke { 1 } else { 2 },
+        gibbs_iters: if smoke { 30 } else { 100 },
+        ..Default::default()
+    };
+    let central = optimizer::solve(&ev, &opt);
+    let cfg = ShardConfig {
+        max_streams: 128,
+        opt: opt.clone(),
+        polish_gibbs: 100,
+        ..ShardConfig::default()
+    };
+    let out = shard::solve_sharded(&problem, &cfg, Budget::UNLIMITED)
+        .unwrap_or_else(|e| panic!("gap run rejected: {e}"));
+    assert!(out.plan.shards.len() > 1, "gap run must actually shard");
+    let sharded = out.outcome.solution.result.objective;
+    let gap_pct = (sharded - central.result.objective) / central.result.objective * 100.0;
+    assert!(
+        gap_pct <= GAP_BOUND_PCT,
+        "N={streams}: sharded gap {gap_pct:.3}% exceeds {GAP_BOUND_PCT}%"
+    );
+    GapReport {
+        streams,
+        central: central.result.objective,
+        sharded,
+        gap_pct,
+    }
+}
+
+fn write_json(path: &str, smoke: bool, rows: &[SizeReport], fleet: &[ShardRow], gap: &GapReport) {
     // Hand-formatted: the vendored serde stand-in has no derive codegen.
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"optimizer-incremental-eval\",\n");
@@ -175,7 +292,35 @@ fn write_json(path: &str, smoke: bool, rows: &[SizeReport]) {
             "    },\n"
         });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"sharded\": [\n");
+    for (i, r) in fleet.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"streams\": {},\n", r.streams));
+        out.push_str(&format!("      \"shards\": {},\n", r.shards));
+        out.push_str(&format!("      \"wall_ms\": {:.3},\n", r.wall_ms));
+        out.push_str(&format!("      \"evaluations\": {},\n", r.evaluations));
+        out.push_str(&format!("      \"objective\": {:.9},\n", r.objective));
+        out.push_str(&format!("      \"remap_misses\": {},\n", r.remap_misses));
+        out.push_str(&format!(
+            "      \"reconcile_moves\": {},\n",
+            r.reconcile_moves
+        ));
+        out.push_str(&format!("      \"converged\": {}\n", r.converged));
+        out.push_str(if i + 1 == fleet.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"gap_to_centralized\": {\n");
+    out.push_str(&format!("    \"streams\": {},\n", gap.streams));
+    out.push_str(&format!("    \"central_objective\": {:.9},\n", gap.central));
+    out.push_str(&format!("    \"sharded_objective\": {:.9},\n", gap.sharded));
+    out.push_str(&format!("    \"gap_pct\": {:.4},\n", gap.gap_pct));
+    out.push_str(&format!("    \"bound_pct\": {GAP_BOUND_PCT:.1}\n"));
+    out.push_str("  }\n}\n");
     std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
 }
 
@@ -221,6 +366,46 @@ fn main() {
         rows.push(r);
     }
     t.print();
-    write_json(&out_path, smoke, &rows);
+
+    let fleet_sizes: &[usize] = if smoke {
+        &[4096]
+    } else {
+        &[4096, 10_000, 100_000]
+    };
+    println!("\n== perfbench: fleet-scale sharded solve ==");
+    let mut ft = Table::new(vec![
+        "streams",
+        "shards",
+        "wall (ms)",
+        "evaluations",
+        "objective",
+        "remap miss",
+        "moves",
+        "converged",
+    ]);
+    let mut fleet = Vec::new();
+    for &n in fleet_sizes {
+        let r = bench_sharded(n, smoke);
+        ft.row(vec![
+            r.streams.to_string(),
+            r.shards.to_string(),
+            format!("{:.1}", r.wall_ms),
+            r.evaluations.to_string(),
+            format!("{:.4}", r.objective),
+            r.remap_misses.to_string(),
+            r.reconcile_moves.to_string(),
+            r.converged.to_string(),
+        ]);
+        fleet.push(r);
+    }
+    ft.print();
+
+    let gap = measure_gap(smoke);
+    println!(
+        "gap-to-centralized at N={}: {:+.4}% (central {:.6}, sharded {:.6}, bound {:.1}%)",
+        gap.streams, gap.gap_pct, gap.central, gap.sharded, GAP_BOUND_PCT
+    );
+
+    write_json(&out_path, smoke, &rows, &fleet, &gap);
     println!("wrote {out_path} (parity verified on all sizes)");
 }

@@ -476,6 +476,25 @@ impl<'a> EvalContext<'a> {
     /// context. Group members are visited in ascending stream order and
     /// the objective is re-summed over all streams, matching a rebuild.
     fn compute_patch(&self, mv: Move, s: &mut DeltaScratch) {
+        self.compute_patch_groups(mv, s);
+        // --- Pooled objective, resummed in stream order.
+        let (obj, misses) = self.sum_objective(|j| {
+            if s.lat_stamp[j] == s.gen {
+                Some(s.lat_val[j])
+            } else {
+                None
+            }
+        });
+        s.objective = obj;
+        s.misses = misses;
+    }
+
+    /// The group-local part of [`compute_patch`]: re-solve every dirty
+    /// device/server/AP group and re-price the touched streams into `s`,
+    /// *without* the O(n) pooled-objective resum. This is the cheap probe
+    /// the shard-reconciliation layer uses when it only needs the mover's
+    /// own patched latency, not the global objective.
+    fn compute_patch_groups(&self, mv: Move, s: &mut DeltaScratch) {
         let ev = self.ev;
         let n = ev.num_streams();
         s.begin(n);
@@ -736,16 +755,6 @@ impl<'a> EvalContext<'a> {
             s.de_val[j] = de;
             s.te_val[j] = te;
         }
-        // --- Pooled objective, resummed in stream order.
-        let (obj, misses) = self.sum_objective(|j| {
-            if s.lat_stamp[j] == s.gen {
-                Some(s.lat_val[j])
-            } else {
-                None
-            }
-        });
-        s.objective = obj;
-        s.misses = misses;
     }
 
     /// Objective if stream `k` switched to plan `new_plan_idx` — read-only
@@ -765,6 +774,37 @@ impl<'a> EvalContext<'a> {
     pub fn evaluate_move(&self, k: usize, new_server: usize, s: &mut DeltaScratch) -> f64 {
         self.compute_patch(Move::Server { k, srv: new_server }, s);
         s.objective
+    }
+
+    /// Stream `k`'s own normalized latency if it moved to `new_server`,
+    /// priced by group re-solves only — the O(n) pooled-objective resum is
+    /// skipped, so a probe costs O(|touched groups|) instead of O(n). This
+    /// is what makes fleet-scale best-response reconciliation affordable:
+    /// the mover's cost is exact (its latency is always re-priced when its
+    /// server group changes), only the *global* objective is left stale.
+    /// Device-only streams and no-op moves return the current cost.
+    pub fn probe_move_cost(&self, k: usize, new_server: usize, s: &mut DeltaScratch) -> f64 {
+        if !self.offloaded[k] || new_server == self.placement[k] {
+            return self.latency[k] / self.ev.deadline_s[k];
+        }
+        self.compute_patch_groups(Move::Server { k, srv: new_server }, s);
+        let lat = if s.lat_stamp[k] == s.gen {
+            s.lat_val[k]
+        } else {
+            self.latency[k]
+        };
+        lat / self.ev.deadline_s[k]
+    }
+
+    /// Stream `k`'s current normalized latency (own cost in the stream
+    /// game: latency over deadline).
+    pub fn own_cost(&self, k: usize) -> f64 {
+        self.latency[k] / self.ev.deadline_s[k]
+    }
+
+    /// Whether stream `k`'s current plan offloads (its placement matters).
+    pub fn is_offloaded(&self, k: usize) -> bool {
+        self.offloaded[k]
     }
 
     /// Score every plan in stream `k`'s menu against the current context.

@@ -18,7 +18,10 @@
 //! * [`baselines`] — DeviceOnly / EdgeOnly / Neurosurgeon / FixedExit /
 //!   SurgeryOnly / AllocOnly / Joint;
 //! * [`runner`] — executes solutions in the discrete-event simulator
-//!   (multi-seed, rayon-parallel).
+//!   (multi-seed, rayon-parallel);
+//! * [`shard`] — fleet-scale sharded solving: partition the topology into
+//!   AP/server shards, solve each in parallel, reconcile cross-shard
+//!   placements by best response, polish globally.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -35,6 +38,7 @@ pub mod online;
 pub mod optimizer;
 pub mod problem;
 pub mod runner;
+pub mod shard;
 pub mod validate;
 
 pub use baselines::{solve_with, Method};
@@ -47,7 +51,11 @@ pub use optimizer::{
 };
 pub use problem::{JointProblem, StreamSpec};
 pub use runner::{
-    run_solution, run_solution_seeds, run_solution_seeds_faulted, run_solution_seeds_recovered,
-    MethodOutcome,
+    run_sharded_seeds, run_solution, run_solution_seeds, run_solution_seeds_faulted,
+    run_solution_seeds_recovered, MethodOutcome,
+};
+pub use shard::{
+    partition, solve_sharded, Reachability, Shard, ShardConfig, ShardPlan, ShardSolve,
+    ShardedOutcome,
 };
 pub use validate::{validate_problem, ProblemError, RepairAction, RepairReport, ValidationPolicy};

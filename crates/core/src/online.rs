@@ -339,6 +339,54 @@ impl OnlineController {
         self.solution = adapted;
         report
     }
+
+    /// Warm-started *sharded* replan: the fleet-scale counterpart of
+    /// [`adapt_with_budget`](Self::adapt_with_budget). The previous
+    /// assignment is remapped onto the new evaluator, each shard runs
+    /// budgeted descent from its slice of the warm point in parallel, and
+    /// cross-shard placements are reconciled. The warm point itself joins
+    /// the incumbent race inside [`crate::shard::solve_sharded_with`], so
+    /// the adopted solution is never worse than the re-priced stale one.
+    /// Fails only if `shard_cfg` is inconsistent with `new_problem`.
+    pub fn adapt_sharded(
+        &mut self,
+        old_ev: &Evaluator,
+        new_problem: &JointProblem,
+        new_ev: &Evaluator,
+        shard_cfg: &crate::shard::ShardConfig,
+        budget: Budget,
+    ) -> Result<AdaptReport, crate::validate::ProblemError> {
+        let warm = remap_assignment(old_ev, new_ev, &self.solution.assignment);
+        let stale = new_ev.evaluate(&warm, self.cfg.policies);
+        let t0 = Instant::now();
+        let out =
+            crate::shard::solve_sharded_with(new_problem, new_ev, shard_cfg, budget, Some(&warm))?;
+        let resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let adapted = out.outcome.solution;
+        let plans_changed = warm
+            .plan_idx
+            .iter()
+            .zip(&adapted.assignment.plan_idx)
+            .filter(|(a, b)| a != b)
+            .count();
+        let placements_changed = warm
+            .placement
+            .iter()
+            .zip(&adapted.assignment.placement)
+            .filter(|(a, b)| a != b)
+            .count();
+        let report = AdaptReport {
+            stale_objective: stale.objective,
+            adapted_objective: adapted.result.objective,
+            evaluations: adapted.trace.evaluations,
+            resolve_ms,
+            converged: out.outcome.converged,
+            plans_changed,
+            placements_changed,
+        };
+        self.solution = adapted;
+        Ok(report)
+    }
 }
 
 #[cfg(test)]

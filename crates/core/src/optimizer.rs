@@ -550,6 +550,40 @@ pub fn gibbs_refine(ev: &Evaluator, cfg: &OptimizerConfig, start: Solution) -> S
     gibbs_impl(ev, cfg, start, &mut BudgetTracker::unlimited())
 }
 
+/// [`gibbs_refine`] under a budget, *relative* to the start: the chain may
+/// spend up to `budget.max_evals` evaluations and `budget.wall_time` on
+/// top of whatever `start.trace` already records, then materializes its
+/// best-visited assignment. `spent` counts only the refinement's own
+/// evaluations. With [`Budget::UNLIMITED`] this is bit-identical to
+/// [`gibbs_refine`] (the clock is never consulted).
+pub fn refine_from_with_budget(
+    ev: &Evaluator,
+    cfg: &OptimizerConfig,
+    start: Solution,
+    budget: Budget,
+) -> SolveOutcome {
+    let started = Instant::now();
+    let base_evals = start.trace.evaluations;
+    let mut tracker = if budget.is_unlimited() {
+        BudgetTracker::unlimited()
+    } else {
+        BudgetTracker::new(Budget {
+            wall_time: budget.wall_time,
+            max_evals: budget.max_evals.map(|m| m.saturating_add(base_evals)),
+        })
+    };
+    let solution = gibbs_impl(ev, cfg, start, &mut tracker);
+    let spent = BudgetSpent {
+        evaluations: solution.trace.evaluations.saturating_sub(base_evals),
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    SolveOutcome {
+        converged: !tracker.is_exhausted(),
+        solution,
+        spent,
+    }
+}
+
 /// Budget-aware Gibbs body; see [`descent_impl`] for the parity argument.
 /// The chain tracks its best-visited assignment separately, so a budget
 /// cut simply materializes the incumbent early.
@@ -664,6 +698,19 @@ pub fn solve_with_budget(ev: &Evaluator, cfg: &OptimizerConfig, budget: Budget) 
         solution,
         spent,
     }
+}
+
+/// Fleet-scale sharded solve: partition the problem into AP/server
+/// shards, solve each with the incremental optimizer in parallel under a
+/// slice of `budget`, then reconcile cross-shard placements and polish
+/// globally. Same anytime semantics as [`solve_with_budget`]; see
+/// [`crate::shard`] for the pipeline and its guarantees.
+pub fn solve_sharded(
+    problem: &crate::problem::JointProblem,
+    cfg: &crate::shard::ShardConfig,
+    budget: Budget,
+) -> Result<crate::shard::ShardedOutcome, crate::validate::ProblemError> {
+    crate::shard::solve_sharded(problem, cfg, budget)
 }
 
 /// Size of the full plan product space.

@@ -119,6 +119,25 @@ pub fn run_solution_seeds(
         .collect()
 }
 
+/// Solve a fleet with the sharded optimizer and execute the resulting
+/// solution in the simulator across `seeds` — the fleet-scale companion
+/// of "solve then [`run_solution_seeds`]". Returns the full
+/// [`ShardedOutcome`](crate::shard::ShardedOutcome) (partition, per-shard
+/// reports, reconciliation stats) alongside the simulator reports so the
+/// experiment harness can attribute measured latency to shard decisions.
+pub fn run_sharded_seeds(
+    problem: &JointProblem,
+    ev: &Evaluator,
+    shard_cfg: &crate::shard::ShardConfig,
+    budget: crate::optimizer::Budget,
+    base_sim: SimConfig,
+    seeds: &[u64],
+) -> Result<(crate::shard::ShardedOutcome, Vec<SimReport>), crate::validate::ProblemError> {
+    let out = crate::shard::solve_sharded_with(problem, ev, shard_cfg, budget, None)?;
+    let reports = run_solution_seeds(problem, ev, &out.outcome.solution, base_sim, seeds);
+    Ok((out, reports))
+}
+
 /// Run one solution over several seeds, all under the same fault plan —
 /// the resilience counterpart of [`run_solution_seeds`]. The plan is
 /// shared across seeds so every method and seed faces the identical

@@ -130,6 +130,39 @@ pub enum ProblemError {
         /// The offending stream.
         stream: usize,
     },
+    /// A shard configuration caps shards at zero streams.
+    ShardZeroCap,
+    /// A per-AP reachability table does not cover every AP.
+    ShardReachArity {
+        /// APs in the cluster.
+        expected_aps: usize,
+        /// Rows in the reachability table.
+        got: usize,
+    },
+    /// A reachability row names a server outside the cluster.
+    ShardReachUnknownServer {
+        /// The offending AP.
+        ap: usize,
+        /// The referenced server index.
+        server: usize,
+    },
+    /// A reachability row leaves an AP with no candidate servers, so its
+    /// streams could never offload anywhere.
+    ShardReachEmptyAp {
+        /// The offending AP.
+        ap: usize,
+    },
+    /// `ShardConfig::max_streams` is smaller than some AP's stream group.
+    /// APs are never split across shards (their devices share a bandwidth
+    /// group), so the cap must admit the largest AP group.
+    ShardCapBelowApGroup {
+        /// The offending AP.
+        ap: usize,
+        /// Streams on that AP.
+        streams: usize,
+        /// The configured cap.
+        max_streams: usize,
+    },
 }
 
 impl fmt::Display for ProblemError {
@@ -190,6 +223,35 @@ impl fmt::Display for ProblemError {
                 write!(
                     f,
                     "stream {stream}: no admissible surgery plan (empty exit menu)"
+                )
+            }
+            ProblemError::ShardZeroCap => {
+                write!(f, "shard config: max_streams must be positive")
+            }
+            ProblemError::ShardReachArity { expected_aps, got } => {
+                write!(
+                    f,
+                    "shard config: reachability table has {got} rows for {expected_aps} APs"
+                )
+            }
+            ProblemError::ShardReachUnknownServer { ap, server } => {
+                write!(f, "shard config: AP {ap} reaches unknown server {server}")
+            }
+            ProblemError::ShardReachEmptyAp { ap } => {
+                write!(
+                    f,
+                    "shard config: AP {ap} reaches no servers (its streams could never offload)"
+                )
+            }
+            ProblemError::ShardCapBelowApGroup {
+                ap,
+                streams,
+                max_streams,
+            } => {
+                write!(
+                    f,
+                    "shard config: AP {ap} carries {streams} streams but max_streams is \
+                     {max_streams}; APs are never split, so the cap must admit the largest AP group"
                 )
             }
         }
@@ -432,6 +494,48 @@ pub(crate) fn check_strict(p: &JointProblem) -> Result<(), ProblemError> {
                 stream: i,
                 floor: s.accuracy_floor,
             });
+        }
+    }
+    Ok(())
+}
+
+/// Validate a [`ShardConfig`](crate::shard::ShardConfig) against a
+/// problem: the cap must be positive and admit the largest AP stream
+/// group (APs are never split across shards), and a per-AP reachability
+/// table must cover every AP, name only real servers, and leave no AP
+/// with an empty candidate set.
+pub fn validate_shard_config(
+    p: &JointProblem,
+    cfg: &crate::shard::ShardConfig,
+) -> Result<(), ProblemError> {
+    if cfg.max_streams == 0 {
+        return Err(ProblemError::ShardZeroCap);
+    }
+    for (ap, members) in p.streams_by_ap().iter().enumerate() {
+        if members.len() > cfg.max_streams {
+            return Err(ProblemError::ShardCapBelowApGroup {
+                ap,
+                streams: members.len(),
+                max_streams: cfg.max_streams,
+            });
+        }
+    }
+    if let crate::shard::Reachability::PerAp(lists) = &cfg.reach {
+        if lists.len() != p.cluster.aps.len() {
+            return Err(ProblemError::ShardReachArity {
+                expected_aps: p.cluster.aps.len(),
+                got: lists.len(),
+            });
+        }
+        for (ap, servers) in lists.iter().enumerate() {
+            if servers.is_empty() {
+                return Err(ProblemError::ShardReachEmptyAp { ap });
+            }
+            for &srv in servers {
+                if srv >= p.cluster.servers.len() {
+                    return Err(ProblemError::ShardReachUnknownServer { ap, server: srv });
+                }
+            }
         }
     }
     Ok(())

@@ -20,6 +20,7 @@ use scalpel::core::evaluator::Evaluator;
 use scalpel::core::optimizer::{self, Budget, EvalMode, OptimizerConfig, SolveOutcome};
 use scalpel::core::problem::{JointProblem, StreamSpec};
 use scalpel::core::runner;
+use scalpel::core::shard::{self, ShardConfig};
 use scalpel::core::validate::{validate_problem, ProblemError, ValidationPolicy};
 use scalpel::models::{zoo, DifficultyModel, ProcessorClass};
 use scalpel::sim::{ApSpec, ArrivalProcess, Cluster, DeviceSpec, ServerSpec, SimConfig};
@@ -205,6 +206,64 @@ fn drive(chaos: &ChaosProblem, mode: EvalMode) -> bool {
     true
 }
 
+/// The same validate → repair → price pipeline, driven through the
+/// sharded solver: typed rejection or a finite, invariant-preserving,
+/// budget-respecting solution — never a panic.
+fn drive_sharded(chaos: &ChaosProblem) -> bool {
+    let raw = chaos.build();
+    let Ok((repaired, _)) = validate_problem(&raw, &ValidationPolicy::repair()) else {
+        return false;
+    };
+    let ev = match Evaluator::try_new(&repaired, None) {
+        Ok(ev) => ev,
+        Err(ProblemError::EmptyExitMenu { .. }) => return false,
+        Err(e) => panic!("repaired instance re-rejected: {e}"),
+    };
+    // The cap must admit the largest AP stream group of the *repaired*
+    // problem; anything smaller is a config error, not a chaos finding.
+    let largest_group = repaired
+        .streams_by_ap()
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let cfg = ShardConfig {
+        max_streams: largest_group,
+        opt: OptimizerConfig {
+            rounds: 2,
+            gibbs_iters: 10,
+            ..OptimizerConfig::default()
+        },
+        ..ShardConfig::default()
+    };
+    let cap = 60;
+    let outcome = match shard::solve_sharded_with(&repaired, &ev, &cfg, Budget::evals(cap), None) {
+        Ok(o) => o,
+        Err(e) => {
+            // A typed rejection must render; it is an acceptable outcome.
+            assert!(!e.to_string().is_empty());
+            return false;
+        }
+    };
+    check_invariants(&repaired, &ev, &outcome.outcome);
+    // Evaluation-budget adherence on the sharded path: every shard slice
+    // may overshoot by one menu scan (the descent contract), the
+    // reconcile pass by one probe, the polish by one more scan.
+    let max_menu = (0..ev.num_streams())
+        .map(|k| ev.menu(k).len())
+        .max()
+        .unwrap_or(0);
+    let shards = outcome.plan.shards.len();
+    let slack = (shards + 1) * (max_menu + 1) + 2;
+    assert!(
+        outcome.outcome.spent.evaluations <= cap + slack,
+        "sharded evaluation budget overshoot: {} vs {cap} + {slack}",
+        outcome.outcome.spent.evaluations
+    );
+    true
+}
+
 /// Full chaos volume (1000+ instances per engine) runs in release — the
 /// CI chaos job builds `--release`; debug tier-1 runs a 100-case smoke of
 /// the same generator so the harness still exercises on every `cargo test`.
@@ -224,6 +283,14 @@ proptest! {
     #[test]
     fn chaos_incremental_engine_never_panics(chaos in chaos_strategy()) {
         drive(&chaos, EvalMode::Incremental);
+    }
+
+    /// The same adversarial regime through the sharded solver: partition,
+    /// parallel shard solves, reconciliation and polish all survive every
+    /// corruption the repair pass lets through.
+    #[test]
+    fn chaos_sharded_solver_never_panics(chaos in chaos_strategy()) {
+        drive_sharded(&chaos);
     }
 }
 
@@ -278,6 +345,37 @@ fn chaos_wall_budget_adherence() {
     if !outcome.converged {
         assert!(outcome.spent.evaluations <= unlimited.spent.evaluations);
     }
+}
+
+/// Wall-clock budget adherence on the sharded path: shard slices are cut
+/// to 80% of the wall proportionally and additionally capped by the time
+/// remaining at task start, so the whole pipeline (shard solves →
+/// reconcile → polish) lands within 10% of the requested budget.
+#[test]
+fn chaos_sharded_wall_budget_adherence() {
+    let problem = ScenarioConfig::default().build();
+    let ev = Evaluator::new(&problem, None);
+    let cfg = ShardConfig {
+        // Force several shards so slicing (not a single inherited budget)
+        // is what gets exercised.
+        max_streams: 10,
+        ..ShardConfig::default()
+    };
+    let wall = std::time::Duration::from_millis(300);
+    let outcome = shard::solve_sharded_with(&problem, &ev, &cfg, Budget::wall(wall), None)
+        .expect("default scenario is valid");
+    assert!(
+        outcome.outcome.spent.wall_s <= wall.as_secs_f64() * 1.10,
+        "sharded wall budget overshoot: spent {:.4}s against {:.3}s",
+        outcome.outcome.spent.wall_s,
+        wall.as_secs_f64()
+    );
+    assert!(outcome.outcome.solution.result.objective.is_finite());
+    assert_eq!(
+        outcome.plan.shards.len(),
+        4,
+        "cap of 10 splits 40 streams into 4"
+    );
 }
 
 /// An evaluation budget large enough to cover the whole search changes

@@ -1,0 +1,290 @@
+//! Structural invariants of the sharded optimizer (DESIGN.md §2.12).
+//!
+//! Partition soundness (coverage, disjointness, cap), bounded
+//! reconciliation, bitwise determinism, and rayon thread-count
+//! invariance of the reconciled result.
+
+use proptest::prelude::*;
+use scalpel::core::config::{ScenarioConfig, ServerMix};
+use scalpel::core::evaluator::Evaluator;
+use scalpel::core::online::OnlineController;
+use scalpel::core::optimizer::{Budget, OptimizerConfig};
+use scalpel::core::runner;
+use scalpel::core::shard::{self, Reachability, ShardConfig};
+use scalpel::core::validate;
+
+fn quick_opt() -> OptimizerConfig {
+    OptimizerConfig {
+        rounds: 2,
+        gibbs_iters: 20,
+        ..OptimizerConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every stream lands in exactly one shard, the union covers the
+    /// problem, and (with servers >= APs, which the generator guarantees)
+    /// no shard exceeds `max_streams`.
+    #[test]
+    fn partition_is_sound(
+        num_aps in 2usize..7,
+        devices_per_ap in 1usize..6,
+        extra_servers in 0usize..5,
+        cap_slack in 0usize..12,
+    ) {
+        let problem = ScenarioConfig {
+            num_aps,
+            devices_per_ap,
+            arrival_rate_hz: 4.0,
+            servers: ServerMix::Synthetic {
+                count: num_aps + extra_servers,
+                mean_fps: 60.0,
+                cv: 0.25,
+            },
+            ..ScenarioConfig::default()
+        }
+        .build();
+        // The cap must admit the largest AP group; anything above that is
+        // a legal knob (bisection keeps servers >= APs per side, so the
+        // cap binds strictly here).
+        let cfg = ShardConfig {
+            max_streams: devices_per_ap + cap_slack,
+            opt: quick_opt(),
+            ..ShardConfig::default()
+        };
+        let plan = shard::partition(&problem, &cfg).expect("generator keeps config valid");
+
+        let n = problem.streams.len();
+        let mut stream_owner = vec![0usize; n];
+        let mut ap_owner = vec![0usize; problem.cluster.aps.len()];
+        let mut server_owner = vec![0usize; problem.cluster.servers.len()];
+        for s in &plan.shards {
+            prop_assert!(
+                s.streams.len() <= cfg.max_streams,
+                "shard with {} streams exceeds cap {}",
+                s.streams.len(),
+                cfg.max_streams
+            );
+            prop_assert!(s.streams.windows(2).all(|w| w[0] < w[1]), "streams not ascending");
+            prop_assert!(s.aps.windows(2).all(|w| w[0] < w[1]), "aps not ascending");
+            prop_assert!(s.servers.windows(2).all(|w| w[0] < w[1]), "servers not ascending");
+            for &k in &s.streams {
+                stream_owner[k] += 1;
+            }
+            for &a in &s.aps {
+                ap_owner[a] += 1;
+            }
+            for &j in &s.servers {
+                server_owner[j] += 1;
+            }
+        }
+        prop_assert!(
+            stream_owner.iter().all(|&c| c == 1),
+            "stream coverage broken: {:?}",
+            stream_owner
+        );
+        prop_assert!(ap_owner.iter().all(|&c| c == 1), "AP coverage broken");
+        prop_assert!(server_owner.iter().all(|&c| c <= 1), "server claimed twice");
+    }
+
+    /// Reconciliation terminates within its round cap, and the full
+    /// sharded solve is bitwise deterministic under an unlimited budget.
+    #[test]
+    fn reconcile_bounded_and_solve_deterministic(
+        num_aps in 2usize..5,
+        devices_per_ap in 2usize..4,
+        rate in 2.0f64..6.0,
+    ) {
+        let problem = ScenarioConfig {
+            num_aps,
+            devices_per_ap,
+            arrival_rate_hz: rate,
+            ..ScenarioConfig::default()
+        }
+        .build();
+        let cfg = ShardConfig {
+            max_streams: devices_per_ap, // force multiple shards
+            opt: quick_opt(),
+            ..ShardConfig::default()
+        };
+        let a = shard::solve_sharded(&problem, &cfg, Budget::UNLIMITED).expect("valid");
+        prop_assert!(
+            a.reconcile.rounds <= cfg.reconcile.max_rounds,
+            "reconciliation ran {} rounds, cap {}",
+            a.reconcile.rounds,
+            cfg.reconcile.max_rounds
+        );
+        prop_assert!(!a.reconcile.cut, "unlimited budget must never cut the pass");
+        prop_assert!(a.outcome.converged, "unlimited budget must converge");
+        prop_assert!(a.outcome.solution.result.objective.is_finite());
+
+        let b = shard::solve_sharded(&problem, &cfg, Budget::UNLIMITED).expect("valid");
+        prop_assert_eq!(
+            a.outcome.solution.result.objective.to_bits(),
+            b.outcome.solution.result.objective.to_bits(),
+            "objective not bitwise deterministic"
+        );
+        prop_assert_eq!(&a.outcome.solution.assignment, &b.outcome.solution.assignment);
+        prop_assert_eq!(a.outcome.spent.evaluations, b.outcome.spent.evaluations);
+        prop_assert_eq!(a.reconcile.moves, b.reconcile.moves);
+        prop_assert_eq!(a.remap_misses, b.remap_misses);
+    }
+}
+
+/// The reconciled result is invariant to the rayon thread count: shard
+/// tasks are independent and stitched in shard order, so 1, 2, and 8
+/// workers must produce bit-identical outcomes.
+#[test]
+fn thread_count_sweep_is_invariant() {
+    let problem = ScenarioConfig {
+        num_aps: 4,
+        devices_per_ap: 3,
+        arrival_rate_hz: 4.0,
+        ..ScenarioConfig::default()
+    }
+    .build();
+    let cfg = ShardConfig {
+        max_streams: 3,
+        opt: quick_opt(),
+        ..ShardConfig::default()
+    };
+    let baseline = shard::solve_sharded(&problem, &cfg, Budget::UNLIMITED).expect("valid");
+    assert!(baseline.plan.shards.len() > 1, "sweep needs real sharding");
+    for threads in [1usize, 2, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        let out = pool
+            .install(|| shard::solve_sharded(&problem, &cfg, Budget::UNLIMITED))
+            .expect("valid");
+        assert_eq!(
+            out.outcome.solution.result.objective.to_bits(),
+            baseline.outcome.solution.result.objective.to_bits(),
+            "objective differs at {threads} threads"
+        );
+        assert_eq!(
+            out.outcome.solution.assignment, baseline.outcome.solution.assignment,
+            "assignment differs at {threads} threads"
+        );
+        assert_eq!(
+            out.outcome.spent.evaluations, baseline.outcome.spent.evaluations,
+            "evaluation count differs at {threads} threads"
+        );
+    }
+}
+
+/// The two runtime entry points that wrap `solve_sharded` — the batch
+/// runner and the online controller — produce the same reconciled
+/// solution as the module entry and hand back usable follow-on results
+/// (simulator reports, an adaptation report that never regresses past
+/// the re-priced stale plan).
+#[test]
+fn runner_and_controller_wrappers_agree_with_module_entry() {
+    let scenario = ScenarioConfig {
+        num_aps: 4,
+        devices_per_ap: 3,
+        arrival_rate_hz: 4.0,
+        ..ScenarioConfig::default()
+    };
+    let problem = scenario.build();
+    let ev = Evaluator::new(&problem, None);
+    let cfg = ShardConfig {
+        max_streams: 3,
+        opt: quick_opt(),
+        ..ShardConfig::default()
+    };
+
+    // Batch runner: sharded solve + one simulation per seed.
+    let (out, reports) = runner::run_sharded_seeds(
+        &problem,
+        &ev,
+        &cfg,
+        Budget::UNLIMITED,
+        scenario.sim.clone(),
+        &[1, 2],
+    )
+    .expect("valid scenario");
+    assert_eq!(reports.len(), 2, "one simulator report per seed");
+    let direct = shard::solve_sharded(&problem, &cfg, Budget::UNLIMITED).expect("valid");
+    assert_eq!(
+        out.outcome.solution.result.objective.to_bits(),
+        direct.outcome.solution.result.objective.to_bits(),
+        "runner wrapper must match the module entry bit-for-bit"
+    );
+    assert_eq!(
+        out.outcome.solution.assignment,
+        direct.outcome.solution.assignment
+    );
+
+    // Online controller: warm-started sharded re-solve after a load change.
+    let shifted = ScenarioConfig {
+        arrival_rate_hz: 6.0,
+        ..scenario.clone()
+    }
+    .build();
+    let shifted_ev = Evaluator::new(&shifted, None);
+    let mut ctl = OnlineController::bootstrap(&ev, quick_opt());
+    let report = ctl
+        .adapt_sharded(&ev, &shifted, &shifted_ev, &cfg, Budget::UNLIMITED)
+        .expect("valid scenario");
+    assert!(report.adapted_objective.is_finite());
+    assert!(
+        report.adapted_objective <= report.stale_objective + 1e-12,
+        "warm incumbent is in the race, so adaptation can never lose to it: {} > {}",
+        report.adapted_objective,
+        report.stale_objective
+    );
+}
+
+/// Ingest validation rejects shard configs the partitioner cannot honor.
+#[test]
+fn shard_config_validation_rejects_bad_inputs() {
+    let problem = ScenarioConfig {
+        num_aps: 2,
+        devices_per_ap: 4,
+        arrival_rate_hz: 4.0,
+        ..ScenarioConfig::default()
+    }
+    .build();
+
+    // Cap of zero.
+    let zero = ShardConfig {
+        max_streams: 0,
+        ..ShardConfig::default()
+    };
+    assert!(validate::validate_shard_config(&problem, &zero).is_err());
+
+    // Cap below the largest AP stream group (4 per AP here).
+    let tight = ShardConfig {
+        max_streams: 3,
+        ..ShardConfig::default()
+    };
+    assert!(validate::validate_shard_config(&problem, &tight).is_err());
+
+    // Reachability table with the wrong arity.
+    let arity = ShardConfig {
+        reach: Reachability::PerAp(vec![vec![0]]),
+        ..ShardConfig::default()
+    };
+    assert!(validate::validate_shard_config(&problem, &arity).is_err());
+
+    // Reachability row naming an unknown server.
+    let unknown = ShardConfig {
+        reach: Reachability::PerAp(vec![vec![0], vec![99]]),
+        ..ShardConfig::default()
+    };
+    assert!(validate::validate_shard_config(&problem, &unknown).is_err());
+
+    // An empty reachability row (an AP with nowhere to offload).
+    let empty = ShardConfig {
+        reach: Reachability::PerAp(vec![vec![0], vec![]]),
+        ..ShardConfig::default()
+    };
+    assert!(validate::validate_shard_config(&problem, &empty).is_err());
+
+    // And solve_sharded surfaces the same rejection instead of panicking.
+    assert!(shard::solve_sharded(&problem, &zero, Budget::UNLIMITED).is_err());
+}

@@ -37,6 +37,69 @@ pub mod prelude {
     }
 }
 
+/// Sequential stand-in for rayon's thread-pool builder. The thread count
+/// is accepted (so call sites and tests can sweep it) but execution stays
+/// sequential — which makes "result is thread-count-invariant" trivially
+/// true here and a real assertion once the path dependency switches back
+/// to upstream rayon.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type mirrored from upstream; the sequential builder never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `num_threads` workers (recorded; execution is sequential).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool. Never fails in the sequential stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Sequential stand-in for `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool (directly, on the current thread).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The requested worker count (0 = automatic), for diagnostics.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -48,5 +111,20 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6]);
         let s: &[i32] = &v;
         assert_eq!(s.par_iter().sum::<i32>(), 6);
+    }
+
+    #[test]
+    fn thread_pool_installs_and_reports_threads() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 8);
+        let v = vec![1, 2, 3];
+        let sum: i32 = pool.install(|| v.par_iter().sum());
+        assert_eq!(sum, 6);
+        // Automatic thread count still reports at least one worker.
+        let auto = super::ThreadPoolBuilder::new().build().unwrap();
+        assert!(auto.current_num_threads() >= 1);
     }
 }
