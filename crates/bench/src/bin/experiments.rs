@@ -12,7 +12,7 @@
 use scalpel_bench::experiments;
 
 fn usage() -> ! {
-    eprintln!("usage: experiments <t1|t2|t3|f4..f17|a1|all> [--quick]");
+    eprintln!("usage: experiments <t1|t2|t3|f4..f18|a1|all> [--quick]");
     std::process::exit(2);
 }
 
@@ -45,6 +45,7 @@ fn main() {
         "f15" => experiments::f15_dynamics::run(quick),
         "f16" => experiments::f16_faults::run(quick),
         "f17" => experiments::f17_recovery::run(quick),
+        "f18" => experiments::f18_churn::run(quick),
         "a1" => experiments::a1_design_ablation::run(quick),
         "all" => experiments::run_all(quick),
         _ => usage(),

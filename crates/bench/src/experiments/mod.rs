@@ -13,6 +13,7 @@ pub mod f14_validation;
 pub mod f15_dynamics;
 pub mod f16_faults;
 pub mod f17_recovery;
+pub mod f18_churn;
 pub mod f4_scalability;
 pub mod f5_arrival;
 pub mod f6_bandwidth;
@@ -42,5 +43,6 @@ pub fn run_all(quick: bool) {
     f15_dynamics::run(quick);
     f16_faults::run(quick);
     f17_recovery::run(quick);
+    f18_churn::run(quick);
     a1_design_ablation::run(quick);
 }

@@ -21,7 +21,10 @@
 //!   (multi-seed, rayon-parallel);
 //! * [`shard`] — fleet-scale sharded solving: partition the topology into
 //!   AP/server shards, solve each in parallel, reconcile cross-shard
-//!   placements by best response, polish globally.
+//!   placements by best response, polish globally;
+//! * [`service`] — the long-lived planning service: churn-driven
+//!   replanning behind a switching-hysteresis governor, with
+//!   checkpoint/restore and a degraded-mode ladder.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -38,6 +41,7 @@ pub mod online;
 pub mod optimizer;
 pub mod problem;
 pub mod runner;
+pub mod service;
 pub mod shard;
 pub mod validate;
 
@@ -51,8 +55,12 @@ pub use optimizer::{
 };
 pub use problem::{JointProblem, StreamSpec};
 pub use runner::{
-    run_sharded_seeds, run_solution, run_solution_seeds, run_solution_seeds_faulted,
-    run_solution_seeds_recovered, MethodOutcome,
+    aggregate_sharded, run_sharded_seeds, run_solution, run_solution_seeds,
+    run_solution_seeds_faulted, run_solution_seeds_recovered, MethodOutcome,
+};
+pub use service::{
+    FleetState, GovernorConfig, GovernorDecision, PlanDelta, PlanningService, ServiceConfig,
+    ServiceStatus, SwitchGovernor, TickOutcome,
 };
 pub use shard::{
     partition, solve_sharded, Reachability, Shard, ShardConfig, ShardPlan, ShardSolve,

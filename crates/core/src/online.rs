@@ -34,6 +34,11 @@ pub struct AdaptReport {
     pub plans_changed: usize,
     /// Streams whose server changed.
     pub placements_changed: usize,
+    /// Streams whose previous plan had no structural match in the rebuilt
+    /// menu and warm-started from the [`closest_idx`] fallback instead.
+    /// Non-zero values mean the warm start was approximate — worth
+    /// surfacing as a warning, not silently absorbing.
+    pub remap_misses: usize,
 }
 
 /// Structural signature used to match plans across rebuilt menus.
@@ -74,9 +79,22 @@ pub fn closest_idx(menu: &[PlanPricing], old: &SurgeryPlan) -> usize {
 /// to full offload — the least-committed plan — rather than whatever
 /// happens to sit at index 0.
 pub fn remap_assignment(old_ev: &Evaluator, new_ev: &Evaluator, asg: &Assignment) -> Assignment {
+    remap_assignment_counted(old_ev, new_ev, asg).0
+}
+
+/// [`remap_assignment`] plus the number of streams that fell through to
+/// the [`closest_idx`] fallback (no exact or signature match in the new
+/// menu). The count feeds [`AdaptReport::remap_misses`] and the service
+/// status report so approximate warm starts are visible.
+pub fn remap_assignment_counted(
+    old_ev: &Evaluator,
+    new_ev: &Evaluator,
+    asg: &Assignment,
+) -> (Assignment, usize) {
     let n = new_ev.num_streams().min(old_ev.num_streams());
     let mut plan_idx = Vec::with_capacity(new_ev.num_streams());
     let mut placement = Vec::with_capacity(new_ev.num_streams());
+    let mut misses = 0usize;
     for k in 0..new_ev.num_streams() {
         if k < n {
             let old_plan = &old_ev.menu(k)[asg.plan_idx[k]].plan;
@@ -86,7 +104,10 @@ pub fn remap_assignment(old_ev: &Evaluator, new_ev: &Evaluator, asg: &Assignment
                 .iter()
                 .position(|p| p.plan == *old_plan)
                 .or_else(|| menu.iter().position(|p| signature(&p.plan) == sig))
-                .unwrap_or_else(|| closest_idx(menu, old_plan));
+                .unwrap_or_else(|| {
+                    misses += 1;
+                    closest_idx(menu, old_plan)
+                });
             plan_idx.push(idx);
             placement.push(asg.placement[k].min(new_ev.num_servers() - 1));
         } else {
@@ -94,10 +115,13 @@ pub fn remap_assignment(old_ev: &Evaluator, new_ev: &Evaluator, asg: &Assignment
             placement.push(k % new_ev.num_servers());
         }
     }
-    Assignment {
-        plan_idx,
-        placement,
-    }
+    (
+        Assignment {
+            plan_idx,
+            placement,
+        },
+        misses,
+    )
 }
 
 /// Steady-state view of a faulted environment: the problem with every
@@ -285,6 +309,22 @@ impl OnlineController {
         Self { solution, cfg }
     }
 
+    /// Rebuild a controller around an externally supplied assignment —
+    /// the restore path of a checkpointed service. The assignment is
+    /// re-priced on `ev`; no search runs, so this is exactly as cheap and
+    /// exactly as deterministic as one evaluation.
+    pub fn resume(ev: &Evaluator, cfg: OptimizerConfig, assignment: Assignment) -> Self {
+        let result = ev.evaluate(&assignment, cfg.policies);
+        Self {
+            solution: Solution {
+                assignment,
+                result,
+                trace: Default::default(),
+            },
+            cfg,
+        }
+    }
+
     /// Current solution.
     pub fn solution(&self) -> &Solution {
         &self.solution
@@ -306,7 +346,25 @@ impl OnlineController {
         new_ev: &Evaluator,
         budget: Budget,
     ) -> AdaptReport {
-        let warm = remap_assignment(old_ev, new_ev, &self.solution.assignment);
+        let proposal = self.propose_with_budget(old_ev, new_ev, budget);
+        let report = proposal.report.clone();
+        self.solution = proposal.solution;
+        report
+    }
+
+    /// Compute a warm-started replan *without adopting it*: the candidate
+    /// solution plus its report. This is the propose half of the
+    /// propose/adopt split used by the planning service — a policy layer
+    /// (e.g. [`crate::service::SwitchGovernor`]) can veto individual moves
+    /// in the candidate before [`adopt`](Self::adopt) commits anything.
+    pub fn propose_with_budget(
+        &self,
+        old_ev: &Evaluator,
+        new_ev: &Evaluator,
+        budget: Budget,
+    ) -> Proposal {
+        let (warm, remap_misses) =
+            remap_assignment_counted(old_ev, new_ev, &self.solution.assignment);
         let stale = new_ev.evaluate(&warm, self.cfg.policies);
         let t0 = Instant::now();
         let mut quick = self.cfg.clone();
@@ -335,9 +393,27 @@ impl OnlineController {
             converged,
             plans_changed,
             placements_changed,
+            remap_misses,
         };
-        self.solution = adapted;
-        report
+        Proposal {
+            solution: adapted,
+            report,
+            warm,
+            stale,
+        }
+    }
+
+    /// Adopt an externally chosen assignment (typically a governed blend
+    /// of the incumbent and a [`Proposal`]): re-price it on `new_ev` and
+    /// install it as the current solution.
+    pub fn adopt(&mut self, new_ev: &Evaluator, assignment: Assignment) -> &Solution {
+        let result = new_ev.evaluate(&assignment, self.cfg.policies);
+        self.solution = Solution {
+            assignment,
+            result,
+            trace: Default::default(),
+        };
+        &self.solution
     }
 
     /// Warm-started *sharded* replan: the fleet-scale counterpart of
@@ -356,7 +432,8 @@ impl OnlineController {
         shard_cfg: &crate::shard::ShardConfig,
         budget: Budget,
     ) -> Result<AdaptReport, crate::validate::ProblemError> {
-        let warm = remap_assignment(old_ev, new_ev, &self.solution.assignment);
+        let (warm, warm_misses) =
+            remap_assignment_counted(old_ev, new_ev, &self.solution.assignment);
         let stale = new_ev.evaluate(&warm, self.cfg.policies);
         let t0 = Instant::now();
         let out =
@@ -383,10 +460,27 @@ impl OnlineController {
             converged: out.outcome.converged,
             plans_changed,
             placements_changed,
+            remap_misses: warm_misses + out.remap_misses,
         };
         self.solution = adapted;
         Ok(report)
     }
+}
+
+/// The propose half of the controller's propose/adopt split: a candidate
+/// solution computed by warm-started descent, not yet adopted.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// The candidate solution (assignment + pricing + trace).
+    pub solution: Solution,
+    /// How the replan went, including [`AdaptReport::remap_misses`].
+    pub report: AdaptReport,
+    /// The incumbent remapped onto the new evaluator — the do-nothing
+    /// baseline a governor compares the candidate against.
+    pub warm: Assignment,
+    /// The warm point priced under the new conditions (per-stream
+    /// latencies drive switch-cost-aware acceptance).
+    pub stale: crate::evaluator::EvalResult,
 }
 
 #[cfg(test)]

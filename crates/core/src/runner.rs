@@ -72,6 +72,14 @@ pub struct MethodOutcome {
     /// latency, not accuracy.
     #[serde(default)]
     pub accuracy_cost: f64,
+    /// Warm-start remaps that fell back to the closest-cut heuristic
+    /// because no structural/signature match existed (see
+    /// [`remap_assignment`](crate::online::remap_assignment)). Zero for
+    /// cold solves; populated by [`aggregate_sharded`] so the warning
+    /// is carried into printed outcome rows instead of being silently
+    /// absorbed inside the reconciler.
+    #[serde(default)]
+    pub remap_misses: usize,
 }
 
 /// Run one solution once.
@@ -134,6 +142,13 @@ pub fn run_sharded_seeds(
     seeds: &[u64],
 ) -> Result<(crate::shard::ShardedOutcome, Vec<SimReport>), crate::validate::ProblemError> {
     let out = crate::shard::solve_sharded_with(problem, ev, shard_cfg, budget, None)?;
+    if out.remap_misses > 0 {
+        eprintln!(
+            "warning: sharded reconciliation remapped {} stream(s) via the closest-cut \
+             fallback (no structural or signature match in the target menu)",
+            out.remap_misses
+        );
+    }
     let reports = run_solution_seeds(problem, ev, &out.outcome.solution, base_sim, seeds);
     Ok((out, reports))
 }
@@ -253,7 +268,21 @@ pub fn aggregate(method: Method, sol: &Solution, reports: &[SimReport]) -> Metho
         shed,
         retry_timeouts,
         accuracy_cost,
+        remap_misses: 0,
     }
+}
+
+/// [`aggregate`] for sharded runs: the same pooled row, plus the
+/// reconciler's closest-cut fallback count so downstream tables can show
+/// the warning counter next to the measured numbers.
+pub fn aggregate_sharded(
+    method: Method,
+    out: &crate::shard::ShardedOutcome,
+    reports: &[SimReport],
+) -> MethodOutcome {
+    let mut row = aggregate(method, &out.outcome.solution, reports);
+    row.remap_misses = out.remap_misses;
+    row
 }
 
 #[cfg(test)]

@@ -1,0 +1,1295 @@
+//! The long-lived planning service: churn-driven replanning with
+//! switching hysteresis, checkpoint/restore, and a degraded-mode ladder.
+//!
+//! The batch CLI answers "what is the best joint plan *right now*"; this
+//! module keeps that answer fresh as the fleet churns. A
+//! [`PlanningService`] owns the incumbent solution and an event loop
+//! driven by two calls:
+//!
+//! * [`offer_batch`](PlanningService::offer_batch) — ingest a validated
+//!   batch of [`ChurnEvent`]s (device join/leave, link/capacity/load
+//!   drift). Batches are atomic: one bad event rejects the whole batch
+//!   and the fleet view stays consistent with the event log.
+//! * [`tick`](PlanningService::tick) — advance one debounce interval.
+//!   When enough events are pending, re-solve warm-started under the
+//!   configured budget and emit a [`PlanDelta`] (moves + plan changes),
+//!   never a whole plan.
+//!
+//! Three robustness pillars:
+//!
+//! 1. **[`SwitchGovernor`]** — naive per-event replanning thrashes
+//!    streams between servers. The governor keeps a rolling per-stream
+//!    latency window (rita-ens `exit_switcher` idiom: no switch until the
+//!    window is full), a per-stream minimum dwell time, and a
+//!    switch-cost-aware acceptance test: a stream moves only when the
+//!    windowed incumbent latency minus the candidate latency exceeds
+//!    `switch_cost_s + hysteresis_margin_s`. Switches per tick are capped,
+//!    best-improvement-first, so one replan has bounded blast radius.
+//!    Plan-index changes (new cut/exit on the same server) migrate no
+//!    state and are always free.
+//! 2. **Checkpoint/restore** — [`checkpoint_text`](PlanningService::checkpoint_text)
+//!    serializes the full planner state (incumbent assignment, fleet
+//!    factors, governor windows, ladder counters, event cursor) with every
+//!    `f64` as its exact bit pattern; [`restore`](PlanningService::restore)
+//!    rebuilds a service that, fed the tail of the same event log under an
+//!    evaluation-count budget, replays bit-identically to the run that
+//!    never crashed.
+//! 3. **Degraded-mode ladder** — when ingest validation rejects a batch
+//!    or the solve budget expires before convergence, the service stays
+//!    on the last good plan, reports itself degraded, and backs off
+//!    replan attempts exponentially (capped) instead of spinning.
+//!
+//! Determinism note: with [`Budget::evals`] (or unlimited) budgets every
+//! path in here is clock-free and bit-deterministic; wall-clock budgets
+//! trade that for latency bounds, which is the right default for a real
+//! daemon but not for replay tests.
+
+use crate::evaluator::{Assignment, EvalResult, Evaluator};
+use crate::online::{self, OnlineController, Proposal};
+use crate::optimizer::{Budget, OptimizerConfig, Solution};
+use crate::problem::JointProblem;
+use crate::shard::ShardConfig;
+use crate::validate::{validate_churn_batch, ProblemError};
+use scalpel_sim::churn::FACTOR_FLOOR;
+use scalpel_sim::{ArrivalProcess, ChurnEvent, ChurnKind, ChurnTrace};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Exact text encoding of an `f64` for checkpoints: IEEE-754 bits in hex.
+fn hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_hex(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bits {s:?}: {e}"))
+}
+
+/// The service's current multiplicative view of the fleet: every churn
+/// event folds into a per-resource factor over the *base* problem, so
+/// stream/AP/server indices stay stable across arbitrarily long runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetState {
+    /// Per-AP bandwidth factor in `[FACTOR_FLOOR, 1]`.
+    pub link_factor: Vec<f64>,
+    /// Per-server capacity factor in `[FACTOR_FLOOR, 1]`.
+    pub cap_factor: Vec<f64>,
+    /// Per-stream offered-load factor.
+    pub load_factor: Vec<f64>,
+    /// Per-device liveness. A down device's streams are not removed (that
+    /// would renumber everything); their load is floored to
+    /// [`FACTOR_FLOOR`] × the current load factor instead.
+    pub device_up: Vec<bool>,
+}
+
+impl FleetState {
+    /// The nominal (no-churn) view of `base`.
+    pub fn nominal(base: &JointProblem) -> Self {
+        Self {
+            link_factor: vec![1.0; base.cluster.aps.len()],
+            cap_factor: vec![1.0; base.cluster.servers.len()],
+            load_factor: vec![1.0; base.streams.len()],
+            device_up: vec![true; base.cluster.devices.len()],
+        }
+    }
+
+    /// Fold one (already validated) event into the view.
+    pub fn apply(&mut self, event: &ChurnEvent) {
+        match event.kind {
+            ChurnKind::DeviceDown { device } => self.device_up[device] = false,
+            ChurnKind::DeviceUp { device } => self.device_up[device] = true,
+            ChurnKind::LinkDrift { ap, factor } => self.link_factor[ap] = factor,
+            ChurnKind::CapacityDrift { server, factor } => self.cap_factor[server] = factor,
+            ChurnKind::LoadDrift { stream, factor } => self.load_factor[stream] = factor,
+        }
+    }
+
+    /// The effective problem under the current view: base scaled by the
+    /// per-resource factors. Pure and deterministic — the same view always
+    /// produces the bit-identical problem.
+    pub fn effective_problem(&self, base: &JointProblem) -> JointProblem {
+        let mut p = base.clone();
+        for (ap, f) in p.cluster.aps.iter_mut().zip(&self.link_factor) {
+            ap.bandwidth_hz *= f;
+        }
+        for (srv, f) in p.cluster.servers.iter_mut().zip(&self.cap_factor) {
+            srv.proc.flops_per_sec *= f;
+        }
+        for (k, s) in p.streams.iter_mut().enumerate() {
+            let mut f = self.load_factor[k];
+            if !self.device_up[s.device] {
+                f *= FACTOR_FLOOR;
+            }
+            s.arrivals = scale_arrivals(&s.arrivals, f);
+        }
+        p
+    }
+}
+
+/// Scale an arrival process's mean rate by `f > 0`, preserving its shape.
+fn scale_arrivals(a: &ArrivalProcess, f: f64) -> ArrivalProcess {
+    match a {
+        ArrivalProcess::Poisson { rate_hz } => ArrivalProcess::Poisson {
+            rate_hz: rate_hz * f,
+        },
+        ArrivalProcess::Periodic {
+            period_s,
+            jitter_frac,
+        } => ArrivalProcess::Periodic {
+            period_s: period_s / f,
+            jitter_frac: *jitter_frac,
+        },
+        ArrivalProcess::Mmpp2 {
+            rate_low,
+            rate_high,
+            switch_rate,
+        } => ArrivalProcess::Mmpp2 {
+            rate_low: rate_low * f,
+            rate_high: rate_high * f,
+            switch_rate: *switch_rate,
+        },
+        ArrivalProcess::Trace { gaps } => ArrivalProcess::Trace {
+            gaps: gaps.iter().map(|g| g / f).collect(),
+        },
+    }
+}
+
+/// Hysteresis parameters for the [`SwitchGovernor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GovernorConfig {
+    /// A stream that switched servers may not switch again for this long.
+    pub min_dwell_s: f64,
+    /// Priced cost of migrating one stream (connection re-establishment,
+    /// state transfer), seconds of latency-equivalent.
+    pub switch_cost_s: f64,
+    /// Extra margin the improvement must clear beyond the switch cost.
+    pub hysteresis_margin_s: f64,
+    /// Hard cap on server switches adopted in one tick (blast radius).
+    pub max_switches_per_tick: usize,
+    /// A stream's rolling latency window must hold this many samples
+    /// before it is allowed to switch at all (rita-ens warm-up idiom).
+    pub window: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self {
+            min_dwell_s: 10.0,
+            switch_cost_s: 0.010,
+            hysteresis_margin_s: 0.005,
+            max_switches_per_tick: 2,
+            window: 3,
+        }
+    }
+}
+
+/// What the governor did with one candidate plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GovernorDecision {
+    /// The governed assignment: candidate plans, incumbent placements
+    /// except for the accepted switches.
+    pub adopted: Assignment,
+    /// Streams whose server switch was accepted, ascending.
+    pub switched: Vec<usize>,
+    /// Proposed switches vetoed because the stream's window is not full.
+    pub rejected_window: usize,
+    /// Proposed switches vetoed by the minimum dwell time.
+    pub rejected_dwell: usize,
+    /// Proposed switches whose priced improvement did not clear the
+    /// switch cost plus hysteresis margin.
+    pub rejected_margin: usize,
+    /// Eligible switches dropped by the per-tick cap.
+    pub rejected_cap: usize,
+}
+
+/// Switching-hysteresis gate between the solver and the fleet.
+///
+/// Plan-index changes pass through untouched; a server switch for stream
+/// `k` is adopted only when (window full) ∧ (dwell elapsed) ∧ (windowed
+/// incumbent latency − candidate latency > switch_cost + margin), and at
+/// most `max_switches_per_tick` winners (largest priced improvement
+/// first, ties to the lowest stream index) land per tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchGovernor {
+    /// Hysteresis parameters.
+    pub cfg: GovernorConfig,
+    /// When each stream last switched servers (−∞ = never).
+    last_switch_s: Vec<f64>,
+    /// Rolling incumbent latencies per stream, newest last, len ≤ window.
+    windows: Vec<Vec<f64>>,
+}
+
+impl SwitchGovernor {
+    /// A governor for `num_streams` streams with empty windows.
+    pub fn new(cfg: GovernorConfig, num_streams: usize) -> Self {
+        Self {
+            cfg,
+            last_switch_s: vec![f64::NEG_INFINITY; num_streams],
+            windows: vec![Vec::new(); num_streams],
+        }
+    }
+
+    /// Record the incumbent's per-stream latencies under the current
+    /// conditions (one sample per replan tick).
+    pub fn observe(&mut self, incumbent: &EvalResult) {
+        for (w, &lat) in self.windows.iter_mut().zip(&incumbent.latency_s) {
+            if w.len() >= self.cfg.window.max(1) {
+                w.remove(0);
+            }
+            w.push(lat);
+        }
+    }
+
+    /// Gate a candidate against the incumbent (`warm`, already remapped
+    /// onto the same evaluator). Updates dwell clocks for accepted
+    /// switches.
+    pub fn govern(
+        &mut self,
+        now_s: f64,
+        warm: &Assignment,
+        candidate: &Assignment,
+        candidate_latency: &[f64],
+    ) -> GovernorDecision {
+        let mut adopted = Assignment {
+            plan_idx: candidate.plan_idx.clone(),
+            placement: warm.placement.clone(),
+        };
+        let mut eligible: Vec<(f64, usize)> = Vec::new();
+        let (mut rejected_window, mut rejected_dwell, mut rejected_margin) = (0, 0, 0);
+        for (k, &cand_lat) in candidate_latency
+            .iter()
+            .enumerate()
+            .take(warm.placement.len())
+        {
+            if candidate.placement[k] == warm.placement[k] {
+                continue;
+            }
+            let win = &self.windows[k];
+            if win.len() < self.cfg.window {
+                rejected_window += 1;
+                continue;
+            }
+            if now_s - self.last_switch_s[k] < self.cfg.min_dwell_s {
+                rejected_dwell += 1;
+                continue;
+            }
+            let windowed = win.iter().sum::<f64>() / win.len() as f64;
+            let improvement = windowed - cand_lat;
+            if improvement <= self.cfg.switch_cost_s + self.cfg.hysteresis_margin_s {
+                rejected_margin += 1;
+                continue;
+            }
+            eligible.push((improvement, k));
+        }
+        // Largest priced improvement first; deterministic tie-break on
+        // the stream index so equal improvements never reorder.
+        eligible.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let rejected_cap = eligible
+            .len()
+            .saturating_sub(self.cfg.max_switches_per_tick);
+        let mut switched: Vec<usize> = eligible
+            .iter()
+            .take(self.cfg.max_switches_per_tick)
+            .map(|&(_, k)| k)
+            .collect();
+        switched.sort_unstable();
+        for &k in &switched {
+            adopted.placement[k] = candidate.placement[k];
+            self.last_switch_s[k] = now_s;
+        }
+        GovernorDecision {
+            adopted,
+            switched,
+            rejected_window,
+            rejected_dwell,
+            rejected_margin,
+            rejected_cap,
+        }
+    }
+}
+
+/// One stream moving between servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamMove {
+    /// The stream that moved.
+    pub stream: usize,
+    /// Previous server.
+    pub from_server: usize,
+    /// New server.
+    pub to_server: usize,
+}
+
+/// One stream changing surgery plan (same server, new menu entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanChange {
+    /// The stream whose plan changed.
+    pub stream: usize,
+    /// Previous menu index.
+    pub from_plan: usize,
+    /// New menu index.
+    pub to_plan: usize,
+}
+
+/// What one replan tick changed — the service's output unit. Deltas are
+/// small under the governor (bounded moves per tick) where whole plans
+/// would be O(fleet) every tick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanDelta {
+    /// Tick that produced this delta.
+    pub tick: u64,
+    /// Service time at the tick, seconds.
+    pub now_s: f64,
+    /// Accepted server switches.
+    pub moves: Vec<StreamMove>,
+    /// Plan-index changes (free — no stream migration).
+    pub plan_changes: Vec<PlanChange>,
+    /// Objective of the incumbent re-priced under the new conditions.
+    pub objective_before: f64,
+    /// Objective of the governed plan actually adopted.
+    pub objective_after: f64,
+}
+
+impl PlanDelta {
+    /// `true` when the tick changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty() && self.plan_changes.is_empty()
+    }
+}
+
+/// Service parameters. `restore` requires the same base problem and the
+/// same config the checkpoint was taken under.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Solver configuration (seeded — keep fixed for deterministic runs).
+    pub optimizer: OptimizerConfig,
+    /// Hysteresis parameters.
+    pub governor: GovernorConfig,
+    /// Per-tick replan budget. Use [`Budget::evals`] for bit-determinism.
+    pub replan_budget: Budget,
+    /// Replan only once at least this many events are pending (≥ 1).
+    pub debounce_events: usize,
+    /// Tick period, seconds.
+    pub tick_s: f64,
+    /// Bypass the governor entirely (the thrash baseline for f18).
+    pub ungoverned: bool,
+    /// Solve via [`crate::shard::solve_sharded_with`] instead of global
+    /// descent — the fleet-scale path.
+    pub shard: Option<ShardConfig>,
+    /// Ceiling on the exponential backoff, ticks.
+    pub max_backoff_ticks: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            optimizer: OptimizerConfig::default(),
+            governor: GovernorConfig::default(),
+            replan_budget: Budget::UNLIMITED,
+            debounce_events: 1,
+            tick_s: 1.0,
+            ungoverned: false,
+            shard: None,
+            max_backoff_ticks: 64,
+        }
+    }
+}
+
+/// One row of the service's status report (also the status-log line
+/// format via [`to_line`](ServiceStatus::to_line)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStatus {
+    /// Ticks elapsed.
+    pub tick: u64,
+    /// Service time, seconds.
+    pub now_s: f64,
+    /// Whether the service is in degraded mode (stale plan in force).
+    pub degraded: bool,
+    /// Consecutive replan/ingest failures.
+    pub consecutive_failures: u32,
+    /// Backoff ticks remaining before the next replan attempt.
+    pub backoff_ticks_remaining: u32,
+    /// Churn events consumed (the event cursor).
+    pub events_consumed: usize,
+    /// Event batches rejected by ingest validation.
+    pub rejected_batches: u64,
+    /// Replans completed.
+    pub total_replans: u64,
+    /// Server switches adopted across all ticks.
+    pub total_switches: u64,
+    /// Plan-index changes adopted across all ticks.
+    pub total_plan_changes: u64,
+    /// Warm-start remap misses (closest-cut fallbacks) across all
+    /// replans. Non-zero is a warning: warm starts were approximate.
+    pub remap_misses: u64,
+    /// Objective of the incumbent plan.
+    pub last_objective: f64,
+    /// Expected deadline misses of the incumbent plan.
+    pub expected_misses: usize,
+}
+
+impl ServiceStatus {
+    /// One-line key=value rendering for status logs.
+    pub fn to_line(&self) -> String {
+        format!(
+            "tick={} now_s={:.3} degraded={} failures={} backoff={} events={} rejected={} \
+             replans={} switches={} plan_changes={} remap_misses={} objective={:.6} \
+             expected_misses={}",
+            self.tick,
+            self.now_s,
+            self.degraded,
+            self.consecutive_failures,
+            self.backoff_ticks_remaining,
+            self.events_consumed,
+            self.rejected_batches,
+            self.total_replans,
+            self.total_switches,
+            self.total_plan_changes,
+            self.remap_misses,
+            self.last_objective,
+            self.expected_misses,
+        )
+    }
+}
+
+/// What one [`tick`](PlanningService::tick) did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TickOutcome {
+    /// The tick number.
+    pub tick: u64,
+    /// Whether a replan ran to completion and was (governed-)adopted.
+    pub replanned: bool,
+    /// The emitted delta, when a replan adopted anything.
+    pub delta: Option<PlanDelta>,
+    /// Whether the service is degraded after this tick.
+    pub degraded: bool,
+}
+
+/// A malformed or inconsistent checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// 1-based line number (0 when structural).
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// The long-lived planning service. See the module docs for the loop.
+pub struct PlanningService {
+    base: JointProblem,
+    cfg: ServiceConfig,
+    fleet: FleetState,
+    controller: OnlineController,
+    evaluator: Evaluator,
+    governor: SwitchGovernor,
+    tick: u64,
+    now_s: f64,
+    cursor: usize,
+    cursor_s: f64,
+    dirty: usize,
+    consecutive_failures: u32,
+    backoff_ticks_remaining: u32,
+    degraded: bool,
+    rejected_batches: u64,
+    total_replans: u64,
+    total_switches: u64,
+    total_plan_changes: u64,
+    remap_misses: u64,
+}
+
+impl PlanningService {
+    /// Validate `base`, solve the nominal environment from scratch, and
+    /// start the loop at tick 0 with an empty event cursor.
+    pub fn new(base: JointProblem, cfg: ServiceConfig) -> Result<Self, ProblemError> {
+        let evaluator = Evaluator::try_new(&base, None)?;
+        if let Some(sc) = &cfg.shard {
+            crate::validate::validate_shard_config(&base, sc)?;
+        }
+        let controller = OnlineController::bootstrap(&evaluator, cfg.optimizer.clone());
+        let num_streams = base.streams.len();
+        let governor = SwitchGovernor::new(cfg.governor, num_streams);
+        let fleet = FleetState::nominal(&base);
+        Ok(Self {
+            base,
+            cfg,
+            fleet,
+            controller,
+            evaluator,
+            governor,
+            tick: 0,
+            now_s: 0.0,
+            cursor: 0,
+            cursor_s: 0.0,
+            dirty: 0,
+            consecutive_failures: 0,
+            backoff_ticks_remaining: 0,
+            degraded: false,
+            rejected_batches: 0,
+            total_replans: 0,
+            total_switches: 0,
+            total_plan_changes: 0,
+            remap_misses: 0,
+        })
+    }
+
+    /// The incumbent solution (last good plan).
+    pub fn solution(&self) -> &Solution {
+        self.controller.solution()
+    }
+
+    /// The incumbent assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.controller.solution().assignment
+    }
+
+    /// Events consumed so far (the replay cursor into the event log).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The current effective problem (base scaled by the fleet view).
+    pub fn effective_problem(&self) -> JointProblem {
+        self.fleet.effective_problem(&self.base)
+    }
+
+    /// The evaluator of the last-adopted environment — the menus the
+    /// incumbent assignment's plan indices refer to.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// The current status row.
+    pub fn status(&self) -> ServiceStatus {
+        let sol = self.controller.solution();
+        ServiceStatus {
+            tick: self.tick,
+            now_s: self.now_s,
+            degraded: self.degraded,
+            consecutive_failures: self.consecutive_failures,
+            backoff_ticks_remaining: self.backoff_ticks_remaining,
+            events_consumed: self.cursor,
+            rejected_batches: self.rejected_batches,
+            total_replans: self.total_replans,
+            total_switches: self.total_switches,
+            total_plan_changes: self.total_plan_changes,
+            remap_misses: self.remap_misses,
+            last_objective: sol.result.objective,
+            expected_misses: sol.result.expected_misses,
+        }
+    }
+
+    /// Ingest one atomic event batch. On success every event is folded
+    /// into the fleet view and the cursor advances past the batch; on
+    /// validation failure *nothing* is applied, the batch counts as
+    /// rejected, and the degraded ladder engages.
+    pub fn offer_batch(&mut self, events: &[ChurnEvent]) -> Result<usize, ProblemError> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        if let Err(e) = validate_churn_batch(&self.base, self.cursor_s, events) {
+            self.rejected_batches += 1;
+            self.fail();
+            return Err(e);
+        }
+        for ev in events {
+            self.fleet.apply(ev);
+            self.cursor_s = ev.at_s;
+        }
+        self.cursor += events.len();
+        self.dirty += events.len();
+        Ok(events.len())
+    }
+
+    /// Advance one tick. Replans only when at least `debounce_events`
+    /// events are pending and no backoff is in force; otherwise the tick
+    /// is idle (and consumes one backoff step, if any).
+    pub fn tick(&mut self) -> TickOutcome {
+        self.tick += 1;
+        // Multiplication, not accumulation: tick 1000's timestamp is the
+        // same bit pattern whether or not the service restarted at 500.
+        self.now_s = self.tick as f64 * self.cfg.tick_s;
+        let idle = |s: &Self| TickOutcome {
+            tick: s.tick,
+            replanned: false,
+            delta: None,
+            degraded: s.degraded,
+        };
+        if self.backoff_ticks_remaining > 0 {
+            self.backoff_ticks_remaining -= 1;
+            return idle(self);
+        }
+        if self.dirty < self.cfg.debounce_events.max(1) {
+            return idle(self);
+        }
+        let new_problem = self.fleet.effective_problem(&self.base);
+        let new_ev = match Evaluator::try_new(&new_problem, None) {
+            Ok(ev) => ev,
+            Err(_) => {
+                // Churn drove the effective problem out of the evaluable
+                // envelope; stay on the last good plan and back off.
+                self.fail();
+                return idle(self);
+            }
+        };
+        let proposal = match self.propose(&new_problem, &new_ev) {
+            Ok(p) => p,
+            Err(_) => {
+                self.fail();
+                return idle(self);
+            }
+        };
+        if !proposal.report.converged {
+            // Budget expired mid-solve: the partial result is discarded,
+            // the last good plan stays in force, and we back off.
+            self.fail();
+            return idle(self);
+        }
+        self.governor.observe(&proposal.stale);
+        let decision = if self.cfg.ungoverned {
+            let switched: Vec<usize> = proposal
+                .warm
+                .placement
+                .iter()
+                .zip(&proposal.solution.assignment.placement)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(k, _)| k)
+                .collect();
+            GovernorDecision {
+                adopted: proposal.solution.assignment.clone(),
+                switched,
+                rejected_window: 0,
+                rejected_dwell: 0,
+                rejected_margin: 0,
+                rejected_cap: 0,
+            }
+        } else {
+            self.governor.govern(
+                self.now_s,
+                &proposal.warm,
+                &proposal.solution.assignment,
+                &proposal.solution.result.latency_s,
+            )
+        };
+        let moves: Vec<StreamMove> = decision
+            .switched
+            .iter()
+            .map(|&k| StreamMove {
+                stream: k,
+                from_server: proposal.warm.placement[k],
+                to_server: decision.adopted.placement[k],
+            })
+            .collect();
+        let plan_changes: Vec<PlanChange> = proposal
+            .warm
+            .plan_idx
+            .iter()
+            .zip(&decision.adopted.plan_idx)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(k, (&a, &b))| PlanChange {
+                stream: k,
+                from_plan: a,
+                to_plan: b,
+            })
+            .collect();
+        let adopted = self.controller.adopt(&new_ev, decision.adopted);
+        let delta = PlanDelta {
+            tick: self.tick,
+            now_s: self.now_s,
+            objective_before: proposal.report.stale_objective,
+            objective_after: adopted.result.objective,
+            moves,
+            plan_changes,
+        };
+        self.evaluator = new_ev;
+        self.dirty = 0;
+        self.total_replans += 1;
+        self.total_switches += delta.moves.len() as u64;
+        self.total_plan_changes += delta.plan_changes.len() as u64;
+        self.remap_misses += proposal.report.remap_misses as u64;
+        self.succeed();
+        TickOutcome {
+            tick: self.tick,
+            replanned: true,
+            delta: Some(delta),
+            degraded: false,
+        }
+    }
+
+    /// Warm-started candidate under the configured budget: global descent
+    /// by default, sharded solve when [`ServiceConfig::shard`] is set.
+    fn propose(
+        &self,
+        new_problem: &JointProblem,
+        new_ev: &Evaluator,
+    ) -> Result<Proposal, ProblemError> {
+        match &self.cfg.shard {
+            None => Ok(self.controller.propose_with_budget(
+                &self.evaluator,
+                new_ev,
+                self.cfg.replan_budget,
+            )),
+            Some(sc) => {
+                let (warm, misses) = online::remap_assignment_counted(
+                    &self.evaluator,
+                    new_ev,
+                    &self.controller.solution().assignment,
+                );
+                let stale = new_ev.evaluate(&warm, self.cfg.optimizer.policies);
+                let out = crate::shard::solve_sharded_with(
+                    new_problem,
+                    new_ev,
+                    sc,
+                    self.cfg.replan_budget,
+                    Some(&warm),
+                )?;
+                let solution = out.outcome.solution;
+                let report = crate::online::AdaptReport {
+                    stale_objective: stale.objective,
+                    adapted_objective: solution.result.objective,
+                    evaluations: solution.trace.evaluations,
+                    resolve_ms: 0.0,
+                    converged: out.outcome.converged,
+                    plans_changed: 0,
+                    placements_changed: 0,
+                    remap_misses: misses + out.remap_misses,
+                };
+                Ok(Proposal {
+                    solution,
+                    report,
+                    warm,
+                    stale,
+                })
+            }
+        }
+    }
+
+    fn fail(&mut self) {
+        self.consecutive_failures += 1;
+        let exp = (self.consecutive_failures - 1).min(16);
+        self.backoff_ticks_remaining = (1u32 << exp).min(self.cfg.max_backoff_ticks.max(1));
+        self.degraded = true;
+    }
+
+    fn succeed(&mut self) {
+        self.consecutive_failures = 0;
+        self.backoff_ticks_remaining = 0;
+        self.degraded = false;
+    }
+
+    /// Serialize the full planner state. Every `f64` is written as its
+    /// exact bit pattern, so `restore` + tail replay is bit-identical to
+    /// the run that never stopped (under clock-free budgets).
+    pub fn checkpoint_text(&self) -> String {
+        let sol = self.controller.solution();
+        let mut s = String::with_capacity(1024);
+        s.push_str("scalpel-serve-checkpoint v1\n");
+        s.push_str(&format!("tick {}\n", self.tick));
+        s.push_str(&format!("now {}\n", hex(self.now_s)));
+        s.push_str(&format!("cursor {}\n", self.cursor));
+        s.push_str(&format!("cursor_s {}\n", hex(self.cursor_s)));
+        s.push_str(&format!("dirty {}\n", self.dirty));
+        s.push_str(&format!("failures {}\n", self.consecutive_failures));
+        s.push_str(&format!("backoff {}\n", self.backoff_ticks_remaining));
+        s.push_str(&format!("degraded {}\n", u8::from(self.degraded)));
+        s.push_str(&format!("rejected_batches {}\n", self.rejected_batches));
+        s.push_str(&format!("total_replans {}\n", self.total_replans));
+        s.push_str(&format!("total_switches {}\n", self.total_switches));
+        s.push_str(&format!("total_plan_changes {}\n", self.total_plan_changes));
+        s.push_str(&format!("remap_misses {}\n", self.remap_misses));
+        let join_us = |v: &[usize]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let join_f = |v: &[f64]| v.iter().map(|&x| hex(x)).collect::<Vec<_>>().join(" ");
+        s.push_str(&format!("plan {}\n", join_us(&sol.assignment.plan_idx)));
+        s.push_str(&format!("place {}\n", join_us(&sol.assignment.placement)));
+        s.push_str(&format!("link {}\n", join_f(&self.fleet.link_factor)));
+        s.push_str(&format!("cap {}\n", join_f(&self.fleet.cap_factor)));
+        s.push_str(&format!("load {}\n", join_f(&self.fleet.load_factor)));
+        s.push_str(&format!(
+            "up {}\n",
+            self.fleet
+                .device_up
+                .iter()
+                .map(|&b| if b { "1" } else { "0" })
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+        s.push_str(&format!("dwell {}\n", join_f(&self.governor.last_switch_s)));
+        for (k, w) in self.governor.windows.iter().enumerate() {
+            s.push_str(&format!("win {k} {}\n", join_f(w)));
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Rebuild a service from a checkpoint taken by a service over the
+    /// same `base` and `cfg`. The restored instance re-prices the
+    /// incumbent on the reconstructed effective problem — one evaluation,
+    /// no search — and is then indistinguishable from the original.
+    pub fn restore(
+        base: JointProblem,
+        cfg: ServiceConfig,
+        text: &str,
+    ) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(CheckpointError {
+            line: 0,
+            reason: "empty checkpoint".into(),
+        })?;
+        if header.trim() != "scalpel-serve-checkpoint v1" {
+            return Err(CheckpointError {
+                line: 1,
+                reason: format!("bad header {header:?}"),
+            });
+        }
+        let mut tick = 0u64;
+        let mut now_s = 0.0f64;
+        let mut cursor = 0usize;
+        let mut cursor_s = 0.0f64;
+        let mut dirty = 0usize;
+        let mut failures = 0u32;
+        let mut backoff = 0u32;
+        let mut degraded = false;
+        let mut rejected_batches = 0u64;
+        let mut total_replans = 0u64;
+        let mut total_switches = 0u64;
+        let mut total_plan_changes = 0u64;
+        let mut remap_misses = 0u64;
+        let mut plan: Option<Vec<usize>> = None;
+        let mut place: Option<Vec<usize>> = None;
+        let mut link: Option<Vec<f64>> = None;
+        let mut capf: Option<Vec<f64>> = None;
+        let mut load: Option<Vec<f64>> = None;
+        let mut up: Option<Vec<bool>> = None;
+        let mut dwell: Option<Vec<f64>> = None;
+        let mut wins: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut saw_end = false;
+        for (i, line) in lines {
+            let lineno = i + 1;
+            let err = |reason: String| CheckpointError {
+                line: lineno,
+                reason,
+            };
+            let body = line.trim();
+            if body.is_empty() {
+                continue;
+            }
+            if body == "end" {
+                saw_end = true;
+                continue;
+            }
+            let (key, rest) = body.split_once(' ').unwrap_or((body, ""));
+            let parse_usize_list = |s: &str| -> Result<Vec<usize>, CheckpointError> {
+                s.split_whitespace()
+                    .map(|t| t.parse::<usize>().map_err(|e| err(format!("{t:?}: {e}"))))
+                    .collect()
+            };
+            let parse_f64_list = |s: &str| -> Result<Vec<f64>, CheckpointError> {
+                s.split_whitespace()
+                    .map(|t| parse_hex(t).map_err(&err))
+                    .collect()
+            };
+            match key {
+                "tick" => tick = rest.trim().parse().map_err(|e| err(format!("{e}")))?,
+                "now" => now_s = parse_hex(rest.trim()).map_err(&err)?,
+                "cursor" => cursor = rest.trim().parse().map_err(|e| err(format!("{e}")))?,
+                "cursor_s" => cursor_s = parse_hex(rest.trim()).map_err(&err)?,
+                "dirty" => dirty = rest.trim().parse().map_err(|e| err(format!("{e}")))?,
+                "failures" => failures = rest.trim().parse().map_err(|e| err(format!("{e}")))?,
+                "backoff" => backoff = rest.trim().parse().map_err(|e| err(format!("{e}")))?,
+                "degraded" => degraded = rest.trim() == "1",
+                "rejected_batches" => {
+                    rejected_batches = rest.trim().parse().map_err(|e| err(format!("{e}")))?
+                }
+                "total_replans" => {
+                    total_replans = rest.trim().parse().map_err(|e| err(format!("{e}")))?
+                }
+                "total_switches" => {
+                    total_switches = rest.trim().parse().map_err(|e| err(format!("{e}")))?
+                }
+                "total_plan_changes" => {
+                    total_plan_changes = rest.trim().parse().map_err(|e| err(format!("{e}")))?
+                }
+                "remap_misses" => {
+                    remap_misses = rest.trim().parse().map_err(|e| err(format!("{e}")))?
+                }
+                "plan" => plan = Some(parse_usize_list(rest)?),
+                "place" => place = Some(parse_usize_list(rest)?),
+                "link" => link = Some(parse_f64_list(rest)?),
+                "cap" => capf = Some(parse_f64_list(rest)?),
+                "load" => load = Some(parse_f64_list(rest)?),
+                "up" => {
+                    up = Some(
+                        rest.split_whitespace()
+                            .map(|t| match t {
+                                "1" => Ok(true),
+                                "0" => Ok(false),
+                                other => Err(err(format!("bad liveness bit {other:?}"))),
+                            })
+                            .collect::<Result<Vec<bool>, _>>()?,
+                    )
+                }
+                "dwell" => dwell = Some(parse_f64_list(rest)?),
+                "win" => {
+                    let (idx, vals) = rest.split_once(' ').unwrap_or((rest, ""));
+                    let k: usize = idx
+                        .trim()
+                        .parse()
+                        .map_err(|e| err(format!("bad window index: {e}")))?;
+                    wins.push((k, parse_f64_list(vals)?));
+                }
+                other => return Err(err(format!("unknown key {other:?}"))),
+            }
+        }
+        if !saw_end {
+            return Err(CheckpointError {
+                line: 0,
+                reason: "truncated checkpoint (no end marker)".into(),
+            });
+        }
+        let structural = |reason: String| CheckpointError { line: 0, reason };
+        let missing = |what: &str| structural(format!("missing {what} record"));
+        let plan = plan.ok_or_else(|| missing("plan"))?;
+        let place = place.ok_or_else(|| missing("place"))?;
+        let link_factor = link.ok_or_else(|| missing("link"))?;
+        let cap_factor = capf.ok_or_else(|| missing("cap"))?;
+        let load_factor = load.ok_or_else(|| missing("load"))?;
+        let device_up = up.ok_or_else(|| missing("up"))?;
+        let last_switch_s = dwell.ok_or_else(|| missing("dwell"))?;
+        let n = base.streams.len();
+        if plan.len() != n
+            || place.len() != n
+            || load_factor.len() != n
+            || last_switch_s.len() != n
+            || link_factor.len() != base.cluster.aps.len()
+            || cap_factor.len() != base.cluster.servers.len()
+            || device_up.len() != base.cluster.devices.len()
+        {
+            return Err(structural(
+                "checkpoint dimensions do not match the base problem".into(),
+            ));
+        }
+        let mut windows = vec![Vec::new(); n];
+        for (k, w) in wins {
+            if k >= n {
+                return Err(structural(format!("window for unknown stream {k}")));
+            }
+            windows[k] = w;
+        }
+        let fleet = FleetState {
+            link_factor,
+            cap_factor,
+            load_factor,
+            device_up,
+        };
+        let effective = fleet.effective_problem(&base);
+        let evaluator = Evaluator::try_new(&effective, None)
+            .map_err(|e| structural(format!("restored fleet state is not evaluable: {e}")))?;
+        for (k, &p) in plan.iter().enumerate() {
+            if p >= evaluator.menu(k).len() {
+                return Err(structural(format!("stream {k}: plan index {p} off-menu")));
+            }
+        }
+        if place.iter().any(|&s| s >= evaluator.num_servers()) {
+            return Err(structural("placement names an unknown server".into()));
+        }
+        let controller = OnlineController::resume(
+            &evaluator,
+            cfg.optimizer.clone(),
+            Assignment {
+                plan_idx: plan,
+                placement: place,
+            },
+        );
+        let governor = SwitchGovernor {
+            cfg: cfg.governor,
+            last_switch_s,
+            windows,
+        };
+        Ok(Self {
+            base,
+            cfg,
+            fleet,
+            controller,
+            evaluator,
+            governor,
+            tick,
+            now_s,
+            cursor,
+            cursor_s,
+            dirty,
+            consecutive_failures: failures,
+            backoff_ticks_remaining: backoff,
+            degraded,
+            rejected_batches,
+            total_replans,
+            total_switches,
+            total_plan_changes,
+            remap_misses,
+        })
+    }
+
+    /// Service-in-the-loop harness: replay `trace` from the current
+    /// cursor, slicing events into tick-sized batches, until `horizon_s`.
+    /// Invalid batches count as rejections and engage the ladder exactly
+    /// as live ingest would. Returns every tick's outcome and status row.
+    pub fn drive_trace(&mut self, trace: &ChurnTrace, horizon_s: f64) -> DriveReport {
+        let mut outcomes = Vec::new();
+        let mut statuses = Vec::new();
+        let mut next = self.cursor;
+        while self.now_s + self.cfg.tick_s <= horizon_s + 1e-12 {
+            let boundary = (self.tick + 1) as f64 * self.cfg.tick_s;
+            let mut batch_end = next;
+            while batch_end < trace.events.len() && trace.events[batch_end].at_s < boundary {
+                batch_end += 1;
+            }
+            // A rejected batch is consumed from the log (it will never
+            // become valid by waiting) but is not applied to the fleet.
+            let _ = self.offer_batch(&trace.events[next..batch_end]);
+            next = batch_end;
+            outcomes.push(self.tick());
+            statuses.push(self.status());
+        }
+        DriveReport { outcomes, statuses }
+    }
+}
+
+/// Everything [`PlanningService::drive_trace`] observed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveReport {
+    /// Per-tick outcomes, in order.
+    pub outcomes: Vec<TickOutcome>,
+    /// Per-tick status rows, parallel to `outcomes`.
+    pub statuses: Vec<ServiceStatus>,
+}
+
+impl DriveReport {
+    /// All non-empty deltas emitted during the drive.
+    pub fn deltas(&self) -> Vec<&PlanDelta> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.delta.as_ref())
+            .filter(|d| !d.is_empty())
+            .collect()
+    }
+
+    /// The final status row (panics only on an empty drive).
+    pub fn final_status(&self) -> Option<&ServiceStatus> {
+        self.statuses.last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use scalpel_sim::ChurnProfile;
+
+    fn small_problem() -> JointProblem {
+        ScenarioConfig {
+            num_aps: 2,
+            devices_per_ap: 3,
+            arrival_rate_hz: 3.0,
+            ..ScenarioConfig::default()
+        }
+        .build()
+    }
+
+    fn quick_cfg() -> ServiceConfig {
+        ServiceConfig {
+            optimizer: OptimizerConfig {
+                gibbs_iters: 20,
+                ..OptimizerConfig::default()
+            },
+            replan_budget: Budget::evals(20_000),
+            tick_s: 2.0,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn small_trace(p: &JointProblem) -> ChurnTrace {
+        ChurnProfile::default().plan(
+            p.cluster.devices.len(),
+            p.cluster.aps.len(),
+            p.cluster.servers.len(),
+            p.streams.len(),
+            30.0,
+        )
+    }
+
+    #[test]
+    fn service_replans_under_churn_and_reports_status() {
+        let p = small_problem();
+        let trace = small_trace(&p);
+        let mut svc = PlanningService::new(p, quick_cfg()).expect("valid base");
+        let report = svc.drive_trace(&trace, 30.0);
+        let last = report.final_status().expect("non-empty drive");
+        assert!(last.total_replans > 0, "no replans over a churning trace");
+        assert_eq!(last.events_consumed, trace.events.len());
+        assert!(!last.degraded);
+        assert!(last.to_line().contains("replans="));
+    }
+
+    #[test]
+    fn rejected_batch_engages_the_ladder_and_backs_off() {
+        let p = small_problem();
+        let mut svc = PlanningService::new(p, quick_cfg()).expect("valid base");
+        let bad = [ChurnEvent {
+            at_s: 1.0,
+            kind: ChurnKind::LinkDrift {
+                ap: 99,
+                factor: 0.5,
+            },
+        }];
+        assert!(svc.offer_batch(&bad).is_err());
+        let s = svc.status();
+        assert!(s.degraded);
+        assert_eq!(s.rejected_batches, 1);
+        assert_eq!(s.consecutive_failures, 1);
+        assert_eq!(s.backoff_ticks_remaining, 1);
+        // Second failure doubles the backoff.
+        assert!(svc.offer_batch(&bad).is_err());
+        assert_eq!(svc.status().backoff_ticks_remaining, 2);
+        // Ticks drain the backoff without replanning.
+        let out = svc.tick();
+        assert!(!out.replanned && out.degraded);
+        assert_eq!(svc.status().backoff_ticks_remaining, 1);
+        // A good batch + drained backoff recovers.
+        svc.tick();
+        let good = [ChurnEvent {
+            at_s: 1.0,
+            kind: ChurnKind::LinkDrift { ap: 0, factor: 0.5 },
+        }];
+        svc.offer_batch(&good).expect("valid batch");
+        let out = svc.tick();
+        assert!(out.replanned);
+        assert!(!svc.status().degraded);
+    }
+
+    #[test]
+    fn budget_starvation_degrades_instead_of_adopting_partials() {
+        let p = small_problem();
+        let mut cfg = quick_cfg();
+        cfg.replan_budget = Budget::evals(1); // expires immediately
+        let mut svc = PlanningService::new(p, cfg).expect("valid base");
+        let before = svc.assignment().clone();
+        let ev = [ChurnEvent {
+            at_s: 0.5,
+            kind: ChurnKind::LinkDrift { ap: 0, factor: 0.3 },
+        }];
+        svc.offer_batch(&ev).expect("valid");
+        let out = svc.tick();
+        assert!(!out.replanned && out.degraded);
+        assert_eq!(svc.assignment(), &before, "partial result was adopted");
+        assert!(svc.status().backoff_ticks_remaining > 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_bit_exactly() {
+        let p = small_problem();
+        let trace = small_trace(&p);
+        let mut svc = PlanningService::new(p.clone(), quick_cfg()).expect("valid base");
+        svc.drive_trace(&trace, 12.0);
+        let text = svc.checkpoint_text();
+        let restored =
+            PlanningService::restore(p, quick_cfg(), &text).expect("checkpoint restores");
+        assert_eq!(restored.checkpoint_text(), text);
+        assert_eq!(restored.status(), svc.status());
+        assert_eq!(restored.assignment(), svc.assignment());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_checkpoints() {
+        let p = small_problem();
+        let svc = PlanningService::new(p.clone(), quick_cfg()).expect("valid base");
+        let good = svc.checkpoint_text();
+        assert!(PlanningService::restore(p.clone(), quick_cfg(), "").is_err());
+        assert!(PlanningService::restore(p.clone(), quick_cfg(), "garbage\n").is_err());
+        let truncated = good.replace("end\n", "");
+        assert!(PlanningService::restore(p.clone(), quick_cfg(), &truncated).is_err());
+        let off_menu = good.replace("plan ", "plan 9999 ");
+        assert!(PlanningService::restore(p, quick_cfg(), &off_menu).is_err());
+    }
+
+    #[test]
+    fn governor_blocks_switches_until_window_fills_then_caps_them() {
+        let mut gov = SwitchGovernor::new(
+            GovernorConfig {
+                min_dwell_s: 0.0,
+                switch_cost_s: 0.01,
+                hysteresis_margin_s: 0.0,
+                max_switches_per_tick: 1,
+                window: 2,
+            },
+            3,
+        );
+        let warm = Assignment {
+            plan_idx: vec![0, 0, 0],
+            placement: vec![0, 0, 0],
+        };
+        let cand = Assignment {
+            plan_idx: vec![0, 0, 0],
+            placement: vec![1, 1, 1],
+        };
+        let fast = vec![0.01, 0.01, 0.01];
+        // Empty windows: everything vetoed.
+        let d = gov.govern(1.0, &warm, &cand, &fast);
+        assert!(d.switched.is_empty());
+        assert_eq!(d.rejected_window, 3);
+        // Fill windows with slow incumbent latencies.
+        let slow = EvalResult {
+            latency_s: vec![0.2, 0.3, 0.25],
+            accuracy: vec![1.0; 3],
+            bandwidth_shares: vec![0.3; 3],
+            compute_shares: vec![0.3; 3],
+            objective: 1.0,
+            expected_misses: 0,
+            device_energy_j: vec![0.0; 3],
+            total_energy_j: vec![0.0; 3],
+        };
+        gov.observe(&slow);
+        gov.observe(&slow);
+        let d = gov.govern(2.0, &warm, &cand, &fast);
+        // All three clear the margin; the cap admits only the biggest
+        // improvement (stream 1 at 0.3).
+        assert_eq!(d.switched, vec![1]);
+        assert_eq!(d.rejected_cap, 2);
+        assert_eq!(d.adopted.placement, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn governed_switches_far_fewer_than_ungoverned() {
+        let p = small_problem();
+        let trace = small_trace(&p);
+        let governed = {
+            let mut svc = PlanningService::new(p.clone(), quick_cfg()).expect("valid base");
+            svc.drive_trace(&trace, 30.0);
+            svc.status().total_switches
+        };
+        let ungoverned = {
+            let mut cfg = quick_cfg();
+            cfg.ungoverned = true;
+            let mut svc = PlanningService::new(p, cfg).expect("valid base");
+            svc.drive_trace(&trace, 30.0);
+            svc.status().total_switches
+        };
+        assert!(
+            governed <= ungoverned,
+            "governed {governed} vs ungoverned {ungoverned}"
+        );
+    }
+}

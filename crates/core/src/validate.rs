@@ -163,6 +163,39 @@ pub enum ProblemError {
         /// The configured cap.
         max_streams: usize,
     },
+    /// A churn event names an index outside the fleet.
+    ChurnUnknownTarget {
+        /// What kind of target ("device", "ap", "server", "stream").
+        what: &'static str,
+        /// The referenced index.
+        index: usize,
+        /// How many of that target the fleet has.
+        count: usize,
+    },
+    /// A churn drift factor is non-finite or outside its admissible range.
+    ChurnFactorOutOfRange {
+        /// What kind of drift ("link", "cap", "load").
+        what: &'static str,
+        /// The offending factor.
+        factor: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// A churn event is timestamped before the service's event cursor —
+    /// the stream went backwards in time, so the whole batch is suspect.
+    ChurnTimeRegression {
+        /// The offending event's timestamp, seconds.
+        at_s: f64,
+        /// The cursor the service had already advanced to, seconds.
+        cursor_s: f64,
+    },
+    /// A churn event carries a non-finite timestamp.
+    ChurnBadTimestamp {
+        /// The offending timestamp.
+        at_s: f64,
+    },
 }
 
 impl fmt::Display for ProblemError {
@@ -253,6 +286,29 @@ impl fmt::Display for ProblemError {
                     "shard config: AP {ap} carries {streams} streams but max_streams is \
                      {max_streams}; APs are never split, so the cap must admit the largest AP group"
                 )
+            }
+            ProblemError::ChurnUnknownTarget { what, index, count } => {
+                write!(f, "churn event: unknown {what} {index} (fleet has {count})")
+            }
+            ProblemError::ChurnFactorOutOfRange {
+                what,
+                factor,
+                lo,
+                hi,
+            } => {
+                write!(
+                    f,
+                    "churn event: {what} factor {factor} outside [{lo}, {hi}]"
+                )
+            }
+            ProblemError::ChurnTimeRegression { at_s, cursor_s } => {
+                write!(
+                    f,
+                    "churn event: timestamp {at_s} s behind the event cursor ({cursor_s} s)"
+                )
+            }
+            ProblemError::ChurnBadTimestamp { at_s } => {
+                write!(f, "churn event: non-finite timestamp ({at_s})")
             }
         }
     }
@@ -537,6 +593,83 @@ pub fn validate_shard_config(
                 }
             }
         }
+    }
+    Ok(())
+}
+
+/// Validate one churn event against the fleet a service is planning for:
+/// the target index must exist, drift factors must be finite and inside
+/// their admissible range, and the timestamp must be finite and not
+/// regress behind `cursor_s` (the time the service has already consumed
+/// up to).
+pub fn validate_churn_event(
+    p: &JointProblem,
+    cursor_s: f64,
+    event: &scalpel_sim::ChurnEvent,
+) -> Result<(), ProblemError> {
+    use scalpel_sim::churn::{FACTOR_FLOOR, MAX_LOAD_FACTOR};
+    use scalpel_sim::ChurnKind;
+    if !event.at_s.is_finite() {
+        return Err(ProblemError::ChurnBadTimestamp { at_s: event.at_s });
+    }
+    if event.at_s < cursor_s {
+        return Err(ProblemError::ChurnTimeRegression {
+            at_s: event.at_s,
+            cursor_s,
+        });
+    }
+    let check_index = |what: &'static str, index: usize, count: usize| {
+        if index >= count {
+            Err(ProblemError::ChurnUnknownTarget { what, index, count })
+        } else {
+            Ok(())
+        }
+    };
+    let check_factor = |what: &'static str, factor: f64, lo: f64, hi: f64| {
+        if !factor.is_finite() || !(lo..=hi).contains(&factor) {
+            Err(ProblemError::ChurnFactorOutOfRange {
+                what,
+                factor,
+                lo,
+                hi,
+            })
+        } else {
+            Ok(())
+        }
+    };
+    match event.kind {
+        ChurnKind::DeviceDown { device } | ChurnKind::DeviceUp { device } => {
+            check_index("device", device, p.cluster.devices.len())
+        }
+        ChurnKind::LinkDrift { ap, factor } => {
+            check_index("ap", ap, p.cluster.aps.len())?;
+            check_factor("link", factor, FACTOR_FLOOR, 1.0)
+        }
+        ChurnKind::CapacityDrift { server, factor } => {
+            check_index("server", server, p.cluster.servers.len())?;
+            check_factor("cap", factor, FACTOR_FLOOR, 1.0)
+        }
+        ChurnKind::LoadDrift { stream, factor } => {
+            check_index("stream", stream, p.streams.len())?;
+            check_factor("load", factor, FACTOR_FLOOR, MAX_LOAD_FACTOR)
+        }
+    }
+}
+
+/// Validate a whole churn batch atomically: every event is checked (in
+/// order, with the cursor advancing inside the batch) and the first
+/// defect rejects the batch. A service applies either all of a batch or
+/// none of it — partial application would leave the fleet view
+/// inconsistent with the event log it replays from.
+pub fn validate_churn_batch(
+    p: &JointProblem,
+    cursor_s: f64,
+    events: &[scalpel_sim::ChurnEvent],
+) -> Result<(), ProblemError> {
+    let mut cursor = cursor_s;
+    for e in events {
+        validate_churn_event(p, cursor, e)?;
+        cursor = e.at_s;
     }
     Ok(())
 }

@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod churn;
 pub mod cluster;
 pub mod engine;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod time;
 pub mod tracelog;
 pub mod workload;
 
+pub use churn::{ChurnEvent, ChurnKind, ChurnParseError, ChurnProfile, ChurnTrace};
 pub use cluster::{ApSpec, Cluster, DeviceSpec, ServerSpec};
 pub use engine::{EventKey, EventQueue};
 pub use error::SimError;

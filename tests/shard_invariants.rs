@@ -218,6 +218,10 @@ fn runner_and_controller_wrappers_agree_with_module_entry() {
         out.outcome.solution.assignment,
         direct.outcome.solution.assignment
     );
+    // The aggregated row carries the reconciler's closest-cut fallback
+    // count instead of silently absorbing it.
+    let row = runner::aggregate_sharded(scalpel::core::baselines::Method::Joint, &out, &reports);
+    assert_eq!(row.remap_misses, out.remap_misses);
 
     // Online controller: warm-started sharded re-solve after a load change.
     let shifted = ScenarioConfig {

@@ -1,53 +1,364 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — now with real data-parallel execution.
 //!
-//! Provides exactly the `par_iter()` surface the workspace uses, executed
-//! sequentially. Sequential execution is a correctness-preserving (and
-//! fully deterministic) substitute: all call sites are independent
-//! map/collect pipelines with no shared mutable state. When the real rayon
-//! becomes available, switching the path dependency back restores
-//! parallelism without touching call sites.
+//! Provides exactly the `par_iter().map(..).collect()` surface the
+//! workspace uses, executed on a lazily spawned persistent worker pool.
+//! Earlier revisions of this stub ran sequentially; this one actually
+//! fans work out across OS threads while keeping the two properties the
+//! workspace's tests pin:
+//!
+//! * **Order preservation** — results land at the index of the item that
+//!   produced them, so for pure closures the collected output is
+//!   bit-identical to the sequential map regardless of thread count or
+//!   scheduling (asserted by `tests/shard_invariants.rs`'s 1/2/8-thread
+//!   sweep).
+//! * **Deterministic error selection** — collecting into
+//!   `Result<Vec<_>, E>` runs every task and then reports the error of
+//!   the *lowest-indexed* failing item, not whichever failed first in
+//!   wall time.
+//!
+//! ## Execution model
+//!
+//! A global queue + `available_parallelism() - 1` parked workers are
+//! created on first parallel dispatch. Each `collect()` splits its items
+//! into contiguous chunks, erases the task lifetimes (sound because the
+//! dispatching call blocks on a completion latch before returning, so
+//! the borrowed data strictly outlives every task), pushes all but one
+//! chunk to the queue, and processes the remainder inline. While waiting
+//! on its latch the dispatcher *helps*: it pops and runs queued tasks —
+//! possibly belonging to other in-flight collects — which makes nested
+//! parallelism (shard solves calling `score_menu`) deadlock-free by
+//! construction: every blocked party drains the queue instead of holding
+//! a worker hostage.
+//!
+//! Panics inside a task are caught, forwarded through the latch, and
+//! resumed on the dispatching thread after all sibling tasks finish.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// The traits the workspace imports via `use rayon::prelude::*`.
 pub mod prelude {
-    /// Sequential substitute for rayon's `IntoParallelRefIterator`:
-    /// `par_iter()` on slices and vectors yields a plain slice iterator.
-    pub trait IntoParallelRefIterator<'data> {
-        /// Element type yielded by the iterator.
-        type Item: 'data;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Iterate (sequentially) over shared references.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
+    pub use crate::IntoParallelRefIterator;
+}
 
-    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+/// `par_iter()` on slices and vectors yields a [`ParIter`] over shared
+/// references, mirroring rayon's `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by the iterator.
+    type Item: 'data + Sync;
+    /// Iterate in parallel over shared references.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
         }
     }
 
-    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    /// Parallel sum of the referenced elements.
+    pub fn sum<S>(self) -> S
+    where
+        T: Copy + Send,
+        S: std::iter::Sum<T>,
+    {
+        let parts: Vec<T> = self.map(|&x| x).collect();
+        parts.into_iter().sum()
+    }
+}
+
+/// A mapped parallel iterator: the only adaptor the workspace consumes.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> ParMap<'data, T, F> {
+    /// Execute the map on the pool and gather results in item order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParMap<R>,
+    {
+        C::from_ordered(run_map(self.items, &self.f))
+    }
+
+    /// Parallel sum of the mapped results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        let parts: Vec<R> = self.collect();
+        parts.into_iter().sum()
+    }
+}
+
+/// Containers a [`ParMap`] can collect into (rayon's
+/// `FromParallelIterator`, reduced to what the workspace uses).
+pub trait FromParMap<R>: Sized {
+    /// Build the container from results in item order.
+    fn from_ordered(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParMap<R> for Vec<R> {
+    fn from_ordered(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+impl<T, E> FromParMap<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered(v: Vec<Result<T, E>>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// Run the map with order-preserving placement. Sequential when the
+/// input is tiny or the effective thread count is 1; otherwise chunks
+/// fan out across the pool.
+fn run_map<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync>(
+    items: &'data [T],
+    f: &F,
+) -> Vec<R> {
+    let threads = effective_threads();
+    let n = items.len();
+    if n <= 1 || threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // More chunks than threads keeps the queue fed when per-item work is
+    // uneven (shard solves, multi-seed sim runs); contiguous chunks keep
+    // cache locality for fine-grained items (menu scoring).
+    let chunks = (threads * 4).min(n);
+    let chunk = n.div_ceil(chunks);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
+        for (inp, slot) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            tasks.push(Box::new(move || {
+                for (x, s) in inp.iter().zip(slot.iter_mut()) {
+                    *s = Some(f(x));
+                }
+            }));
+        }
+        scope_run(tasks);
+    }
+    out.into_iter()
+        .map(|s| s.unwrap_or_else(|| unreachable!("latch waits for every task")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The pool: global queue, parked workers, help-while-waiting latch.
+// ---------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+impl PoolQueue {
+    fn push(&self, job: Job) {
+        let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(job);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Blocking pop for the worker loop.
+    fn pop(&self) -> Job {
+        let mut q = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = q.pop_front() {
+                return job;
+            }
+            q = self.available.wait(q).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
 
-/// Sequential stand-in for rayon's thread-pool builder. The thread count
-/// is accepted (so call sites and tests can sweep it) but execution stays
-/// sequential — which makes "result is thread-count-invariant" trivially
-/// true here and a real assertion once the path dependency switches back
-/// to upstream rayon.
+/// The process-wide pool, spawned on first parallel dispatch.
+fn pool() -> &'static PoolQueue {
+    static POOL: OnceLock<&'static PoolQueue> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let queue: &'static PoolQueue = Box::leak(Box::new(PoolQueue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        // The dispatching thread always works too, so `cores - 1`
+        // workers saturate the machine without oversubscribing it.
+        for _ in 1..default_threads() {
+            std::thread::Builder::new()
+                .name("rayon-stub-worker".into())
+                .spawn(move || loop {
+                    // A panicking job would otherwise kill the worker;
+                    // the panic payload travels through the job's latch,
+                    // so swallowing it here loses nothing.
+                    let job = queue.pop();
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                })
+                .expect("spawning pool worker");
+        }
+        queue
+    })
+}
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// Thread count requested by an enclosing [`ThreadPool::install`]
+    /// (0 = automatic).
+    static INSTALLED_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn effective_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed == 0 {
+        default_threads()
+    } else {
+        installed
+    }
+}
+
+/// Completion latch: counts outstanding tasks, stores the first panic.
+struct Latch {
+    remaining: AtomicUsize,
+    state: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(Self {
+            remaining: AtomicUsize::new(count),
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        if let Some(p) = panic {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.get_or_insert(p);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Run `tasks` to completion, fanning all but one out to the pool and
+/// helping drain the queue while waiting. Blocks until every task has
+/// finished; resumes the first task panic (by completion order) on the
+/// caller.
+fn scope_run(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    if tasks.is_empty() {
+        return;
+    }
+    let latch = Latch::new(tasks.len());
+    let mut wrapped: Vec<Job> = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        // SAFETY: this function does not return until `latch` reports
+        // every task complete, so everything the task borrows outlives
+        // its execution; the 'static lifetime is never observable.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let latch = Arc::clone(&latch);
+        wrapped.push(Box::new(move || {
+            let r = catch_unwind(AssertUnwindSafe(task));
+            latch.complete(r.err());
+        }));
+    }
+    let mine = wrapped.pop();
+    let q = pool();
+    for job in wrapped {
+        q.push(job);
+    }
+    if let Some(job) = mine {
+        job();
+    }
+    // Help-first wait: drain queued tasks (ours or another collect's)
+    // until our latch opens. Helping is what makes nested dispatch
+    // deadlock-free — a blocked dispatcher is always also a worker.
+    while latch.remaining.load(Ordering::Acquire) > 0 {
+        if let Some(job) = q.try_pop() {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            continue;
+        }
+        let s = latch.state.lock().unwrap_or_else(|e| e.into_inner());
+        if latch.remaining.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        // Timed wait: a task of ours may be queued *behind* long tasks
+        // of other collects, and new helpable work can arrive at any
+        // time — re-poll the queue rather than parking indefinitely.
+        let _ = latch
+            .done
+            .wait_timeout(s, Duration::from_millis(1))
+            .unwrap_or_else(|e| e.into_inner());
+    }
+    let panic = latch.state.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool facade (used by the thread-count invariance tests).
+// ---------------------------------------------------------------------
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`. The built pool shares
+/// the global workers; `num_threads` caps the *fan-out width* of
+/// dispatches made under [`ThreadPool::install`] on the calling thread.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
 }
 
-/// Error type mirrored from upstream; the sequential builder never fails.
+/// Error type mirrored from upstream; this builder never fails.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(());
 
@@ -65,13 +376,13 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Request `num_threads` workers (recorded; execution is sequential).
+    /// Request `num_threads` workers (0 = automatic).
     pub fn num_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads;
         self
     }
 
-    /// Build the pool. Never fails in the sequential stand-in.
+    /// Build the pool handle.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
             num_threads: self.num_threads,
@@ -79,38 +390,121 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// Sequential stand-in for `rayon::ThreadPool`.
+/// Handle capping parallel fan-out for code run under [`install`].
+///
+/// [`install`]: ThreadPool::install
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Run `op` "inside" the pool (directly, on the current thread).
+    /// Run `op` with this pool's thread count governing every parallel
+    /// dispatch `op` makes on the calling thread (`num_threads == 1`
+    /// forces fully sequential execution).
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
         op()
     }
 
     /// The requested worker count (0 = automatic), for diagnostics.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads.max(1)
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_matches_iter() {
-        let v = vec![1, 2, 3];
+        let v: Vec<i32> = (0..1000).collect();
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6]);
+        let expect: Vec<i32> = v.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, expect);
         let s: &[i32] = &v;
-        assert_eq!(s.par_iter().sum::<i32>(), 6);
+        assert_eq!(s.par_iter().sum::<i32>(), v.iter().sum::<i32>());
+    }
+
+    #[test]
+    fn work_actually_fans_out_across_threads() {
+        if super::default_threads() < 2 {
+            return; // single-core runner: nothing to assert
+        }
+        let v: Vec<usize> = (0..256).collect();
+        let ids: Vec<std::thread::ThreadId> = v
+            .par_iter()
+            .map(|_| {
+                // Encourage interleaving so multiple threads participate.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() >= 2, "all work ran on one thread");
+    }
+
+    #[test]
+    fn collect_into_result_reports_lowest_index_error() {
+        let v: Vec<usize> = (0..100).collect();
+        let r: Result<Vec<usize>, usize> = v
+            .par_iter()
+            .map(|&x| if x % 30 == 7 { Err(x) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err(7));
+        let ok: Result<Vec<usize>, usize> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap(), v);
+    }
+
+    #[test]
+    fn nested_dispatch_completes() {
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..64).collect();
+                inner.par_iter().map(|&j| i * 1000 + j).sum::<usize>()
+            })
+            .collect();
+        for (i, &s) in sums.iter().enumerate() {
+            assert_eq!(s, (0..64).map(|j| i * 1000 + j).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_after_siblings_finish() {
+        let finished = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..32).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Vec<usize> = v
+                .par_iter()
+                .map(|&x| {
+                    if x == 13 {
+                        panic!("boom");
+                    }
+                    finished.fetch_add(1, Ordering::Relaxed);
+                    x
+                })
+                .collect();
+        }));
+        assert!(r.is_err(), "panic must propagate to the dispatcher");
+        assert!(finished.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]
@@ -126,5 +520,20 @@ mod tests {
         // Automatic thread count still reports at least one worker.
         let auto = super::ThreadPoolBuilder::new().build().unwrap();
         assert!(auto.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_is_thread_count_invariant_for_pure_maps() {
+        let v: Vec<u64> = (0..500).collect();
+        let gold: Vec<u64> = v.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+        for threads in [1usize, 2, 8] {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<u64> =
+                pool.install(|| v.par_iter().map(|x| x.wrapping_mul(2654435761)).collect());
+            assert_eq!(got, gold, "thread count {threads} changed results");
+        }
     }
 }
