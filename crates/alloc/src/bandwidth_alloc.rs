@@ -10,6 +10,41 @@
 use crate::convex::{self, AllocScratch, HyperbolicDemand};
 use serde::{Deserialize, Serialize};
 
+/// Borrowed SoA view of per-device uplink demands — five parallel
+/// columns, one entry per device; the bandwidth analogue of
+/// [`crate::compute_alloc::ComputeCols`]. Values are raw; sanitization
+/// happens once inside [`allocate_cols_into`].
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthCols<'a> {
+    /// Expected seconds before transmission starts (device compute).
+    pub pre_tx_s: &'a [f64],
+    /// Transmission seconds at full AP spectrum (expected per request).
+    pub tx_s_full: &'a [f64],
+    /// Seconds after transmission (edge compute at the planned share).
+    pub post_tx_s: &'a [f64],
+    /// Relative importance.
+    pub weight: &'a [f64],
+    /// Relative deadline, seconds (raw: NaN means infeasible).
+    pub deadline_s: &'a [f64],
+}
+
+impl BandwidthCols<'_> {
+    /// Number of devices covered by every column.
+    pub fn len(&self) -> usize {
+        self.pre_tx_s
+            .len()
+            .min(self.tx_s_full.len())
+            .min(self.post_tx_s.len())
+            .min(self.weight.len())
+            .min(self.deadline_s.len())
+    }
+
+    /// Whether the view covers no devices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// One device's uplink demand on its AP.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BandwidthDemand {
@@ -50,48 +85,93 @@ pub fn allocate(demands: &[BandwidthDemand], policy: BandwidthPolicy) -> Vec<f64
 
 /// [`allocate`] writing into a caller-owned buffer (cleared first) with
 /// reusable solver scratch: bit-identical shares, zero heap traffic on the
-/// hot path once the buffers are warm.
+/// hot path once the buffers are warm. Gathers the AoS demand structs into
+/// SoA columns and defers to [`allocate_cols_into`].
 pub fn allocate_into(
     demands: &[BandwidthDemand],
     policy: BandwidthPolicy,
     scratch: &mut AllocScratch,
     out: &mut Vec<f64>,
 ) {
+    let pre: Vec<f64> = demands.iter().map(|d| d.pre_tx_s).collect();
+    let tx: Vec<f64> = demands.iter().map(|d| d.tx_s_full).collect();
+    let post: Vec<f64> = demands.iter().map(|d| d.post_tx_s).collect();
+    let weight: Vec<f64> = demands.iter().map(|d| d.weight).collect();
+    let deadline: Vec<f64> = demands.iter().map(|d| d.deadline_s).collect();
+    allocate_cols_into(
+        BandwidthCols {
+            pre_tx_s: &pre,
+            tx_s_full: &tx,
+            post_tx_s: &post,
+            weight: &weight,
+            deadline_s: &deadline,
+        },
+        policy,
+        scratch,
+        out,
+    );
+}
+
+/// [`allocate_into`] over an SoA column view — the hot-path entry point.
+/// Share values are bit-identical to [`allocate`] / [`allocate_into`] for
+/// every policy.
+pub fn allocate_cols_into(
+    cols: BandwidthCols<'_>,
+    policy: BandwidthPolicy,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<f64>,
+) {
     out.clear();
-    if demands.is_empty() {
+    let len = cols.len();
+    if len == 0 {
         return;
     }
     match policy {
         BandwidthPolicy::Equal => {
-            let n = demands.iter().filter(|d| d.tx_s_full > 0.0).count().max(1) as f64;
+            let n = cols.tx_s_full[..len]
+                .iter()
+                .filter(|&&t| t > 0.0)
+                .count()
+                .max(1) as f64;
             out.extend(
-                demands
+                cols.tx_s_full[..len]
                     .iter()
-                    .map(|d| if d.tx_s_full > 0.0 { 1.0 / n } else { 0.0 }),
+                    .map(|&t| if t > 0.0 { 1.0 / n } else { 0.0 }),
             );
         }
         BandwidthPolicy::WeightedSum => {
-            fill_hyper(demands, scratch);
-            convex::weighted_sum_shares_into(&scratch.hyper, &scratch.weights, out);
+            fill_cols(cols, len, scratch);
+            convex::weighted_sum_shares_cols(&scratch.scaled, &scratch.weights, out);
         }
         BandwidthPolicy::MinMax => {
-            fill_hyper(demands, scratch);
-            convex::minmax_shares_into(&scratch.hyper, out);
+            let AllocScratch {
+                fixed,
+                scaled,
+                served_fixed,
+                served_scaled,
+                ..
+            } = scratch;
+            fill_fixed_scaled(cols, len, fixed, scaled);
+            convex::minmax_shares_cols(fixed, scaled, served_fixed, served_scaled, out);
         }
         BandwidthPolicy::DeadlineAware => {
-            fill_hyper(demands, scratch);
-            scratch.deadlines.clear();
-            scratch
-                .deadlines
-                .extend(demands.iter().map(|d| d.deadline_s));
+            fill_cols(cols, len, scratch);
             let AllocScratch {
-                hyper,
-                deadlines,
+                fixed,
+                scaled,
                 weights,
                 roots,
+                ..
             } = scratch;
-            if !convex::deadline_shares_into(hyper, deadlines, weights, roots, out) {
-                convex::weighted_sum_shares_into(hyper, weights, out);
+            if !convex::deadline_shares_cols(
+                fixed,
+                scaled,
+                &cols.deadline_s[..len],
+                weights,
+                roots,
+                out,
+            ) {
+                convex::weighted_sum_shares_cols(scaled, weights, out);
             }
         }
     }
@@ -100,15 +180,35 @@ pub fn allocate_into(
     convex::sanitize_shares(out);
 }
 
-fn fill_hyper(demands: &[BandwidthDemand], scratch: &mut AllocScratch) {
-    scratch.hyper.clear();
-    scratch.hyper.extend(
-        demands
+fn fill_cols(cols: BandwidthCols<'_>, len: usize, scratch: &mut AllocScratch) {
+    let AllocScratch {
+        fixed,
+        scaled,
+        weights,
+        ..
+    } = scratch;
+    fill_fixed_scaled(cols, len, fixed, scaled);
+    weights.clear();
+    weights.extend(cols.weight[..len].iter().map(|&w| convex::sanitize(w)));
+}
+
+fn fill_fixed_scaled(
+    cols: BandwidthCols<'_>,
+    len: usize,
+    fixed: &mut Vec<f64>,
+    scaled: &mut Vec<f64>,
+) {
+    // `fixed` is pre-tx + post-tx seconds, sanitized *after* the add —
+    // exactly what `HyperbolicDemand::new(pre + post, tx)` produced.
+    fixed.clear();
+    fixed.extend(
+        cols.pre_tx_s[..len]
             .iter()
-            .map(|d| HyperbolicDemand::new(d.pre_tx_s + d.post_tx_s, d.tx_s_full)),
+            .zip(cols.post_tx_s)
+            .map(|(&a, &b)| convex::sanitize(a + b)),
     );
-    scratch.weights.clear();
-    scratch.weights.extend(demands.iter().map(|d| d.weight));
+    scaled.clear();
+    scaled.extend(cols.tx_s_full[..len].iter().map(|&x| convex::sanitize(x)));
 }
 
 /// Analytic end-to-end latency of each device's requests under shares.

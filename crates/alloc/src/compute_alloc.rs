@@ -10,6 +10,41 @@
 use crate::convex::{self, AllocScratch, HyperbolicDemand};
 use serde::{Deserialize, Serialize};
 
+/// Borrowed SoA (structure-of-arrays) view of per-stream compute demands:
+/// four parallel columns, one entry per stream. The incremental evaluator
+/// keeps its per-server gather buffers in exactly this layout so the
+/// allocator kernels sweep flat `f64` columns with no per-element struct
+/// gather. Columns must be the same length; the allocator operates on the
+/// common prefix. Values are raw — sanitization happens once inside
+/// [`allocate_cols_into`], exactly where the AoS path applied it.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeCols<'a> {
+    /// Expected seconds before edge compute starts (device + uplink).
+    pub pre_edge_s: &'a [f64],
+    /// Edge seconds at full server capacity.
+    pub edge_s_full: &'a [f64],
+    /// Relative importance.
+    pub weight: &'a [f64],
+    /// Relative deadline, seconds (raw: NaN means infeasible).
+    pub deadline_s: &'a [f64],
+}
+
+impl ComputeCols<'_> {
+    /// Number of streams covered by every column.
+    pub fn len(&self) -> usize {
+        self.pre_edge_s
+            .len()
+            .min(self.edge_s_full.len())
+            .min(self.weight.len())
+            .min(self.deadline_s.len())
+    }
+
+    /// Whether the view covers no streams.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// One stream's compute demand on its server.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ComputeDemand {
@@ -53,62 +88,110 @@ pub fn allocate(demands: &[ComputeDemand], policy: ComputePolicy) -> Vec<f64> {
 
 /// [`allocate`] writing into a caller-owned buffer (cleared first) with
 /// reusable solver scratch: bit-identical shares, zero heap traffic on the
-/// hot path once the buffers are warm.
+/// hot path once the buffers are warm. Gathers the AoS demand structs into
+/// SoA columns and defers to [`allocate_cols_into`].
 pub fn allocate_into(
     demands: &[ComputeDemand],
     policy: ComputePolicy,
     scratch: &mut AllocScratch,
     out: &mut Vec<f64>,
 ) {
+    let pre: Vec<f64> = demands.iter().map(|d| d.pre_edge_s).collect();
+    let edge: Vec<f64> = demands.iter().map(|d| d.edge_s_full).collect();
+    let weight: Vec<f64> = demands.iter().map(|d| d.weight).collect();
+    let deadline: Vec<f64> = demands.iter().map(|d| d.deadline_s).collect();
+    allocate_cols_into(
+        ComputeCols {
+            pre_edge_s: &pre,
+            edge_s_full: &edge,
+            weight: &weight,
+            deadline_s: &deadline,
+        },
+        policy,
+        scratch,
+        out,
+    );
+}
+
+/// [`allocate_into`] over an SoA column view — the hot-path entry point:
+/// the evaluator's gather buffers are already columns, so no per-element
+/// struct is built. Share values are bit-identical to [`allocate`] /
+/// [`allocate_into`] for every policy.
+pub fn allocate_cols_into(
+    cols: ComputeCols<'_>,
+    policy: ComputePolicy,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<f64>,
+) {
     out.clear();
-    if demands.is_empty() {
+    let len = cols.len();
+    if len == 0 {
         return;
     }
     match policy {
         ComputePolicy::Equal => {
-            let n = demands.len() as f64;
+            let n = len as f64;
             out.extend(
-                demands
+                cols.edge_s_full[..len]
                     .iter()
-                    .map(|d| if d.edge_s_full > 0.0 { 1.0 / n } else { 0.0 }),
+                    .map(|&e| if e > 0.0 { 1.0 / n } else { 0.0 }),
             );
         }
         ComputePolicy::Proportional => {
-            let total: f64 = demands
+            // Raw values on purpose: a NaN weight must poison the total the
+            // same way it always did, not get sanitized away.
+            let total: f64 = cols.edge_s_full[..len]
                 .iter()
-                .filter(|d| d.edge_s_full > 0.0)
-                .map(|d| d.weight)
+                .zip(cols.weight)
+                .filter(|(&e, _)| e > 0.0)
+                .map(|(_, &w)| w)
                 .sum();
-            out.extend(demands.iter().map(|d| {
-                if d.edge_s_full > 0.0 && total > 0.0 {
-                    d.weight / total
-                } else {
-                    0.0
-                }
-            }));
+            out.extend(
+                cols.edge_s_full[..len]
+                    .iter()
+                    .zip(cols.weight)
+                    .map(|(&e, &w)| {
+                        if e > 0.0 && total > 0.0 {
+                            w / total
+                        } else {
+                            0.0
+                        }
+                    }),
+            );
         }
         ComputePolicy::WeightedSum => {
-            fill_hyper(demands, scratch);
-            convex::weighted_sum_shares_into(&scratch.hyper, &scratch.weights, out);
+            fill_cols(cols, len, scratch);
+            convex::weighted_sum_shares_cols(&scratch.scaled, &scratch.weights, out);
         }
         ComputePolicy::MinMax => {
-            fill_hyper(demands, scratch);
-            convex::minmax_shares_into(&scratch.hyper, out);
+            let AllocScratch {
+                fixed,
+                scaled,
+                served_fixed,
+                served_scaled,
+                ..
+            } = scratch;
+            fill_fixed_scaled(cols, len, fixed, scaled);
+            convex::minmax_shares_cols(fixed, scaled, served_fixed, served_scaled, out);
         }
         ComputePolicy::DeadlineAware => {
-            fill_hyper(demands, scratch);
-            scratch.deadlines.clear();
-            scratch
-                .deadlines
-                .extend(demands.iter().map(|d| d.deadline_s));
+            fill_cols(cols, len, scratch);
             let AllocScratch {
-                hyper,
-                deadlines,
+                fixed,
+                scaled,
                 weights,
                 roots,
+                ..
             } = scratch;
-            if !convex::deadline_shares_into(hyper, deadlines, weights, roots, out) {
-                convex::weighted_sum_shares_into(hyper, weights, out);
+            if !convex::deadline_shares_cols(
+                fixed,
+                scaled,
+                &cols.deadline_s[..len],
+                weights,
+                roots,
+                out,
+            ) {
+                convex::weighted_sum_shares_cols(scaled, weights, out);
             }
         }
     }
@@ -117,15 +200,28 @@ pub fn allocate_into(
     convex::sanitize_shares(out);
 }
 
-fn fill_hyper(demands: &[ComputeDemand], scratch: &mut AllocScratch) {
-    scratch.hyper.clear();
-    scratch.hyper.extend(
-        demands
-            .iter()
-            .map(|d| HyperbolicDemand::new(d.pre_edge_s, d.edge_s_full)),
-    );
-    scratch.weights.clear();
-    scratch.weights.extend(demands.iter().map(|d| d.weight));
+fn fill_cols(cols: ComputeCols<'_>, len: usize, scratch: &mut AllocScratch) {
+    let AllocScratch {
+        fixed,
+        scaled,
+        weights,
+        ..
+    } = scratch;
+    fill_fixed_scaled(cols, len, fixed, scaled);
+    weights.clear();
+    weights.extend(cols.weight[..len].iter().map(|&w| convex::sanitize(w)));
+}
+
+fn fill_fixed_scaled(
+    cols: ComputeCols<'_>,
+    len: usize,
+    fixed: &mut Vec<f64>,
+    scaled: &mut Vec<f64>,
+) {
+    fixed.clear();
+    fixed.extend(cols.pre_edge_s[..len].iter().map(|&x| convex::sanitize(x)));
+    scaled.clear();
+    scaled.extend(cols.edge_s_full[..len].iter().map(|&x| convex::sanitize(x)));
 }
 
 /// Analytic latency of each stream under given shares (no queueing).

@@ -12,6 +12,7 @@
 //!   deadline shares distribute the slack by clipped water-filling
 //!   (weighted-sum-optimal subject to the per-stream minimums).
 
+use scalpel_kernels as kernels;
 use serde::{Deserialize, Serialize};
 
 /// Largest magnitude any demand component is allowed to carry. Values
@@ -45,13 +46,18 @@ pub fn sanitize_shares(shares: &mut [f64]) -> bool {
         if !s.is_finite() || *s < 0.0 {
             *s = 0.0;
             changed = true;
+        } else if *s > MAX_COMPONENT {
+            // Clamp oversized-but-finite entries *before* summing so the
+            // renormalization sum cannot overflow to +∞ — an infinite sum
+            // would divide every entry to 0.0 and silently drop the whole
+            // vector off the simplex instead of renormalizing onto it.
+            *s = MAX_COMPONENT;
+            changed = true;
         }
     }
-    let sum: f64 = shares.iter().sum();
+    let sum = kernels::seq_sum(shares);
     if sum > 1.0 + 1e-9 {
-        for s in shares.iter_mut() {
-            *s /= sum;
-        }
+        kernels::scale_div(shares, sum);
         changed = true;
     }
     changed
@@ -89,10 +95,12 @@ impl std::error::Error for AllocError {}
 /// and produce bit-identical shares.
 #[derive(Debug, Default, Clone)]
 pub struct AllocScratch {
-    pub(crate) hyper: Vec<HyperbolicDemand>,
-    pub(crate) deadlines: Vec<f64>,
+    pub(crate) fixed: Vec<f64>,
+    pub(crate) scaled: Vec<f64>,
     pub(crate) weights: Vec<f64>,
     pub(crate) roots: Vec<f64>,
+    pub(crate) served_fixed: Vec<f64>,
+    pub(crate) served_scaled: Vec<f64>,
 }
 
 /// One stream's demand on a shared resource.
@@ -157,19 +165,26 @@ pub fn try_weighted_sum_shares(
 /// `NaN`/negative/oversized inputs are sanitized — a malformed profile
 /// yields a degraded (possibly all-zeros) allocation, never a panic.
 pub fn weighted_sum_shares_into(demands: &[HyperbolicDemand], weights: &[f64], out: &mut Vec<f64>) {
-    out.clear();
-    out.extend(demands.iter().enumerate().map(|(i, d)| {
-        let w = sanitize(weights.get(i).copied().unwrap_or(0.0));
-        (w * sanitize(d.scaled)).sqrt()
-    }));
-    let total: f64 = out.iter().sum();
+    let scaled: Vec<f64> = demands.iter().map(|d| sanitize(d.scaled)).collect();
+    let w: Vec<f64> = (0..demands.len())
+        .map(|i| sanitize(weights.get(i).copied().unwrap_or(0.0)))
+        .collect();
+    weighted_sum_shares_cols(&scaled, &w, out);
+}
+
+/// Column (SoA) core of [`weighted_sum_shares_into`]: the KKT
+/// water-filling `c_k = √(w_k e_k) / Σ √(w_j e_j)` over pre-sanitized
+/// parallel columns (see [`sanitize`]; callers own the sanitize pass so
+/// it runs once, not per solver call). Bit-identical to the AoS entry
+/// point: the root pass and strict-order reduction run in one fused
+/// [`kernels::sqrt_mul_sum`] sweep.
+pub fn weighted_sum_shares_cols(scaled: &[f64], weights: &[f64], out: &mut Vec<f64>) {
+    let total = kernels::sqrt_mul_sum(weights, scaled, out);
     if total <= 0.0 || !total.is_finite() {
         out.iter_mut().for_each(|x| *x = 0.0);
         return;
     }
-    for x in out.iter_mut() {
-        *x /= total;
-    }
+    kernels::scale_div(out, total);
 }
 
 /// `min max_k (a_k + e_k/c_k)` s.t. `Σ c_k = 1`. Returns `(λ*, shares)`.
@@ -184,33 +199,61 @@ pub fn minmax_shares(demands: &[HyperbolicDemand]) -> (f64, Vec<f64>) {
 
 /// [`minmax_shares`] writing into a caller-owned buffer (cleared first);
 /// returns `λ*`. Identical arithmetic, no allocation when `out` has
-/// capacity (served streams are visited by filtering in place instead of
-/// materializing an index list).
+/// capacity. All reads go through `sanitize` so directly-constructed
+/// demands with NaN/∞ components cannot hang the bracket search or emit
+/// NaN shares; for valid inputs every sanitized read is bit-identical to
+/// the raw one.
 pub fn minmax_shares_into(demands: &[HyperbolicDemand], out: &mut Vec<f64>) -> f64 {
+    let fixed: Vec<f64> = demands.iter().map(|d| sanitize(d.fixed)).collect();
+    let scaled: Vec<f64> = demands.iter().map(|d| sanitize(d.scaled)).collect();
+    let mut scratch = AllocScratch::default();
+    minmax_shares_cols(
+        &fixed,
+        &scaled,
+        &mut scratch.served_fixed,
+        &mut scratch.served_scaled,
+        out,
+    )
+}
+
+/// Column (SoA) core of [`minmax_shares_into`] over pre-sanitized
+/// parallel columns. Served streams (`scaled > 0`) are compacted once —
+/// order-preserving — into the two scratch columns so the bisection's
+/// `g(λ) = Σ e/(λ−a)` evaluations run branch-free 4-lane sweeps
+/// ([`kernels::ratio_sum`]) instead of re-filtering the full columns per
+/// iteration. Every sum keeps the original element order, so brackets,
+/// bisection decisions, λ*, and shares are bit-identical to the AoS path.
+pub fn minmax_shares_cols(
+    fixed: &[f64],
+    scaled: &[f64],
+    served_fixed: &mut Vec<f64>,
+    served_scaled: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> f64 {
+    let n = fixed.len().min(scaled.len());
     out.clear();
-    out.resize(demands.len(), 0.0);
-    // All reads go through `sanitize` so directly-constructed demands with
-    // NaN/∞ components cannot hang the bracket search or emit NaN shares;
-    // for valid inputs every sanitized read is bit-identical to the raw one.
-    let served = || {
-        demands
-            .iter()
-            .map(|d| (sanitize(d.fixed), sanitize(d.scaled)))
-            .filter(|&(_, e)| e > 0.0)
-    };
-    if served().next().is_none() {
-        return demands
-            .iter()
-            .map(|d| sanitize(d.fixed))
-            .fold(0.0, f64::max);
+    out.resize(n, 0.0);
+    served_fixed.clear();
+    served_scaled.clear();
+    for i in 0..n {
+        if scaled[i] > 0.0 {
+            served_fixed.push(fixed[i]);
+            served_scaled.push(scaled[i]);
+        }
+    }
+    if served_fixed.is_empty() {
+        return fixed[..n].iter().copied().fold(0.0, f64::max);
     }
     // g(λ) = Σ e/(λ - a) is strictly decreasing for λ > max a; find g = 1.
-    let a_max = served().map(|(a, _)| a).fold(f64::NEG_INFINITY, f64::max);
-    let g = |lambda: f64| -> f64 { served().map(|(a, e)| e / (lambda - a)).sum() };
+    let a_max = served_fixed
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let g = |lambda: f64| -> f64 { kernels::ratio_sum(served_scaled, served_fixed, lambda) };
     // Bracket: lo slightly above a_max (g → ∞), hi doubling until g < 1.
     // With sanitized components hi − a_k ≥ e_sum, so g(hi) ≤ 1 already at
     // the first hi; the doubling loop and its cap are a pure safety net.
-    let e_sum: f64 = served().map(|(_, e)| e).sum();
+    let e_sum = kernels::seq_sum(served_scaled);
     let mut lo = a_max;
     let mut hi = a_max + e_sum.max(1e-12); // g(hi) ≤ Σe/e_sum... may be ≥ 1
     let mut bracket_iters = 0;
@@ -230,18 +273,15 @@ pub fn minmax_shares_into(demands: &[HyperbolicDemand], out: &mut Vec<f64>) -> f
         }
     }
     let lambda = hi;
-    for (i, d) in demands.iter().enumerate() {
-        let (a, e) = (sanitize(d.fixed), sanitize(d.scaled));
-        if e > 0.0 {
-            out[i] = e / (lambda - a);
+    for i in 0..n {
+        if scaled[i] > 0.0 {
+            out[i] = scaled[i] / (lambda - fixed[i]);
         }
     }
     // Normalize the residual bisection error exactly onto the simplex.
-    let s: f64 = out.iter().sum();
+    let s = kernels::seq_sum(out);
     if s > 0.0 && s.is_finite() {
-        for x in out.iter_mut() {
-            *x /= s;
-        }
+        kernels::scale_div(out, s);
     }
     lambda
 }
@@ -250,13 +290,25 @@ pub fn minmax_shares_into(demands: &[HyperbolicDemand], out: &mut Vec<f64>) -> f
 /// `c_k ≥ e_k/(D_k − a_k)`, so feasibility is `Σ e_k/(D_k − a_k) ≤ 1`.
 /// A stream with `a_k ≥ D_k` and `e_k > 0` is infeasible outright.
 pub fn deadline_feasible(demands: &[HyperbolicDemand], deadlines: &[f64]) -> bool {
-    // Missing deadlines are treated as unconstrained (`+∞`); NaN deadlines
-    // propagate into a NaN `need`, which fails the final comparison — a
-    // malformed instance reads as infeasible instead of panicking.
+    let fixed: Vec<f64> = demands.iter().map(|d| sanitize(d.fixed)).collect();
+    let scaled: Vec<f64> = demands.iter().map(|d| sanitize(d.scaled)).collect();
+    let dls: Vec<f64> = (0..demands.len())
+        .map(|i| deadlines.get(i).copied().unwrap_or(f64::INFINITY))
+        .collect();
+    deadline_feasible_cols(&fixed, &scaled, &dls)
+}
+
+/// Column (SoA) core of [`deadline_feasible`]: `fixed`/`scaled` are
+/// pre-sanitized, `deadlines` stays **raw** — NaN deadlines propagate
+/// into a NaN `need`, which fails the final comparison, so a malformed
+/// instance reads as infeasible instead of panicking (sanitizing the
+/// deadline would silently flip it to feasible).
+pub fn deadline_feasible_cols(fixed: &[f64], scaled: &[f64], deadlines: &[f64]) -> bool {
+    let n = fixed.len().min(scaled.len());
     let mut need = 0.0;
-    for (i, d) in demands.iter().enumerate() {
+    for i in 0..n {
         let dl = deadlines.get(i).copied().unwrap_or(f64::INFINITY);
-        let (a, e) = (sanitize(d.fixed), sanitize(d.scaled));
+        let (a, e) = (fixed[i], scaled[i]);
         if e == 0.0 {
             if a > dl || dl.is_nan() {
                 return false;
@@ -329,56 +381,69 @@ pub fn deadline_shares_into(
     roots: &mut Vec<f64>,
     out: &mut Vec<f64>,
 ) -> bool {
-    if !deadline_feasible(demands, deadlines) {
+    // Missing deadlines read as `+∞` (zero minimum), missing weights as
+    // `0.0`, matching `deadline_feasible`'s padding.
+    let fixed: Vec<f64> = demands.iter().map(|d| sanitize(d.fixed)).collect();
+    let scaled: Vec<f64> = demands.iter().map(|d| sanitize(d.scaled)).collect();
+    let dls: Vec<f64> = (0..demands.len())
+        .map(|i| deadlines.get(i).copied().unwrap_or(f64::INFINITY))
+        .collect();
+    let w: Vec<f64> = (0..demands.len())
+        .map(|i| sanitize(weights.get(i).copied().unwrap_or(0.0)))
+        .collect();
+    deadline_shares_cols(&fixed, &scaled, &dls, &w, roots, out)
+}
+
+/// Column (SoA) core of [`deadline_shares_into`]: `fixed`/`scaled`/
+/// `weights` are pre-sanitized, `deadlines` stays raw (NaN ⇒ infeasible,
+/// see [`deadline_feasible_cols`]). The bisection objective
+/// `Σ max(√(w_k e_k)/ν, min_k)` is branch-free — a stream with
+/// `scaled == 0` has root 0 and minimum 0, so `max(0/ν, 0) = 0` drops out
+/// of the sum without the old per-element branch — and runs as a 4-lane
+/// [`kernels::clipped_share_sum`] sweep in the original element order, so
+/// every bracket and bisection decision is bit-identical to the AoS path.
+/// The 200-iteration bisection additionally stops early once an
+/// iteration leaves `(lo, hi)` bitwise unchanged: `mid` then recomputes
+/// identically and every remaining iteration is a no-op, so breaking
+/// changes nothing — it just stops paying for converged iterations.
+pub fn deadline_shares_cols(
+    fixed: &[f64],
+    scaled: &[f64],
+    deadlines: &[f64],
+    weights: &[f64],
+    roots: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> bool {
+    if !deadline_feasible_cols(fixed, scaled, deadlines) {
         return false;
     }
-    // `out` carries the per-stream minimums until the final fill. Missing
-    // deadlines read as `+∞` (zero minimum), missing weights as `0.0`,
-    // matching `deadline_feasible`'s padding.
+    let n = fixed.len().min(scaled.len());
+    // `out` carries the per-stream minimums until the final fill.
     out.clear();
-    out.extend(demands.iter().enumerate().map(|(i, d)| {
+    out.extend((0..n).map(|i| {
         let dl = deadlines.get(i).copied().unwrap_or(f64::INFINITY);
-        let (a, e) = (sanitize(d.fixed), sanitize(d.scaled));
+        let e = scaled[i];
         if e == 0.0 {
             0.0
         } else {
-            e / (dl - a)
+            e / (dl - fixed[i])
         }
     }));
-    let used: f64 = out.iter().sum();
+    let used = kernels::seq_sum(out);
     if used >= 1.0 {
         return true;
     }
-    roots.clear();
-    roots.extend(demands.iter().enumerate().map(|(i, d)| {
-        let w = sanitize(weights.get(i).copied().unwrap_or(0.0));
-        (w * sanitize(d.scaled)).sqrt()
-    }));
-    let total_root: f64 = roots.iter().sum();
+    let total_root = kernels::sqrt_mul_sum(weights, scaled, roots);
     if total_root <= 0.0 {
         return true;
     }
     let mins: &[f64] = out;
-    let sum_at = |nu: f64| -> f64 {
-        demands
-            .iter()
-            .zip(mins)
-            .zip(roots.iter())
-            .map(|((d, &mn), &r)| {
-                if d.scaled == 0.0 {
-                    0.0
-                } else {
-                    (r / nu).max(mn)
-                }
-            })
-            .sum()
-    };
     // Σ share_at(ν) is decreasing in ν; find Σ = 1. At ν = total_root the
     // unclipped water-filling sums to exactly 1, so clipping can only push
     // the sum above 1 — bracket upward from there.
     let mut lo = total_root;
     let mut hi = total_root;
-    while sum_at(hi) > 1.0 {
+    while kernels::clipped_share_sum(roots, mins, hi) > 1.0 {
         hi *= 2.0;
         if hi > 1e30 {
             break;
@@ -386,19 +451,17 @@ pub fn deadline_shares_into(
     }
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
-        if sum_at(mid) > 1.0 {
+        let (prev_lo, prev_hi) = (lo.to_bits(), hi.to_bits());
+        if kernels::clipped_share_sum(roots, mins, mid) > 1.0 {
             lo = mid;
         } else {
             hi = mid;
         }
+        if lo.to_bits() == prev_lo && hi.to_bits() == prev_hi {
+            break;
+        }
     }
-    for (i, d) in demands.iter().enumerate() {
-        out[i] = if d.scaled == 0.0 {
-            0.0
-        } else {
-            (roots[i] / hi).max(out[i])
-        };
-    }
+    kernels::clipped_fill_inplace(roots, hi, out);
     true
 }
 

@@ -27,6 +27,8 @@ pub mod convex;
 pub mod placement;
 
 pub use admission::{screen, screen_with_breakers, AdmissionResult};
+pub use bandwidth_alloc::BandwidthCols;
+pub use compute_alloc::ComputeCols;
 pub use convex::{
     deadline_shares, minmax_shares, sanitize_shares, try_deadline_shares, try_weighted_sum_shares,
     weighted_sum_shares, AllocError, AllocScratch, HyperbolicDemand,

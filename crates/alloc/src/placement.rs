@@ -115,27 +115,32 @@ pub fn place(
     }
     match strategy {
         PlacementStrategy::RoundRobin => (0..streams.len()).map(|k| k % servers.len()).collect(),
-        PlacementStrategy::Greedy => greedy(streams, servers),
+        PlacementStrategy::Greedy => greedy(&ServerLoadModel::new(streams, servers)),
         PlacementStrategy::BestResponse => {
-            let seed = greedy(streams, servers);
-            best_response(streams, servers, seed).0
+            // One ℓ matrix (the only transcendental work here) shared by
+            // the greedy seeding and the best-response dynamics, instead
+            // of each rebuilding its own identical copy.
+            let model = ServerLoadModel::new(streams, servers);
+            let seed = greedy(&model);
+            best_response_with_model(&model, seed).0
         }
     }
 }
 
-fn greedy(streams: &[PlacementStream], servers: &[ServerCap]) -> Vec<usize> {
-    let model = ServerLoadModel::new(streams, servers);
+fn greedy(model: &ServerLoadModel) -> Vec<usize> {
+    let n_servers = model.loads.len();
+    let n_streams = model.ell.len();
     // Heaviest (by best-case ell) first.
-    let mut order: Vec<usize> = (0..streams.len()).collect();
+    let mut order: Vec<usize> = (0..n_streams).collect();
     order.sort_by(|&a, &b| {
         let wa = model.ell[a].iter().cloned().fold(f64::INFINITY, f64::min);
         let wb = model.ell[b].iter().cloned().fold(f64::INFINITY, f64::min);
         wb.total_cmp(&wa)
     });
-    let mut loads = vec![0.0; servers.len()];
-    let mut assignment = vec![0usize; streams.len()];
+    let mut loads = vec![0.0; n_servers];
+    let mut assignment = vec![0usize; n_streams];
     for &k in &order {
-        let best_s = (0..servers.len())
+        let best_s = (0..n_servers)
             .map(|s| {
                 let l = model.ell[k][s];
                 (s, 2.0 * loads[s] * l + l * l) // marginal increase of L_s²
@@ -154,13 +159,22 @@ fn greedy(streams: &[PlacementStream], servers: &[ServerCap]) -> Vec<usize> {
 pub fn best_response(
     streams: &[PlacementStream],
     servers: &[ServerCap],
+    assignment: Vec<usize>,
+) -> (Vec<usize>, usize) {
+    best_response_with_model(&ServerLoadModel::new(streams, servers), assignment)
+}
+
+/// [`best_response`] over a prebuilt load model, so callers that already
+/// paid for the ℓ matrix (greedy seeding, repeated warm starts) don't
+/// rebuild it.
+pub fn best_response_with_model(
+    model: &ServerLoadModel,
     mut assignment: Vec<usize>,
 ) -> (Vec<usize>, usize) {
-    let model = ServerLoadModel::new(streams, servers);
     let mut loads = model.loads_for(&assignment);
     let tol = 1e-12;
     let mut moves = 0usize;
-    let max_rounds = 100 * streams.len().max(1);
+    let max_rounds = 100 * assignment.len().max(1);
     for _ in 0..max_rounds {
         let mut improved = false;
         for (k, slot) in assignment.iter_mut().enumerate() {
@@ -288,7 +302,7 @@ mod tests {
         let st = streams(30);
         let sv = servers();
         let model = ServerLoadModel::new(&st, &sv);
-        let g = greedy(&st, &sv);
+        let g = greedy(&model);
         let (br, _) = best_response(&st, &sv, g.clone());
         assert!(model.objective(&br) <= model.objective(&g) + 1e-9);
     }

@@ -295,3 +295,30 @@ fn million_stream_stress_stays_on_simplex() {
         assert_valid_shares(&shares, &format!("stress/{policy:?}"));
     }
 }
+
+/// Shares that are individually finite but sum past f64::MAX used to
+/// renormalize by +∞ — every entry divided to 0.0 and the vector left
+/// the simplex entirely. The clamp-before-sum in `sanitize_shares` must
+/// land the vector back on the simplex instead.
+#[test]
+fn sanitize_shares_renormalizes_a_finite_but_overflowing_sum() {
+    let mut shares = vec![1.5e308, 1e308];
+    let changed = scalpel_alloc::convex::sanitize_shares(&mut shares);
+    assert!(changed, "an overflowing vector must report modification");
+    let sum: f64 = shares.iter().sum();
+    assert!(
+        sum.is_finite() && sum <= 1.0 + 1e-9,
+        "renormalized sum must sit on or under the simplex, got {sum}"
+    );
+    assert!(
+        shares.iter().all(|&s| s.is_finite() && s > 0.0),
+        "both huge-but-finite entries must survive renormalization \
+         with their proportions, got {shares:?}"
+    );
+    // Proportions are preserved through the shared clamp: equal clamps
+    // renormalize to equal shares.
+    assert!(
+        (shares[0] - shares[1]).abs() < 1e-12,
+        "entries clamped to the same component must renormalize equally"
+    );
+}

@@ -1,0 +1,150 @@
+//! Quick hot-path profiler for kernel work: times only the N=512
+//! incremental-descent row (the perfbench bottleneck) so optimization
+//! iterations don't pay for the fleet-scale rows.
+//!
+//! ```text
+//! hotprof [--full] [--reps R]
+//! ```
+
+use scalpel_core::baselines::{solve_with, Method};
+use scalpel_core::compiler;
+use scalpel_core::config::{ScenarioConfig, ServerMix};
+use scalpel_core::evaluator::Evaluator;
+use scalpel_core::optimizer::{self, EvalMode, OptimizerConfig};
+use scalpel_sim::{EdgeSim, SimConfig, SimScratch};
+use std::time::Instant;
+
+fn scenario(streams: usize) -> ScenarioConfig {
+    let num_aps = (streams / 8).max(1);
+    ScenarioConfig {
+        num_aps,
+        devices_per_ap: streams.div_ceil(num_aps),
+        servers: ServerMix::Synthetic {
+            count: num_aps,
+            mean_fps: 1e12,
+            cv: 0.3,
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+/// The simbench clean-100k scenario, replicated (64 APs × 8 devices,
+/// 4 req/s, 40 GFLOP/s servers).
+fn sim_row(reps: usize) {
+    let requests = 100_000usize;
+    let streams = 512usize;
+    let rate_hz = 4.0;
+    let num_aps = streams / 8;
+    let total_rate = streams as f64 * rate_hz;
+    let warmup = 1.0;
+    let cfg = ScenarioConfig {
+        num_aps,
+        devices_per_ap: streams / num_aps,
+        arrival_rate_hz: rate_hz,
+        servers: ServerMix::Synthetic {
+            count: num_aps,
+            mean_fps: 4e10,
+            cv: 0.3,
+        },
+        sim: SimConfig {
+            horizon_s: warmup + requests as f64 / total_rate,
+            warmup_s: warmup,
+            seed: 11,
+            fading: true,
+            ..SimConfig::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    let problem = cfg.build();
+    let ev = Evaluator::new(&problem, None);
+    let opt_cfg = OptimizerConfig {
+        rounds: 1,
+        gibbs_iters: 0,
+        ..Default::default()
+    };
+    let sol = solve_with(&ev, Method::Neurosurgeon, &opt_cfg);
+    let compiled = compiler::compile(&problem, &ev, &sol.assignment, &sol.result);
+    let sim = EdgeSim::new(problem.cluster.clone(), compiled, cfg.sim.clone())
+        .expect("scenario compiles");
+    let mut scratch = SimScratch::new();
+    let mut best = f64::INFINITY;
+    for r in 0..reps {
+        let t = Instant::now();
+        let _ = sim.run_with_scratch(&mut scratch);
+        let wall = t.elapsed().as_secs_f64();
+        best = best.min(wall);
+        println!(
+            "sim rep {r}: {:.1} ms, {} events, {:.2}M events/s",
+            wall * 1e3,
+            scratch.events_scheduled(),
+            scratch.events_scheduled() as f64 / wall / 1e6,
+        );
+    }
+    println!("sim clean 100k best: {:.1} ms", best * 1e3);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_full = args.iter().any(|a| a == "--full");
+    let run_sim = args.iter().any(|a| a == "--sim");
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    if run_sim {
+        sim_row(reps);
+        return;
+    }
+
+    let problem = scenario(512).build();
+    let t = Instant::now();
+    let ev = Evaluator::new(&problem, None);
+    println!("evaluator build: {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    let cfg = OptimizerConfig {
+        rounds: 2,
+        gibbs_iters: 100,
+        eval_mode: EvalMode::Incremental,
+        ..Default::default()
+    };
+    let mut best_ms = f64::INFINITY;
+    let mut evals = 0usize;
+    let mut obj = 0.0f64;
+    for r in 0..reps {
+        let t0 = Instant::now();
+        let sol = optimizer::solve(&ev, &cfg);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        evals = sol.trace.evaluations;
+        obj = sol.result.objective;
+        println!(
+            "rep {r}: incremental {:.1} ms, {:.0} evals/s",
+            ms,
+            evals as f64 / (ms / 1e3)
+        );
+        best_ms = best_ms.min(ms);
+    }
+    println!(
+        "N=512 incremental best: {best_ms:.1} ms, {evals} evals, {:.0} evals/s, objective {obj:.9}",
+        evals as f64 / (best_ms / 1e3)
+    );
+
+    if run_full {
+        let full_cfg = OptimizerConfig {
+            eval_mode: EvalMode::Full,
+            ..cfg
+        };
+        let t0 = Instant::now();
+        let sol = optimizer::solve(&ev, &full_cfg);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "N=512 full: {:.1} ms, {:.0} evals/s, objective {:.9}",
+            ms,
+            sol.trace.evaluations as f64 / (ms / 1e3),
+            sol.result.objective
+        );
+        assert_eq!(sol.result.objective.to_bits(), obj.to_bits(), "parity");
+    }
+}

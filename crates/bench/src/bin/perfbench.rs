@@ -34,6 +34,25 @@ use std::time::Instant;
 /// Asserted ceiling on the sharded-vs-centralized objective gap at N=512.
 const GAP_BOUND_PCT: f64 = 2.0;
 
+/// `incremental_evals_per_sec` on the N=512 row of BENCH_optimizer.json
+/// as recorded *before* the SoA/SIMD kernel work. The smoke gate asserts
+/// current throughput never falls below this; the kernels landed ~5.8×
+/// above it, so the wide margin absorbs CI-runner noise and the gate only
+/// fires on a genuine hot-path regression.
+const N512_BASELINE_EVALS_PER_SEC: f64 = 69_443.2;
+
+/// `incremental_evals_per_sec` per size row as recorded in
+/// BENCH_optimizer.json at this PR's parent commit (before the SoA/SIMD
+/// kernel work); `kernel_speedup` in the JSON is measured against these.
+fn pre_kernel_evals_per_sec(streams: usize) -> Option<f64> {
+    match streams {
+        32 => Some(218_849.9),
+        128 => Some(137_552.9),
+        512 => Some(N512_BASELINE_EVALS_PER_SEC),
+        _ => None,
+    }
+}
+
 struct SizeReport {
     streams: usize,
     servers: usize,
@@ -150,6 +169,34 @@ fn bench_size(streams: usize, smoke: bool) -> SizeReport {
 
 fn evals_per_sec(evals: usize, ms: f64) -> f64 {
     evals as f64 / (ms / 1e3).max(1e-12)
+}
+
+/// Smoke-mode throughput regression gate: a short incremental-only search
+/// at N=512 (the row the kernel work targets) must not fall below the
+/// pre-kernel baseline recorded in BENCH_optimizer.json.
+fn smoke_throughput_gate() {
+    let problem = scenario(512).build();
+    let ev = Evaluator::new(&problem, None);
+    let cfg = OptimizerConfig {
+        rounds: 1,
+        gibbs_iters: 30,
+        eval_mode: EvalMode::Incremental,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let sol = optimizer::solve(&ev, &cfg);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let eps = evals_per_sec(sol.trace.evaluations, ms);
+    println!(
+        "\nN=512 incremental throughput gate: {:.0} evals/s \
+         (floor: pre-kernel baseline {N512_BASELINE_EVALS_PER_SEC:.0})",
+        eps
+    );
+    assert!(
+        eps >= N512_BASELINE_EVALS_PER_SEC,
+        "N=512 incremental throughput regressed below the pre-kernel \
+         baseline: {eps:.0} < {N512_BASELINE_EVALS_PER_SEC:.0} evals/s"
+    );
 }
 
 struct ShardRow {
@@ -284,6 +331,13 @@ fn write_json(path: &str, smoke: bool, rows: &[SizeReport], fleet: &[ShardRow], 
             evals_per_sec(r.evaluations, r.incremental_ms)
         ));
         out.push_str(&format!("      \"speedup\": {:.2},\n", r.speedup));
+        if let Some(pre) = pre_kernel_evals_per_sec(r.streams) {
+            out.push_str(&format!("      \"pre_kernel_evals_per_sec\": {pre:.1},\n"));
+            out.push_str(&format!(
+                "      \"kernel_speedup\": {:.2},\n",
+                evals_per_sec(r.evaluations, r.incremental_ms) / pre
+            ));
+        }
         out.push_str(&format!("      \"objective\": {:.9},\n", r.objective));
         out.push_str("      \"parity\": true\n");
         out.push_str(if i + 1 == rows.len() {
@@ -366,6 +420,10 @@ fn main() {
         rows.push(r);
     }
     t.print();
+
+    if smoke {
+        smoke_throughput_gate();
+    }
 
     let fleet_sizes: &[usize] = if smoke {
         &[4096]

@@ -1,4 +1,4 @@
-//! Simulator hot-loop benchmark: slab pool + compacting event queue +
+//! Simulator hot-loop benchmark: slab pool + timing-wheel event queue +
 //! reusable scratch vs the pre-refactor allocating engine.
 //!
 //! ```text
@@ -54,6 +54,17 @@ const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
 /// events/s is `events_scheduled / baseline_wall`.
 const BASELINE_WALL_S: [[f64; 2]; 3] = [[0.0019, 0.0063], [0.0109, 0.0242], [0.2554, 0.1982]];
 
+/// Wall times in seconds recorded in BENCH_sim.json at this PR's parent
+/// commit — the compacting-heap engine, before the timing wheel, the
+/// virtual-time server station and the kernel/SoA work. Same indexing as
+/// `BASELINE_WALL_S`. `kernel_speedup` in the JSON is measured against
+/// these, isolating what *this* PR bought on top of the slab refactor.
+const PRE_KERNEL_WALL_S: [[f64; 2]; 3] = [
+    [0.001769, 0.001558],
+    [0.008851, 0.006324],
+    [0.218306, 0.058718],
+];
+
 struct Row {
     requests: usize,
     recovered: bool,
@@ -62,9 +73,10 @@ struct Row {
     events: u64,
     delivered: u64,
     cancelled: u64,
-    compactions: u64,
+    rotations: u64,
     wall_s: f64,
     baseline_wall_s: f64,
+    pre_kernel_wall_s: f64,
 }
 
 impl Row {
@@ -79,6 +91,9 @@ impl Row {
     }
     fn speedup(&self) -> f64 {
         self.baseline_wall_s / self.wall_s.max(1e-12)
+    }
+    fn kernel_speedup(&self) -> f64 {
+        self.pre_kernel_wall_s / self.wall_s.max(1e-12)
     }
 }
 
@@ -331,9 +346,10 @@ fn bench_config(size_idx: usize, recovered: bool, scratch: &mut SimScratch, smok
         events: scratch.events_scheduled(),
         delivered: scratch.events_delivered(),
         cancelled: scratch.events_cancelled(),
-        compactions: scratch.queue_compactions(),
+        rotations: scratch.queue_rotations(),
         wall_s: wall,
         baseline_wall_s: BASELINE_WALL_S[size_idx][usize::from(recovered)],
+        pre_kernel_wall_s: PRE_KERNEL_WALL_S[size_idx][usize::from(recovered)],
     }
 }
 
@@ -363,7 +379,7 @@ fn write_json(path: &str, smoke: bool, rows: &[Row]) {
         out.push_str(&format!("      \"events_scheduled\": {},\n", r.events));
         out.push_str(&format!("      \"events_delivered\": {},\n", r.delivered));
         out.push_str(&format!("      \"events_cancelled\": {},\n", r.cancelled));
-        out.push_str(&format!("      \"compactions\": {},\n", r.compactions));
+        out.push_str(&format!("      \"rotations\": {},\n", r.rotations));
         out.push_str(&format!("      \"wall_ms\": {:.3},\n", r.wall_s * 1e3));
         out.push_str(&format!(
             "      \"events_per_sec\": {:.0},\n",
@@ -382,6 +398,14 @@ fn write_json(path: &str, smoke: bool, rows: &[Row]) {
             r.baseline_events_per_sec()
         ));
         out.push_str(&format!("      \"speedup\": {:.2},\n", r.speedup()));
+        out.push_str(&format!(
+            "      \"pre_kernel_wall_ms\": {:.3},\n",
+            r.pre_kernel_wall_s * 1e3
+        ));
+        out.push_str(&format!(
+            "      \"kernel_speedup\": {:.2},\n",
+            r.kernel_speedup()
+        ));
         out.push_str("      \"parity\": true\n");
         out.push_str(if i + 1 == rows.len() {
             "    }\n"
@@ -404,7 +428,7 @@ fn main() {
         .unwrap_or("BENCH_sim.json")
         .to_string();
 
-    println!("== simbench: slab pool + compacting queue + reusable scratch ==");
+    println!("== simbench: slab pool + timing-wheel queue + reusable scratch ==");
     if smoke {
         println!("(smoke mode: parity check only, timings informational)");
     }
@@ -423,6 +447,7 @@ fn main() {
         "req/s",
         "baseline (ms)",
         "speedup",
+        "kernel speedup",
     ]);
     let mut rows = Vec::new();
     for size_idx in 0..n_sizes {
@@ -443,6 +468,7 @@ fn main() {
                 format!("{:.2}M", r.requests_per_sec() / 1e6),
                 format!("{:.1}", r.baseline_wall_s * 1e3),
                 format!("{:.2}x", r.speedup()),
+                format!("{:.2}x", r.kernel_speedup()),
             ]);
             rows.push(r);
         }

@@ -39,9 +39,10 @@ use crate::evaluator::{
     AllocPolicies, Assignment, EvalResult, Evaluator, PlanPricing, RHO_CAP, TX_WATTS,
 };
 use rayon::prelude::*;
-use scalpel_alloc::bandwidth_alloc::{self, BandwidthDemand};
-use scalpel_alloc::compute_alloc::{self, ComputeDemand};
+use scalpel_alloc::bandwidth_alloc::{self, BandwidthCols};
+use scalpel_alloc::compute_alloc::{self, ComputeCols};
 use scalpel_alloc::AllocScratch;
+use std::cell::RefCell;
 
 /// A single-coordinate change to an [`Assignment`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +77,20 @@ fn pk_wait(les2: f64, rho: f64) -> f64 {
     les2 / (2.0 * (1.0 - rho.min(RHO_CAP)))
 }
 
+/// One stream's objective terms: `(L/D, penalty, missed)`. The penalty is
+/// `10·(L/D − 1)` past the deadline, else exactly `0.0`. This is the ONE
+/// definition both the cached and the freshly-patched paths use, so a
+/// cached term is bitwise the value a recompute would produce.
+#[inline]
+fn objective_terms(lat: f64, dl: f64) -> (f64, f64, bool) {
+    let norm = lat / dl;
+    if lat > dl {
+        (norm, 10.0 * (norm - 1.0), true)
+    } else {
+        (norm, 0.0, false)
+    }
+}
+
 /// Reusable buffers for one delta trial, generation-stamped so nothing
 /// needs clearing between trials. [`EvalContext::evaluate_delta`] takes
 /// `&self`, so independent scratches allow concurrent candidate scoring
@@ -101,12 +116,100 @@ pub struct DeltaScratch {
     dirty_servers: Vec<usize>,
     dirty_aps: Vec<usize>,
     members: Vec<usize>,
-    cdemands: Vec<ComputeDemand>,
-    bdemands: Vec<BandwidthDemand>,
+    demands: DemandCols,
     shares: Vec<f64>,
     alloc: AllocScratch,
     objective: f64,
     misses: usize,
+}
+
+/// SoA gather buffers for one group's demand columns — the flat layout
+/// `scalpel_alloc`'s column kernels sweep directly (no per-stream demand
+/// struct is materialized on the hot path). The same five columns serve
+/// both stages: compute groups leave `post` empty, bandwidth groups fill
+/// all five.
+#[derive(Debug, Default)]
+struct DemandCols {
+    pre: Vec<f64>,
+    scaled: Vec<f64>,
+    post: Vec<f64>,
+    weight: Vec<f64>,
+    deadline: Vec<f64>,
+}
+
+impl DemandCols {
+    fn clear(&mut self) {
+        self.pre.clear();
+        self.scaled.clear();
+        self.post.clear();
+        self.weight.clear();
+        self.deadline.clear();
+    }
+
+    /// Stage-2 demand of stream `k` on server `srv`. `peers` is the
+    /// offloading-stream count on `k`'s AP (the fair-share tx estimate).
+    #[inline]
+    fn push_compute(
+        &mut self,
+        ev: &Evaluator,
+        k: usize,
+        p: &PlanPricing,
+        wait: f64,
+        peers: usize,
+        srv: usize,
+    ) {
+        self.pre
+            .push(wait + p.dev_full + ev.tx_full_seconds(k, p) * peers.max(1) as f64);
+        self.scaled
+            .push(p.remain.max(1e-6) * p.edge_flops / ev.server_caps[srv]);
+        // weight ∝ urgency so the weighted-sum fallback minimizes the
+        // Σ L/D objective directly
+        self.weight.push(1.0 / ev.deadline_s[k]);
+        self.deadline.push(ev.deadline_s[k]);
+    }
+
+    /// Stage-3 demand of stream `k` on its AP. The post-tx estimate uses
+    /// the construction-time fair-share proxy (not the live compute
+    /// share) so bandwidth groups stay decoupled from compute solves —
+    /// the property that makes single-move dirty sets small.
+    #[inline]
+    fn push_bandwidth(&mut self, ev: &Evaluator, k: usize, p: &PlanPricing, wait: f64, srv: usize) {
+        self.pre.push(wait + p.dev_full);
+        self.scaled
+            .push(p.remain.max(1e-6) * ev.tx_full_seconds(k, p));
+        self.post
+            .push(p.edge_flops * ev.streams_per_server / ev.server_caps[srv]);
+        self.weight.push(1.0 / ev.deadline_s[k]);
+        self.deadline.push(ev.deadline_s[k]);
+    }
+
+    fn compute_view(&self) -> ComputeCols<'_> {
+        ComputeCols {
+            pre_edge_s: &self.pre,
+            edge_s_full: &self.scaled,
+            weight: &self.weight,
+            deadline_s: &self.deadline,
+        }
+    }
+
+    fn bandwidth_view(&self) -> BandwidthCols<'_> {
+        BandwidthCols {
+            pre_tx_s: &self.pre,
+            tx_s_full: &self.scaled,
+            post_tx_s: &self.post,
+            weight: &self.weight,
+            deadline_s: &self.deadline,
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread pool of [`DeltaScratch`] buffers for [`EvalContext::
+    /// score_menu`]: each probe recycles a warm scratch instead of paying
+    /// six n-sized zeroing allocations. Recycling across contexts (and
+    /// across problem sizes) is safe because `DeltaScratch::begin`
+    /// reallocates on size change and generation-stamps every overlay.
+    static SCRATCH_POOL: RefCell<Vec<DeltaScratch>> = const { RefCell::new(Vec::new()) };
 }
 
 impl DeltaScratch {
@@ -170,6 +273,15 @@ pub struct EvalContext<'a> {
     compute_shares: Vec<f64>,
     bandwidth_shares: Vec<f64>,
     latency: Vec<f64>,
+    /// Per-stream objective terms, cached alongside `latency`: the
+    /// normalized latency `L/D`, the miss penalty `10·(L/D − 1)` (0 when
+    /// the deadline is met), and the miss flag. Stored bitwise as the
+    /// fresh expression computes them, so the pooled resum can add cached
+    /// terms for untouched streams without re-dividing — same bits,
+    /// no division on the O(n) path.
+    obj_norm: Vec<f64>,
+    obj_pen: Vec<f64>,
+    obj_missed: Vec<bool>,
     device_energy: Vec<f64>,
     total_energy: Vec<f64>,
     objective: f64,
@@ -197,6 +309,9 @@ impl<'a> EvalContext<'a> {
             compute_shares: vec![0.0; n],
             bandwidth_shares: vec![0.0; n],
             latency: vec![0.0; n],
+            obj_norm: vec![0.0; n],
+            obj_pen: vec![0.0; n],
+            obj_missed: vec![false; n],
             device_energy: vec![0.0; n],
             total_energy: vec![0.0; n],
             objective: 0.0,
@@ -290,19 +405,20 @@ impl<'a> EvalContext<'a> {
             if self.server_members[srv].is_empty() {
                 continue;
             }
-            s.cdemands.clear();
+            s.demands.clear();
             for i in 0..self.server_members[srv].len() {
                 let k = self.server_members[srv][i];
-                s.cdemands.push(self.compute_demand(
+                s.demands.push_compute(
+                    ev,
                     k,
                     self.plan(k),
                     self.dev_wait[ev.device_of[k]],
                     self.ap_offload[ev.ap_of[k]],
                     srv,
-                ));
+                );
             }
-            compute_alloc::allocate_into(
-                &s.cdemands,
+            compute_alloc::allocate_cols_into(
+                s.demands.compute_view(),
                 self.policies.compute,
                 &mut s.alloc,
                 &mut s.shares,
@@ -323,18 +439,19 @@ impl<'a> EvalContext<'a> {
             if s.members.is_empty() {
                 continue;
             }
-            s.bdemands.clear();
+            s.demands.clear();
             for i in 0..s.members.len() {
                 let k = s.members[i];
-                s.bdemands.push(self.bandwidth_demand(
+                s.demands.push_bandwidth(
+                    ev,
                     k,
                     self.plan(k),
                     self.dev_wait[ev.device_of[k]],
                     self.placement[k],
-                ));
+                );
             }
-            bandwidth_alloc::allocate_into(
-                &s.bdemands,
+            bandwidth_alloc::allocate_cols_into(
+                s.demands.bandwidth_view(),
                 self.policies.bandwidth,
                 &mut s.alloc,
                 &mut s.shares,
@@ -355,6 +472,10 @@ impl<'a> EvalContext<'a> {
                 self.placement[k],
             );
             self.latency[k] = lat;
+            let (norm, pen, miss) = objective_terms(lat, ev.deadline_s[k]);
+            self.obj_norm[k] = norm;
+            self.obj_pen[k] = pen;
+            self.obj_missed[k] = miss;
             self.device_energy[k] = de;
             self.total_energy[k] = te;
         }
@@ -366,65 +487,38 @@ impl<'a> EvalContext<'a> {
     /// Pooled objective + expected misses from per-stream latencies, with
     /// an overlay for patched streams. Always resummed over all `n`
     /// streams in index order so delta and full paths agree bitwise.
+    ///
+    /// Untouched streams read their cached `objective_terms` instead of
+    /// re-dividing `L/D`: the cache holds exactly the bits the fresh
+    /// expression produces, and the add sequence per stream is unchanged
+    /// (`obj += norm`, then `obj += pen` only on a miss), so the result is
+    /// bit-identical to the all-fresh resum while the O(n) loop does no
+    /// division.
     fn sum_objective(&self, patched: impl Fn(usize) -> Option<f64>) -> (f64, usize) {
         let n = self.latency.len();
         let mut obj = 0.0;
         let mut misses = 0usize;
         for k in 0..n {
-            let lat = patched(k).unwrap_or(self.latency[k]);
-            let dl = self.ev.deadline_s[k];
-            let norm = lat / dl;
-            obj += norm;
-            if lat > dl {
-                misses += 1;
-                obj += 10.0 * (norm - 1.0);
+            match patched(k) {
+                None => {
+                    obj += self.obj_norm[k];
+                    if self.obj_missed[k] {
+                        misses += 1;
+                        obj += self.obj_pen[k];
+                    }
+                }
+                Some(lat) => {
+                    let dl = self.ev.deadline_s[k];
+                    let (norm, pen, miss) = objective_terms(lat, dl);
+                    obj += norm;
+                    if miss {
+                        misses += 1;
+                        obj += pen;
+                    }
+                }
             }
         }
         (obj / n as f64, misses)
-    }
-
-    /// Stage-2 demand of stream `k` on server `srv`. `peers` is the
-    /// offloading-stream count on `k`'s AP (the fair-share tx estimate).
-    fn compute_demand(
-        &self,
-        k: usize,
-        p: &PlanPricing,
-        wait: f64,
-        peers: usize,
-        srv: usize,
-    ) -> ComputeDemand {
-        let ev = self.ev;
-        ComputeDemand {
-            stream: k,
-            pre_edge_s: wait + p.dev_full + ev.tx_full_seconds(k, p) * peers.max(1) as f64,
-            edge_s_full: p.remain.max(1e-6) * p.edge_flops / ev.server_caps[srv],
-            // weight ∝ urgency so the weighted-sum fallback minimizes the
-            // Σ L/D objective directly
-            weight: 1.0 / ev.deadline_s[k],
-            deadline_s: ev.deadline_s[k],
-        }
-    }
-
-    /// Stage-3 demand of stream `k` on its AP. The post-tx estimate uses
-    /// the construction-time fair-share proxy (not the live compute
-    /// share) so bandwidth groups stay decoupled from compute solves —
-    /// the property that makes single-move dirty sets small.
-    fn bandwidth_demand(
-        &self,
-        k: usize,
-        p: &PlanPricing,
-        wait: f64,
-        srv: usize,
-    ) -> BandwidthDemand {
-        let ev = self.ev;
-        BandwidthDemand {
-            device: ev.device_of[k],
-            pre_tx_s: wait + p.dev_full,
-            tx_s_full: p.remain.max(1e-6) * ev.tx_full_seconds(k, p),
-            post_tx_s: p.edge_flops * ev.streams_per_server / ev.server_caps[srv],
-            weight: 1.0 / ev.deadline_s[k],
-            deadline_s: ev.deadline_s[k],
-        }
     }
 
     /// Final latency/energy of one stream from its wait, shares, server.
@@ -621,19 +715,14 @@ impl<'a> EvalContext<'a> {
                 let pos = s.members.partition_point(|&j| j < k);
                 s.members.insert(pos, k);
             }
-            s.cdemands.clear();
+            s.demands.clear();
             for i in 0..s.members.len() {
                 let j = s.members[i];
-                s.cdemands.push(self.compute_demand(
-                    j,
-                    plan_of(j),
-                    wait_of(j),
-                    ap_off_of(ev.ap_of[j]),
-                    srv,
-                ));
+                s.demands
+                    .push_compute(ev, j, plan_of(j), wait_of(j), ap_off_of(ev.ap_of[j]), srv);
             }
-            compute_alloc::allocate_into(
-                &s.cdemands,
+            compute_alloc::allocate_cols_into(
+                s.demands.compute_view(),
                 self.policies.compute,
                 &mut s.alloc,
                 &mut s.shares,
@@ -686,14 +775,14 @@ impl<'a> EvalContext<'a> {
                     s.members.push(j);
                 }
             }
-            s.bdemands.clear();
+            s.demands.clear();
             for i in 0..s.members.len() {
                 let j = s.members[i];
-                s.bdemands
-                    .push(self.bandwidth_demand(j, plan_of(j), wait_of(j), srv_of(j)));
+                s.demands
+                    .push_bandwidth(ev, j, plan_of(j), wait_of(j), srv_of(j));
             }
-            bandwidth_alloc::allocate_into(
-                &s.bdemands,
+            bandwidth_alloc::allocate_cols_into(
+                s.demands.bandwidth_view(),
                 self.policies.bandwidth,
                 &mut s.alloc,
                 &mut s.shares,
@@ -816,8 +905,15 @@ impl<'a> EvalContext<'a> {
         let idxs: Vec<usize> = (0..self.ev.menus[k].len()).collect();
         idxs.par_iter()
             .map(|&idx| {
-                let mut s = DeltaScratch::default();
-                self.evaluate_delta(k, idx, &mut s)
+                // Recycle a per-thread scratch: the overlays inside are
+                // generation-stamped, so a warm buffer prices exactly like
+                // a fresh one, minus the six n-sized allocations.
+                let mut s = SCRATCH_POOL
+                    .with(|pool| pool.borrow_mut().pop())
+                    .unwrap_or_default();
+                let obj = self.evaluate_delta(k, idx, &mut s);
+                SCRATCH_POOL.with(|pool| pool.borrow_mut().push(s));
+                obj
             })
             .collect()
     }
@@ -870,6 +966,10 @@ impl<'a> EvalContext<'a> {
         }
         for &j in &s.touched_lat {
             self.latency[j] = s.lat_val[j];
+            let (norm, pen, miss) = objective_terms(s.lat_val[j], self.ev.deadline_s[j]);
+            self.obj_norm[j] = norm;
+            self.obj_pen[j] = pen;
+            self.obj_missed[j] = miss;
             self.device_energy[j] = s.de_val[j];
             self.total_energy[j] = s.te_val[j];
         }

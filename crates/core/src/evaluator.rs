@@ -194,10 +194,14 @@ impl Evaluator {
         let mut menus = Vec::with_capacity(n);
         let mut link_rate_bps = Vec::with_capacity(n);
         let by_ap = problem.streams_by_ap();
+        // Mean full-spectrum link rate cached per *device*: `mean_rate_bps`
+        // walks the fading model (log2/powf), and streams sharing a device
+        // share its link, so the transcendentals run once per device.
+        let mut dev_rate_bps: Vec<Option<f64>> = vec![None; problem.cluster.devices.len()];
         for spec in problem.streams.iter() {
             let dev = &problem.cluster.devices[spec.device];
-            let link = problem.cluster.link(spec.device);
-            let rate = link.mean_rate_bps(1.0);
+            let rate = *dev_rate_bps[spec.device]
+                .get_or_insert_with(|| problem.cluster.link(spec.device).mean_rate_bps(1.0));
             link_rate_bps.push(rate);
             let peers_on_ap = by_ap[dev.ap].len().max(1) as f64;
             let model = &problem.models[spec.model];
@@ -218,10 +222,20 @@ impl Evaluator {
                 ..menu_cfg.clone().unwrap_or_default()
             };
             let raw = candidates::generate(model, &env, &cfg);
-            let menu: Vec<PlanPricing> = raw
+            let mut menu: Vec<PlanPricing> = raw
                 .into_iter()
                 .map(|c| Self::price_plan(model, &lat, &cfg, c))
                 .collect();
+            // Fill the per-plan full-spectrum transmission time now that
+            // the stream's link rate is known, so the hot path reads a
+            // cached field instead of re-dividing per demand gather.
+            for plan in &mut menu {
+                plan.tx_full_s = if plan.tx_bytes == 0.0 {
+                    0.0
+                } else {
+                    plan.tx_bytes * 8.0 / rate
+                };
+            }
             menus.push(menu);
         }
         let device_of: Vec<usize> = problem.streams.iter().map(|s| s.device).collect();
@@ -393,12 +407,12 @@ impl Evaluator {
     }
 
     /// Transmission seconds at full spectrum for plan `p` of stream `k`.
+    /// Reads the value precomputed at menu construction (`p` must come
+    /// from stream `k`'s menu, which every caller satisfies); `k` is kept
+    /// in the signature as the provenance reminder.
     pub fn tx_full_seconds(&self, k: usize, p: &PlanPricing) -> f64 {
-        if p.tx_bytes == 0.0 {
-            0.0
-        } else {
-            p.tx_bytes * 8.0 / self.link_rate_bps[k]
-        }
+        let _ = k;
+        p.tx_full_s
     }
 
     /// Price a configuration under the given allocation policies.

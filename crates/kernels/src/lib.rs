@@ -1,0 +1,465 @@
+//! # scalpel-kernels — hand-unrolled f64x4 hot-loop primitives
+//!
+//! The solver and simulator hot paths (KKT water-filling, clipped
+//! water-filling bisection, min-max bisection, pricing accumulation) are
+//! short reductions over flat f64 columns. Written as naive iterator
+//! chains they serialize on one scalar add/divide per element; written as
+//! 4-lane unrolled loops the *elementwise* work (divide, multiply, sqrt,
+//! max) becomes independent across lanes — LLVM packs it into SSE2/AVX
+//! vector ops and the four hardware dividers pipeline — while the
+//! *reduction* stays under our explicit control.
+//!
+//! ## Bit-exactness contract
+//!
+//! Every kernel documents one of two guarantees:
+//!
+//! * **Bit-exact** — IEEE-754 elementwise operations (`*`, `/`, `sqrt`,
+//!   `max`) are exactly rounded, so computing four of them at once
+//!   changes nothing; the final accumulation is performed in the same
+//!   strict element order a naive scalar loop uses. Result: identical
+//!   bits to the reference loop, always. These kernels are safe inside
+//!   the solver paths whose outputs are pinned bitwise (trace parity,
+//!   golden snapshots).
+//! * **Re-associated** (`*_fast`) — four parallel accumulators combined
+//!   at the end. This changes the rounding order; callers must tolerate
+//!   [`KERNEL_REL_TOL`] and must not feed the result into a bit-pinned
+//!   comparison. `min_fast` is the exception: `min` is associative and
+//!   commutative exactly (for NaN-free inputs), so its lane-reduction is
+//!   still bitwise equal to the sequential fold.
+//!
+//! ## `kernel-xcheck`
+//!
+//! With the `kernel-xcheck` feature enabled, every kernel call also runs
+//! its scalar reference implementation and asserts agreement — bitwise
+//! for the bit-exact kernels, within [`KERNEL_REL_TOL`] for the
+//! re-associated ones. This is the allocation-layer analogue of the
+//! `eval-xcheck` oracle: turn it on in CI and any divergence between the
+//! unrolled and reference paths aborts loudly at the first call.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+/// Relative tolerance the re-associated (`*_fast`) reductions are allowed
+/// to diverge from the sequential reference by. A 4-way re-association of
+/// `n` same-sign terms differs from the sequential sum by at most
+/// ~`n·ε·Σ|x|`; for the column lengths this workspace reduces (≤ a few
+/// thousand) and machine ε ≈ 2.2e-16 that is well below `1e-12`
+/// relative. Mixed-sign cancellation can exceed this — callers feed
+/// non-negative columns (shares, weights, work remaining).
+pub const KERNEL_REL_TOL: f64 = 1e-12;
+
+const LANES: usize = 4;
+
+#[cfg(feature = "kernel-xcheck")]
+#[inline]
+fn xcheck_bits(kernel: &str, got: f64, reference: f64) {
+    assert!(
+        got.to_bits() == reference.to_bits(),
+        "kernel-xcheck: {kernel} diverged from scalar reference: {got:?} vs {reference:?}"
+    );
+}
+
+#[cfg(feature = "kernel-xcheck")]
+#[inline]
+fn xcheck_tol(kernel: &str, got: f64, reference: f64) {
+    let scale = reference.abs().max(got.abs()).max(1.0);
+    assert!(
+        (got - reference).abs() <= KERNEL_REL_TOL * scale || got.to_bits() == reference.to_bits(),
+        "kernel-xcheck: {kernel} outside KERNEL_REL_TOL: {got:?} vs {reference:?}"
+    );
+}
+
+/// Sequential sum in strict element order — the reference reduction every
+/// bit-exact kernel accumulates with. **Bit-exact** by definition.
+#[inline]
+pub fn seq_sum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// `out[i] = (a[i] * b[i]).sqrt()` for the common prefix of `a`/`b`,
+/// returning the strict-order sum of the outputs. This is the
+/// water-filling root pass `r_k = √(w_k e_k)`, `Σ_k r_k` fused into one
+/// sweep. **Bit-exact**: multiply and sqrt are exactly rounded per
+/// element and the sum runs in element order.
+pub fn sqrt_mul_sum(a: &[f64], b: &[f64], out: &mut Vec<f64>) -> f64 {
+    let n = a.len().min(b.len());
+    out.clear();
+    out.reserve(n);
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i + LANES <= n {
+        let r0 = (a[i] * b[i]).sqrt();
+        let r1 = (a[i + 1] * b[i + 1]).sqrt();
+        let r2 = (a[i + 2] * b[i + 2]).sqrt();
+        let r3 = (a[i + 3] * b[i + 3]).sqrt();
+        out.extend_from_slice(&[r0, r1, r2, r3]);
+        acc += r0;
+        acc += r1;
+        acc += r2;
+        acc += r3;
+        i += LANES;
+    }
+    while i < n {
+        let r = (a[i] * b[i]).sqrt();
+        out.push(r);
+        acc += r;
+        i += 1;
+    }
+    #[cfg(feature = "kernel-xcheck")]
+    {
+        let mut racc = 0.0;
+        for (j, (&x, &y)) in a.iter().zip(b.iter()).take(n).enumerate() {
+            let r = (x * y).sqrt();
+            xcheck_bits("sqrt_mul_sum[elem]", out[j], r);
+            racc += r;
+        }
+        xcheck_bits("sqrt_mul_sum", acc, racc);
+    }
+    acc
+}
+
+/// The clipped-water-filling bisection objective
+/// `Σ_k max(roots[k] / nu, mins[k])` over the common prefix, summed in
+/// strict element order. The four divides per step are independent, so
+/// they pipeline (or pack into `divpd`); only the adds serialize.
+/// **Bit-exact.**
+pub fn clipped_share_sum(roots: &[f64], mins: &[f64], nu: f64) -> f64 {
+    let n = roots.len().min(mins.len());
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i + LANES <= n {
+        let q0 = (roots[i] / nu).max(mins[i]);
+        let q1 = (roots[i + 1] / nu).max(mins[i + 1]);
+        let q2 = (roots[i + 2] / nu).max(mins[i + 2]);
+        let q3 = (roots[i + 3] / nu).max(mins[i + 3]);
+        acc += q0;
+        acc += q1;
+        acc += q2;
+        acc += q3;
+        i += LANES;
+    }
+    while i < n {
+        acc += (roots[i] / nu).max(mins[i]);
+        i += 1;
+    }
+    #[cfg(feature = "kernel-xcheck")]
+    {
+        let mut racc = 0.0;
+        for (&r, &m) in roots.iter().zip(mins.iter()).take(n) {
+            racc += (r / nu).max(m);
+        }
+        xcheck_bits("clipped_share_sum", acc, racc);
+    }
+    acc
+}
+
+/// `out[i] = max(roots[i] / nu, mins[i])` elementwise over the common
+/// prefix — the final share fill after the clipped-water-filling
+/// bisection converges. `out` must be at least that long. **Bit-exact.**
+pub fn clipped_fill(roots: &[f64], mins: &[f64], nu: f64, out: &mut [f64]) {
+    let n = roots.len().min(mins.len()).min(out.len());
+    let mut i = 0;
+    while i + LANES <= n {
+        out[i] = (roots[i] / nu).max(mins[i]);
+        out[i + 1] = (roots[i + 1] / nu).max(mins[i + 1]);
+        out[i + 2] = (roots[i + 2] / nu).max(mins[i + 2]);
+        out[i + 3] = (roots[i + 3] / nu).max(mins[i + 3]);
+        i += LANES;
+    }
+    while i < n {
+        out[i] = (roots[i] / nu).max(mins[i]);
+        i += 1;
+    }
+    #[cfg(feature = "kernel-xcheck")]
+    for (j, (&r, &m)) in roots.iter().zip(mins.iter()).take(n).enumerate() {
+        xcheck_bits("clipped_fill", out[j], (r / nu).max(m));
+    }
+}
+
+/// The min-max bisection objective `g(λ) = Σ_k num[k] / (λ − base[k])`
+/// over the common prefix, summed in strict element order. Callers pass
+/// the *served-streams-compacted* columns so no filter branch runs inside
+/// the 4-lane body. **Bit-exact.**
+pub fn ratio_sum(num: &[f64], base: &[f64], lambda: f64) -> f64 {
+    let n = num.len().min(base.len());
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i + LANES <= n {
+        let q0 = num[i] / (lambda - base[i]);
+        let q1 = num[i + 1] / (lambda - base[i + 1]);
+        let q2 = num[i + 2] / (lambda - base[i + 2]);
+        let q3 = num[i + 3] / (lambda - base[i + 3]);
+        acc += q0;
+        acc += q1;
+        acc += q2;
+        acc += q3;
+        i += LANES;
+    }
+    while i < n {
+        acc += num[i] / (lambda - base[i]);
+        i += 1;
+    }
+    #[cfg(feature = "kernel-xcheck")]
+    {
+        let mut racc = 0.0;
+        for (&e, &a) in num.iter().zip(base.iter()).take(n) {
+            racc += e / (lambda - a);
+        }
+        xcheck_bits("ratio_sum", acc, racc);
+    }
+    acc
+}
+
+/// `out[i] /= d` elementwise — the simplex normalization after a
+/// water-filling or bisection solve. **Bit-exact** (division is exactly
+/// rounded per element; no reduction involved).
+pub fn scale_div(out: &mut [f64], d: f64) {
+    let n = out.len();
+    let mut i = 0;
+    while i + LANES <= n {
+        out[i] /= d;
+        out[i + 1] /= d;
+        out[i + 2] /= d;
+        out[i + 3] /= d;
+        i += LANES;
+    }
+    while i < n {
+        out[i] /= d;
+        i += 1;
+    }
+}
+
+/// In-place variant of [`clipped_fill`]: `mins_out[i] =
+/// max(roots[i] / nu, mins_out[i])` — the deadline solver's final fill,
+/// which overwrites the minimums buffer with the shares. **Bit-exact.**
+pub fn clipped_fill_inplace(roots: &[f64], nu: f64, mins_out: &mut [f64]) {
+    let n = roots.len().min(mins_out.len());
+    let mut i = 0;
+    while i + LANES <= n {
+        mins_out[i] = (roots[i] / nu).max(mins_out[i]);
+        mins_out[i + 1] = (roots[i + 1] / nu).max(mins_out[i + 1]);
+        mins_out[i + 2] = (roots[i + 2] / nu).max(mins_out[i + 2]);
+        mins_out[i + 3] = (roots[i + 3] / nu).max(mins_out[i + 3]);
+        i += LANES;
+    }
+    while i < n {
+        mins_out[i] = (roots[i] / nu).max(mins_out[i]);
+        i += 1;
+    }
+}
+
+/// Re-associated 4-accumulator sum. **Not bit-exact** vs [`seq_sum`] —
+/// agrees within [`KERNEL_REL_TOL`] for same-sign inputs. Use only where
+/// the consumer is explicitly tolerance-gated.
+pub fn sum_fast(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0;
+    while i + LANES <= n {
+        a0 += xs[i];
+        a1 += xs[i + 1];
+        a2 += xs[i + 2];
+        a3 += xs[i + 3];
+        i += LANES;
+    }
+    let mut acc = (a0 + a2) + (a1 + a3);
+    while i < n {
+        acc += xs[i];
+        i += 1;
+    }
+    #[cfg(feature = "kernel-xcheck")]
+    xcheck_tol("sum_fast", acc, seq_sum(xs));
+    acc
+}
+
+/// Re-associated 4-accumulator dot product `Σ a[i]·b[i]` over the common
+/// prefix. **Not bit-exact**; [`KERNEL_REL_TOL`] applies (same-sign
+/// inputs). Use only in tolerance-gated consumers.
+pub fn dot_fast(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0;
+    while i + LANES <= n {
+        a0 += a[i] * b[i];
+        a1 += a[i + 1] * b[i + 1];
+        a2 += a[i + 2] * b[i + 2];
+        a3 += a[i + 3] * b[i + 3];
+        i += LANES;
+    }
+    let mut acc = (a0 + a2) + (a1 + a3);
+    while i < n {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    #[cfg(feature = "kernel-xcheck")]
+    {
+        let mut racc = 0.0;
+        for (&x, &y) in a.iter().zip(b.iter()).take(n) {
+            racc += x * y;
+        }
+        xcheck_tol("dot_fast", acc, racc);
+    }
+    acc
+}
+
+/// 4-lane minimum reduce; `+∞` for an empty slice. `min` is exactly
+/// associative and commutative for NaN-free inputs, so despite the lane
+/// split this is **bit-exact** vs `fold(+∞, f64::min)` on such inputs
+/// (NaN entries are ignored, per `f64::min` semantics, in both).
+pub fn min_fast(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let mut m0 = f64::INFINITY;
+    let mut m1 = f64::INFINITY;
+    let mut m2 = f64::INFINITY;
+    let mut m3 = f64::INFINITY;
+    let mut i = 0;
+    while i + LANES <= n {
+        m0 = m0.min(xs[i]);
+        m1 = m1.min(xs[i + 1]);
+        m2 = m2.min(xs[i + 2]);
+        m3 = m3.min(xs[i + 3]);
+        i += LANES;
+    }
+    let mut m = m0.min(m1).min(m2).min(m3);
+    while i < n {
+        m = m.min(xs[i]);
+        i += 1;
+    }
+    #[cfg(feature = "kernel-xcheck")]
+    xcheck_bits(
+        "min_fast",
+        m,
+        xs.iter().fold(f64::INFINITY, |a, &x| a.min(x)),
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: usize, seed: u64) -> Vec<f64> {
+        // Deterministic pseudo-random positives without external deps.
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 10_000) as f64 / 100.0 + 0.01
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seq_sum_matches_iter_sum_bitwise() {
+        for n in 0..=19 {
+            let xs = col(n, 7);
+            // Explicit fold from +0.0: std's `Iterator::sum` seeds with -0.0,
+            // which differs bitwise on the empty slice.
+            let reference: f64 = xs.iter().fold(0.0, |a, &x| a + x);
+            assert_eq!(seq_sum(&xs).to_bits(), reference.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sqrt_mul_sum_is_bit_exact_across_tails() {
+        for n in 0..=19 {
+            let a = col(n, 1);
+            let b = col(n, 2);
+            let mut out = Vec::new();
+            let s = sqrt_mul_sum(&a, &b, &mut out);
+            let mut racc = 0.0;
+            for i in 0..n {
+                let r = (a[i] * b[i]).sqrt();
+                assert_eq!(out[i].to_bits(), r.to_bits());
+                racc += r;
+            }
+            assert_eq!(s.to_bits(), racc.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn clipped_share_sum_and_fill_are_bit_exact() {
+        for n in 0..=19 {
+            let roots = col(n, 3);
+            let mins = col(n, 4);
+            for nu in [0.5, 1.0, 123.456] {
+                let s = clipped_share_sum(&roots, &mins, nu);
+                let reference: f64 = roots
+                    .iter()
+                    .zip(&mins)
+                    .map(|(&r, &m)| (r / nu).max(m))
+                    .fold(0.0, |acc, q| acc + q);
+                assert_eq!(s.to_bits(), reference.to_bits(), "n={n} nu={nu}");
+                let mut out = vec![0.0; n];
+                clipped_fill(&roots, &mins, nu, &mut out);
+                for i in 0..n {
+                    assert_eq!(out[i].to_bits(), ((roots[i] / nu).max(mins[i])).to_bits());
+                }
+                let mut inplace = mins.clone();
+                clipped_fill_inplace(&roots, nu, &mut inplace);
+                for i in 0..n {
+                    assert_eq!(inplace[i].to_bits(), out[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_sum_is_bit_exact() {
+        for n in 0..=19 {
+            let e = col(n, 5);
+            let a = col(n, 6);
+            let lambda = 200.0; // strictly above every base value col() emits
+            let s = ratio_sum(&e, &a, lambda);
+            let mut racc = 0.0;
+            for i in 0..n {
+                racc += e[i] / (lambda - a[i]);
+            }
+            assert_eq!(s.to_bits(), racc.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scale_div_matches_scalar() {
+        for n in 0..=19 {
+            let mut xs = col(n, 8);
+            let reference: Vec<f64> = xs.iter().map(|&x| x / 3.7).collect();
+            scale_div(&mut xs, 3.7);
+            for i in 0..n {
+                assert_eq!(xs[i].to_bits(), reference[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_reductions_stay_within_tolerance() {
+        for n in [0, 1, 3, 4, 5, 8, 13, 100, 1000] {
+            let a = col(n, 9);
+            let b = col(n, 10);
+            let s = sum_fast(&a);
+            let reference = seq_sum(&a);
+            assert!((s - reference).abs() <= KERNEL_REL_TOL * reference.abs().max(1.0));
+            let d = dot_fast(&a, &b);
+            let dref: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            assert!((d - dref).abs() <= KERNEL_REL_TOL * dref.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn min_fast_matches_fold_bitwise() {
+        for n in 0..=19 {
+            let xs = col(n, 11);
+            let reference = xs.iter().fold(f64::INFINITY, |a, &x| a.min(x));
+            assert_eq!(min_fast(&xs).to_bits(), reference.to_bits(), "n={n}");
+        }
+        assert_eq!(min_fast(&[]), f64::INFINITY);
+        assert_eq!(min_fast(&[f64::INFINITY, 3.0, f64::NAN, 1.0]), 1.0);
+    }
+}

@@ -53,7 +53,7 @@ impl DifficultyModel {
     pub fn coverage(&self, x: f64, t: f64) -> f64 {
         debug_assert!((0.0..=1.0).contains(&x));
         debug_assert!((0.0..=1.0).contains(&t));
-        ((1.0 - t.powf(self.rho)) * x.powf(self.gamma)).clamp(0.0, 1.0)
+        self.coverage_cached(self.depth_cache(x), self.threshold_pow(t))
     }
 
     /// Accuracy of an exit classifier at depth `x` over *all* inputs.
@@ -68,7 +68,38 @@ impl DifficultyModel {
     /// well, so a multi-exit network's expected accuracy never exceeds the
     /// backbone's (the selection effect the boost would otherwise ignore).
     pub fn conditional_accuracy(&self, x: f64, t: f64) -> f64 {
-        let base = self.exit_accuracy(x);
+        self.conditional_accuracy_cached(self.depth_cache(x), t)
+    }
+
+    /// Precompute the two depth transcendentals (`x^γ` and the exit
+    /// accuracy's `(1−x)^η` term) for one exit depth. Threshold sweeps —
+    /// the exit-setting DP grid, coordinate-ascent refinement — evaluate
+    /// [`Self::coverage`]/[`Self::conditional_accuracy`] many times at
+    /// the *same* depth, and this cache is what they hoist out of the
+    /// loop (the same idiom as the simulator's per-link SNR cache).
+    pub fn depth_cache(&self, x: f64) -> DepthCache {
+        DepthCache {
+            depth_pow: x.powf(self.gamma),
+            exit_acc: self.exit_accuracy(x),
+        }
+    }
+
+    /// The threshold transcendental `t^ρ`, hoistable across every depth
+    /// evaluated at the same threshold.
+    pub fn threshold_pow(&self, t: f64) -> f64 {
+        t.powf(self.rho)
+    }
+
+    /// [`Self::coverage`] from cached powers — bit-identical to the
+    /// uncached form (same expression tree, exactly-rounded ops).
+    pub fn coverage_cached(&self, depth: DepthCache, thr_pow: f64) -> f64 {
+        ((1.0 - thr_pow) * depth.depth_pow).clamp(0.0, 1.0)
+    }
+
+    /// [`Self::conditional_accuracy`] from a cached depth — bit-identical
+    /// to the uncached form.
+    pub fn conditional_accuracy_cached(&self, depth: DepthCache, t: f64) -> f64 {
+        let base = depth.exit_acc;
         // Strictly below the backbone: a small head never quite matches the
         // full model, even on the easy inputs it confidently accepts.
         let cap = (self.acc_full - 0.002).max(0.0);
@@ -108,6 +139,17 @@ impl Default for DifficultyModel {
     fn default() -> Self {
         Self::imagenet(0.76)
     }
+}
+
+/// Per-depth transcendental cache for [`DifficultyModel`]: the values of
+/// `x^γ` and the depth-only exit accuracy, valid for one `(model, x)`
+/// pair. Build once per exit host, reuse across a whole threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthCache {
+    /// `x^γ` — the depth factor of coverage.
+    depth_pow: f64,
+    /// `exit_accuracy(x)` — the threshold-independent accuracy base.
+    exit_acc: f64,
 }
 
 /// Resolved behavior of a specific exit chain.
@@ -167,6 +209,29 @@ mod tests {
         // extremes
         assert_eq!(m.coverage(0.0, 0.5), 0.0);
         assert!(m.coverage(1.0, 0.0) >= 0.999);
+    }
+
+    #[test]
+    fn cached_forms_are_bit_identical_to_direct_evaluation() {
+        let m = DifficultyModel::default();
+        for xi in 0..=20 {
+            let x = xi as f64 / 20.0;
+            let d = m.depth_cache(x);
+            for ti in 0..=20 {
+                let t = ti as f64 / 20.0;
+                let tp = m.threshold_pow(t);
+                assert_eq!(
+                    m.coverage_cached(d, tp).to_bits(),
+                    m.coverage(x, t).to_bits(),
+                    "coverage x={x} t={t}"
+                );
+                assert_eq!(
+                    m.conditional_accuracy_cached(d, t).to_bits(),
+                    m.conditional_accuracy(x, t).to_bits(),
+                    "cond acc x={x} t={t}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod summary;
 pub mod tensor;
 pub mod zoo;
 
-pub use difficulty::{DifficultyModel, ExitBehavior};
+pub use difficulty::{DepthCache, DifficultyModel, ExitBehavior};
 pub use error::{ExitErrorKind, ModelError, ShapeErrorKind};
 pub use exits::{ExitHead, ExitPoint, MultiExitModel};
 pub use graph::{CutPoint, GraphBuilder, ModelGraph, Node, NodeId, INPUT};

@@ -1,25 +1,49 @@
-//! Generic discrete-event queue with cancellation and compaction.
+//! Generic discrete-event queue with cancellation, built on a timing
+//! wheel.
 //!
-//! A 4-ary min-heap keyed on `(time, sequence)`: events at equal
-//! timestamps pop in insertion order, which makes simulations
-//! deterministic without requiring `Ord` on the event payload. Payloads
-//! live in a slot slab addressed by index, so heap entries are small
-//! `Copy` records and sift operations never move event bodies.
+//! Events land in fixed-width time buckets (65.536 µs each, 4096
+//! buckets ≈ 268 ms of look-ahead); anything beyond the current window
+//! waits in an overflow list and is swept in when the wheel rotates.
+//! Scheduling is O(1): compute the bucket index and push. Popping scans
+//! an occupancy bitmap for the next non-empty bucket (64 buckets per
+//! word) and extracts that bucket's minimum `(time, sequence)` entry,
+//! so delivery order is *exactly* total order by `(at, seq)` — events
+//! at equal timestamps pop in insertion order, which keeps simulations
+//! deterministic without requiring `Ord` on the payload. Buckets hold
+//! O(1) entries at typical event densities; the per-pop min-scan is
+//! linear in bucket occupancy, so pathologically bursty schedules (many
+//! thousands of events inside one 65 µs bucket) degrade to the naive
+//! sorted-list cost within that bucket only.
 //!
-//! [`EventQueue::schedule`] returns an [`EventKey`] that can later be
-//! passed to [`EventQueue::cancel`]. Cancelled entries become tombstones
-//! in the heap; the queue tracks its tombstone ratio and compacts in
-//! place once stale entries exceed half the heap (see
-//! [`EventQueue::cancel`]), so superseded timers never accumulate.
+//! Payloads are `Copy` and stored inline in bucket entries — a pop or
+//! push touches only the bucket vector, no side slab. Cancellable
+//! events additionally carry a `(slot, stamp)` ticket into a stamp slab
+//! so a cancelled entry can be recognized (and skipped) when the wheel
+//! reaches it: [`EventQueue::schedule`] returns an [`EventKey`] for
+//! [`EventQueue::cancel`], while [`EventQueue::post`] is the
+//! fire-and-forget variant that skips the slab entirely. Cancelled
+//! entries become tombstones that are swept, in time order, as the
+//! cursor passes them — they occupy memory only until their timestamp.
 //!
 //! Time semantics are pinned for reproducibility: popping a tombstone
 //! still advances `now` to its timestamp, and draining the queue leaves
-//! `now` at the maximum time ever scheduled — exactly where the pre-slab
-//! queue (which popped every stale entry) would have left it.
+//! `now` at the maximum time ever scheduled — exactly where the old
+//! pop-every-stale-entry heap would have left it.
 
 use crate::time::SimTime;
 
 const NIL: u32 = u32::MAX;
+
+/// log2 of the bucket width in nanoseconds: 2^16 ns ≈ 65.5 µs.
+const SHIFT: u32 = 16;
+/// Buckets per window (power of two). 4096 × 65.5 µs ≈ 268 ms.
+const NB: usize = 4096;
+/// Window span in nanoseconds.
+const SPAN: u64 = (NB as u64) << SHIFT;
+/// Occupancy-bitmap words (64 buckets per word).
+const WORDS: usize = NB / 64;
+/// Mask that aligns a nanosecond count down to a bucket boundary.
+const ALIGN: u64 = !((1u64 << SHIFT) - 1);
 
 /// Handle to a scheduled event, returned by [`EventQueue::schedule`].
 ///
@@ -46,83 +70,103 @@ impl Default for EventKey {
     }
 }
 
-/// Heap entry: 24 bytes, `Copy`, totally ordered by `(at, seq)` so pop
-/// order is independent of heap shape or arity.
+/// Bucket entry, `Copy`, totally ordered by `(at, seq)`. The payload
+/// rides inline; `slot == NIL` marks a fire-and-forget entry with no
+/// cancellation ticket.
 #[derive(Clone, Copy)]
-struct Entry {
+struct Entry<E> {
     at: SimTime,
     seq: u64,
     slot: u32,
     stamp: u32,
+    event: E,
 }
 
-impl Entry {
-    #[inline]
-    fn before(&self, other: &Entry) -> bool {
-        (self.at, self.seq) < (other.at, other.seq)
-    }
-}
-
-struct Slot<E> {
-    event: Option<E>,
-    stamp: u32,
-}
-
-/// A future-event list with FIFO tie-breaking, O(1) cancellation, and
-/// tombstone compaction.
+/// A future-event list with FIFO tie-breaking, O(1) scheduling and
+/// cancellation, and amortized-O(1) pops.
 pub struct EventQueue<E> {
-    heap: Vec<Entry>,
-    slots: Vec<Slot<E>>,
+    /// The wheel: `buckets[b]` holds (unsorted) entries whose timestamp
+    /// falls in `[window_start + b·width, window_start + (b+1)·width)`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Entries at or beyond the window end, unsorted; re-bucketed when
+    /// the wheel rotates.
+    overflow: Vec<Entry<E>>,
+    /// Nanosecond time of bucket 0, aligned to a bucket boundary.
+    window_start: u64,
+    /// Lowest bucket index that may still be non-empty; buckets before
+    /// the cursor are empty by construction (events cannot be scheduled
+    /// before `now`, and `now` is inside the cursor's bucket).
+    cursor: usize,
+    /// Stamp slab for cancellable entries; an entry is live iff its
+    /// stamp matches its slot's.
+    stamps: Vec<u32>,
     free: Vec<u32>,
     seq: u64,
     now: SimTime,
     /// Maximum (clamped) time ever scheduled; `now` lands here on drain.
     max_at: SimTime,
-    /// Tombstones currently sitting in the heap.
-    stale: usize,
+    /// Pending non-cancelled entries (tombstones excluded).
+    live: usize,
     scheduled: u64,
     delivered: u64,
     cancelled: u64,
-    compactions: u64,
+    rotations: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E: Copy> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E: Copy> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         Self {
-            heap: Vec::new(),
-            slots: Vec::new(),
+            buckets: vec![Vec::new(); NB],
+            occupied: [0; WORDS],
+            overflow: Vec::new(),
+            window_start: 0,
+            cursor: 0,
+            stamps: Vec::new(),
             free: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
             max_at: SimTime::ZERO,
-            stale: 0,
+            live: 0,
             scheduled: 0,
             delivered: 0,
             cancelled: 0,
-            compactions: 0,
+            rotations: 0,
         }
     }
 
     /// Reset to the empty state at time zero, keeping allocations.
     pub fn reset(&mut self) {
-        self.heap.clear();
-        self.slots.clear();
+        for w in 0..WORDS {
+            let mut word = self.occupied[w];
+            while word != 0 {
+                let b = (w << 6) + word.trailing_zeros() as usize;
+                self.buckets[b].clear();
+                word &= word - 1;
+            }
+            self.occupied[w] = 0;
+        }
+        self.overflow.clear();
+        self.window_start = 0;
+        self.cursor = 0;
+        self.stamps.clear();
         self.free.clear();
         self.seq = 0;
         self.now = SimTime::ZERO;
         self.max_at = SimTime::ZERO;
-        self.stale = 0;
+        self.live = 0;
         self.scheduled = 0;
         self.delivered = 0;
         self.cancelled = 0;
-        self.compactions = 0;
+        self.rotations = 0;
     }
 
     /// Current simulation time (time of the last popped event).
@@ -132,15 +176,15 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.stale
+        self.live
     }
 
     /// Whether no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
-    /// Lifetime count of `schedule` calls.
+    /// Lifetime count of `schedule`/`post` calls.
     pub fn scheduled(&self) -> u64 {
         self.scheduled
     }
@@ -155,16 +199,13 @@ impl<E> EventQueue<E> {
         self.cancelled
     }
 
-    /// Number of tombstone compaction passes performed.
-    pub fn compactions(&self) -> u64 {
-        self.compactions
+    /// Number of wheel rotations (overflow sweeps) performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
     }
 
-    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
-    /// logic error and panics in debug builds; in release it is clamped to
-    /// `now` (the event fires immediately, preserving causality). Returns
-    /// a key usable with [`cancel`](Self::cancel) until the event fires.
-    pub fn schedule(&mut self, at: SimTime, event: E) -> EventKey {
+    #[inline]
+    fn push_entry(&mut self, at: SimTime, slot: u32, stamp: u32, event: E) {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
@@ -172,30 +213,51 @@ impl<E> EventQueue<E> {
         );
         let at = at.max(self.now);
         self.max_at = self.max_at.max(at);
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slots[s as usize].event = Some(event);
-                s
-            }
-            None => {
-                self.slots.push(Slot {
-                    event: Some(event),
-                    stamp: 0,
-                });
-                (self.slots.len() - 1) as u32
-            }
-        };
-        let stamp = self.slots[slot as usize].stamp;
-        self.heap.push(Entry {
+        let entry = Entry {
             at,
             seq: self.seq,
             slot,
             stamp,
-        });
+            event,
+        };
         self.seq += 1;
         self.scheduled += 1;
-        self.sift_up(self.heap.len() - 1);
+        self.live += 1;
+        // `at ≥ now ≥ window_start` between pops (pop re-establishes it),
+        // so the offset cannot underflow.
+        let off = at.as_nanos() - self.window_start;
+        if off < SPAN {
+            let b = (off >> SHIFT) as usize;
+            debug_assert!(b >= self.cursor, "scheduled behind the cursor");
+            self.buckets[b].push(entry);
+            self.occupied[b >> 6] |= 1 << (b & 63);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error and panics in debug builds; in release it is clamped to
+    /// `now` (the event fires immediately, preserving causality). Returns
+    /// a key usable with [`cancel`](Self::cancel) until the event fires.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventKey {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.stamps.push(0);
+                (self.stamps.len() - 1) as u32
+            }
+        };
+        let stamp = self.stamps[slot as usize];
+        self.push_entry(at, slot, stamp, event);
         EventKey { slot, stamp }
+    }
+
+    /// Fire-and-forget scheduling: same ordering semantics as
+    /// [`schedule`](Self::schedule) but no cancellation ticket is
+    /// allocated.
+    pub fn post(&mut self, at: SimTime, event: E) {
+        self.push_entry(at, NIL, 0, event);
     }
 
     /// Schedule `event` after `delay_s` seconds of simulated time.
@@ -205,43 +267,86 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the key was
-    /// still live. The heap entry becomes a tombstone; once tombstones
-    /// reach half the heap (and the heap is non-trivial) the queue
-    /// compacts in place, which preserves pop order because entries are
-    /// totally ordered by `(at, seq)`.
+    /// still live. The entry becomes a tombstone that the wheel sweeps
+    /// (advancing the clock, delivering nothing) when its time comes.
     pub fn cancel(&mut self, key: EventKey) -> bool {
         if key.slot == NIL {
             return false;
         }
-        let slot = &mut self.slots[key.slot as usize];
-        if slot.stamp != key.stamp || slot.event.is_none() {
+        let stamp = &mut self.stamps[key.slot as usize];
+        if *stamp != key.stamp {
             return false;
         }
-        slot.event = None;
-        slot.stamp = slot.stamp.wrapping_add(1);
+        *stamp = stamp.wrapping_add(1);
         self.free.push(key.slot);
-        self.stale += 1;
+        self.live -= 1;
         self.cancelled += 1;
-        if self.stale >= 64 && self.stale * 2 >= self.heap.len() {
-            self.compact();
-        }
         true
     }
 
-    /// Drop every tombstone from the heap and re-heapify. O(n).
-    fn compact(&mut self) {
-        let slots = &self.slots;
-        self.heap
-            .retain(|e| slots[e.slot as usize].stamp == e.stamp);
-        self.stale = 0;
-        // Floyd heap construction: sift down from the last parent.
-        let n = self.heap.len();
-        if n > 1 {
-            for i in (0..=(n - 2) / 4).rev() {
-                self.sift_down(i);
+    /// First non-empty bucket at or after the cursor, via the bitmap.
+    #[inline]
+    fn next_occupied(&self) -> Option<usize> {
+        let mut w = self.cursor >> 6;
+        let mut word = self.occupied[w] & (!0u64 << (self.cursor & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == WORDS {
+                return None;
+            }
+            word = self.occupied[w];
+        }
+    }
+
+    /// Advance the window to the earliest pending overflow entry and
+    /// re-bucket everything that now falls inside it. Only called when
+    /// every bucket has been swept clean, so jumping the window forward
+    /// cannot strand an in-window entry. `now` stays put — the very next
+    /// delivery (or tombstone sweep) moves it to a timestamp at or past
+    /// the new window start, before control returns to code that could
+    /// schedule again.
+    fn rotate(&mut self) {
+        debug_assert!(!self.overflow.is_empty(), "rotating an empty wheel");
+        let mut min = u64::MAX;
+        for e in &self.overflow {
+            min = min.min(e.at.as_nanos());
+        }
+        self.window_start = min & ALIGN;
+        self.cursor = 0;
+        self.rotations += 1;
+        let ws = self.window_start;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let off = self.overflow[i].at.as_nanos() - ws;
+            if off < SPAN {
+                let e = self.overflow.swap_remove(i);
+                let b = (off >> SHIFT) as usize;
+                self.buckets[b].push(e);
+                self.occupied[b >> 6] |= 1 << (b & 63);
+            } else {
+                i += 1;
             }
         }
-        self.compactions += 1;
+    }
+
+    /// Drop every remaining tombstone and realign the (empty) wheel to
+    /// `now`, so the next schedule starts from a clean window.
+    fn purge(&mut self) {
+        for w in 0..WORDS {
+            let mut word = self.occupied[w];
+            while word != 0 {
+                let b = (w << 6) + word.trailing_zeros() as usize;
+                self.buckets[b].clear();
+                word &= word - 1;
+            }
+            self.occupied[w] = 0;
+        }
+        self.overflow.clear();
+        self.window_start = self.now.as_nanos() & ALIGN;
+        self.cursor = 0;
     }
 
     /// Pop the next live event, advancing `now`. `None` when drained.
@@ -251,80 +356,56 @@ impl<E> EventQueue<E> {
     /// time — matching the legacy queue, where stale entries were popped
     /// (advancing the clock) and discarded by the caller.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.pop_entry() {
+        loop {
+            if self.live == 0 {
+                // Drained: land the clock where the legacy queue would
+                // have after popping the trailing tombstones.
+                self.now = self.now.max(self.max_at);
+                self.purge();
+                return None;
+            }
+            let Some(b) = self.next_occupied() else {
+                self.rotate();
+                continue;
+            };
+            self.cursor = b;
+            let bucket = &mut self.buckets[b];
+            // The bucket's minimum (at, seq) is the global minimum:
+            // earlier buckets are empty and later ones hold later times.
+            let mut mi = 0;
+            for i in 1..bucket.len() {
+                if (bucket[i].at, bucket[i].seq) < (bucket[mi].at, bucket[mi].seq) {
+                    mi = i;
+                }
+            }
+            let entry = bucket.swap_remove(mi);
+            if bucket.is_empty() {
+                self.occupied[b >> 6] &= !(1 << (b & 63));
+            }
             debug_assert!(entry.at >= self.now, "time went backwards");
             self.now = entry.at;
-            let slot = &mut self.slots[entry.slot as usize];
-            if slot.stamp != entry.stamp {
-                continue; // tombstone: clock advanced, payload long gone
+            if entry.slot != NIL {
+                let stamp = &mut self.stamps[entry.slot as usize];
+                if *stamp != entry.stamp {
+                    continue; // tombstone: clock advanced, payload long gone
+                }
+                *stamp = stamp.wrapping_add(1);
+                self.free.push(entry.slot);
             }
-            let event = slot.event.take().expect("live entry has a payload");
-            slot.stamp = slot.stamp.wrapping_add(1);
-            self.free.push(entry.slot);
+            self.live -= 1;
             self.delivered += 1;
-            return Some((entry.at, event));
+            return Some((entry.at, entry.event));
         }
-        // Drained: land the clock where the legacy queue would have.
-        self.now = self.now.max(self.max_at);
-        None
     }
 
     /// Peek at the next entry's time without popping. Tombstones count:
     /// this is the earliest timestamp the clock could advance to.
     pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|e| e.at)
-    }
-
-    fn pop_entry(&mut self) -> Option<Entry> {
-        let n = self.heap.len();
-        if n == 0 {
-            return None;
+        if let Some(b) = self.next_occupied() {
+            // Min over one bucket: entries in later buckets are later.
+            return self.buckets[b].iter().map(|e| e.at).min();
         }
-        let top = self.heap.swap_remove(0);
-        if self.slots[top.slot as usize].stamp != top.stamp {
-            self.stale -= 1;
-        }
-        if !self.heap.is_empty() {
-            self.sift_down(0);
-        }
-        Some(top)
-    }
-
-    fn sift_up(&mut self, mut i: usize) {
-        let entry = self.heap[i];
-        while i > 0 {
-            let parent = (i - 1) / 4;
-            if self.heap[parent].before(&entry) {
-                break;
-            }
-            self.heap[i] = self.heap[parent];
-            i = parent;
-        }
-        self.heap[i] = entry;
-    }
-
-    fn sift_down(&mut self, mut i: usize) {
-        let n = self.heap.len();
-        let entry = self.heap[i];
-        loop {
-            let first = 4 * i + 1;
-            if first >= n {
-                break;
-            }
-            let mut best = first;
-            let last = (first + 4).min(n);
-            for c in first + 1..last {
-                if self.heap[c].before(&self.heap[best]) {
-                    best = c;
-                }
-            }
-            if entry.before(&self.heap[best]) {
-                break;
-            }
-            self.heap[i] = self.heap[best];
-            i = best;
-        }
-        self.heap[i] = entry;
+        self.overflow.iter().map(|e| e.at).min()
     }
 }
 
@@ -351,6 +432,34 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn posted_events_interleave_with_scheduled_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.schedule(t, 0);
+        q.post(t, 1);
+        q.schedule(t, 2);
+        q.post(t, 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn order_holds_across_buckets_and_windows() {
+        // Spread entries well past one 268 ms window so both the bucket
+        // walk and the overflow rotation paths are exercised.
+        let mut q = EventQueue::new();
+        let step = 1_000_000u64; // 1 ms: distinct buckets
+        for i in 0..1000u64 {
+            // Insertion order deliberately scrambled relative to time.
+            let t = (997 * i) % 1000;
+            q.schedule(SimTime::from_nanos(t * step), t);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..1000).collect::<Vec<_>>());
+        assert!(q.rotations() > 0, "1 s of spread must rotate the wheel");
     }
 
     #[test]
@@ -383,6 +492,10 @@ mod tests {
         q.schedule(SimTime::from_nanos(42), ());
         assert_eq!(q.next_time(), Some(SimTime::from_nanos(42)));
         assert_eq!(q.len(), 1);
+        // Far-future (overflow) entries are visible to peeks too.
+        q.pop();
+        q.schedule(SimTime::from_secs_f64(5.0), ());
+        assert_eq!(q.next_time(), Some(SimTime::from_secs_f64(5.0)));
     }
 
     #[cfg(not(debug_assertions))]
@@ -445,23 +558,36 @@ mod tests {
     }
 
     #[test]
-    fn compaction_preserves_pop_order() {
+    fn heavy_cancellation_leaves_survivors_in_order() {
         let mut q = EventQueue::new();
         let mut keys = Vec::new();
         for i in 0..400u64 {
             keys.push(q.schedule(SimTime::from_nanos(1000 - i), i));
         }
-        // Cancel the odd-indexed events: enough to trip the threshold.
         for (i, k) in keys.iter().enumerate() {
             if i % 2 == 1 {
                 q.cancel(*k);
             }
         }
-        assert!(q.compactions() > 0, "threshold should have fired");
         assert_eq!(q.len(), 200);
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         let expected: Vec<u64> = (0..400).rev().filter(|i| i % 2 == 0).collect();
         assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn queue_is_reusable_after_drain() {
+        // Tombstones left behind at drain time must not haunt the next
+        // use of the same queue (the wheel purges and realigns on drain).
+        let mut q = EventQueue::new();
+        let k = q.schedule(SimTime::from_secs_f64(1.0), "stale");
+        q.schedule(SimTime::from_secs_f64(2.0), "x");
+        q.cancel(k);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("x"));
+        assert!(q.pop().is_none());
+        q.schedule_in(1.0, "fresh");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("fresh"));
+        assert_eq!(q.now(), SimTime::from_secs_f64(3.0));
     }
 
     #[test]
@@ -477,6 +603,7 @@ mod tests {
         assert_eq!(q.scheduled(), 0);
         assert_eq!(q.delivered(), 0);
         assert_eq!(q.cancelled(), 0);
+        assert_eq!(q.rotations(), 0);
         assert!(q.pop().is_none());
         assert_eq!(q.now(), SimTime::ZERO, "max_at must reset too");
     }

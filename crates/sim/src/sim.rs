@@ -263,13 +263,49 @@ impl Default for Lane {
     }
 }
 
+/// One request in a server's processor-sharing station, keyed by its
+/// *virtual finish tag*. Under weighted PS every active request advances
+/// at rate `capacity · w/Σw`; in virtual time (where the station's clock
+/// runs at `capacity/Σw` per real second) a request entering with `f`
+/// FLOPs and weight `w` finishes exactly when the virtual clock reaches
+/// `vclock_at_entry + f/w` — a constant, fixed at admission. Ordering the
+/// station by that tag turns the per-event O(active) integration and
+/// minimum scans into O(1) clock bumps and heap peeks.
 #[derive(Debug, Clone, Copy)]
-struct ActiveOnServer {
+struct ServedEntry {
+    /// Virtual finish tag (`+∞` for weight-0 entries: starved under PS).
+    vtag: f64,
+    /// Admission sequence number — deterministic tie-break for equal tags.
+    seq: u64,
     /// Slab index of the request being served.
     flight: u32,
-    remaining_flops: f64,
     weight: f64,
     entered: SimTime,
+}
+
+impl PartialEq for ServedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for ServedEntry {}
+impl PartialOrd for ServedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ServedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed (other vs self): `BinaryHeap` is a max-heap and we
+        // want the smallest tag on top. `total_cmp` keeps a NaN tag (a
+        // poisoned workload) sorting *after* +∞ — it parks at the bottom
+        // instead of panicking the comparator like the old
+        // `partial_cmp().expect("finite")` scan did.
+        other
+            .vtag
+            .total_cmp(&self.vtag)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 #[derive(Debug)]
@@ -277,53 +313,145 @@ struct ServerState {
     capacity_fps: f64,
     /// Nominal capacity; `capacity_fps` drops below it while throttled.
     base_fps: f64,
-    active: Vec<ActiveOnServer>,
+    /// Station virtual clock: advances at `capacity/Σw` per real second
+    /// while anything is active. Reset to 0 whenever the station drains,
+    /// which also bounds floating-point drift in [`Self::total_w`].
+    vclock: f64,
+    /// Incrementally-maintained Σ weight of the served heap.
+    total_w: f64,
+    /// Admission counter feeding [`ServedEntry::seq`].
+    seq: u64,
+    /// Active requests, min-heap by virtual finish tag.
+    served: std::collections::BinaryHeap<ServedEntry>,
     last: SimTime,
     gen: u64,
     /// Seconds with ≥1 active request (for the utilization report).
     busy_s: f64,
+    /// Scalar PS oracle: the pre-virtual-time per-entry integration, run
+    /// beside the heap so completions can be cross-checked.
+    #[cfg(feature = "kernel-xcheck")]
+    mirror: Vec<(u32, f64, f64)>, // (flight, remaining_flops, weight)
 }
 
 impl ServerState {
-    /// Apply processor sharing between `self.last` and `now`.
+    /// Account processor sharing between `self.last` and `now`: one
+    /// virtual-clock bump, O(1) regardless of how many requests share the
+    /// station (the old per-entry `remaining -= dt·rate` sweep averaged
+    /// hundreds of elements per event on fleet-scale runs).
     fn advance(&mut self, now: SimTime) {
         let dt = now.secs_since(self.last);
         self.last = now;
-        if dt <= 0.0 || self.active.is_empty() {
+        if dt <= 0.0 || self.served.is_empty() {
             return;
         }
         self.busy_s += dt;
-        let total_w: f64 = self.active.iter().map(|a| a.weight).sum();
-        for a in &mut self.active {
-            let rate = self.capacity_fps * a.weight / total_w;
-            a.remaining_flops -= dt * rate;
+        // Σw ≤ 0 with a non-empty station (every weight 0/NaN) starves
+        // all of it: virtual time stands still. The old scan divided by
+        // the zero total and panicked on the resulting NaN in
+        // `time_to_next_completion`; parking the work is the panic-free
+        // reading of the same degenerate input.
+        if self.total_w > 0.0 {
+            self.vclock += dt * self.capacity_fps / self.total_w;
+        }
+        #[cfg(feature = "kernel-xcheck")]
+        {
+            let total_w: f64 = self.mirror.iter().map(|m| m.2).sum();
+            for m in &mut self.mirror {
+                m.1 -= dt * self.capacity_fps * m.2 / total_w;
+            }
         }
     }
 
-    /// Seconds until the next in-progress request completes.
+    /// Admit a request (station must be advanced to `now` first).
+    fn admit(&mut self, flight: u32, flops: f64, weight: f64, entered: SimTime) {
+        let vtag = if weight > 0.0 {
+            self.vclock + flops / weight
+        } else {
+            f64::INFINITY
+        };
+        self.seq += 1;
+        self.served.push(ServedEntry {
+            vtag,
+            seq: self.seq,
+            flight,
+            weight,
+            entered,
+        });
+        self.total_w += weight;
+        #[cfg(feature = "kernel-xcheck")]
+        self.mirror.push((flight, flops, weight));
+    }
+
+    /// Pop every request within `eps` FLOPs of completion (in tag order),
+    /// appending `(flight, entered)` to `done`. A remaining-work straggler
+    /// deeper in the heap (small weight ⇒ late tag despite little work
+    /// left) completes at its own tag instead of piggybacking on this
+    /// sweep — a (documented) event-ordering difference from the old
+    /// full-vector scan; golden pins were re-recorded over it.
+    fn pop_completions(&mut self, eps: f64, done: &mut Vec<(u32, SimTime)>) {
+        while let Some(top) = self.served.peek() {
+            // Remaining work of the head is (vtag − vclock)·w. NaN/+∞
+            // tags fail the test and stay parked.
+            if (top.vtag - self.vclock) * top.weight <= eps {
+                let e = self.served.pop().unwrap_or_else(|| unreachable!());
+                self.total_w -= e.weight;
+                done.push((e.flight, e.entered));
+                #[cfg(feature = "kernel-xcheck")]
+                {
+                    let i = self
+                        .mirror
+                        .iter()
+                        .position(|m| m.0 == e.flight)
+                        .expect("xcheck: popped flight missing from scalar mirror");
+                    let (_, remaining, _) = self.mirror.swap_remove(i);
+                    // The scalar integration re-associates differently
+                    // (per-entry Σw each step), so agreement is to a
+                    // tolerance: a microsecond of full-capacity work.
+                    let tol = eps + 1e-6 * self.capacity_fps.max(1.0);
+                    assert!(
+                        remaining <= tol,
+                        "xcheck: completed flight {} still has {remaining} FLOPs (tol {tol})",
+                        e.flight
+                    );
+                }
+            } else {
+                break;
+            }
+        }
+        if self.served.is_empty() {
+            // Draining resets the station clock: bounds vclock growth and
+            // zeroes any accumulated ± drift in the incremental Σw.
+            self.vclock = 0.0;
+            self.total_w = 0.0;
+        }
+    }
+
+    /// Seconds until the next in-progress request completes: the head
+    /// tag's distance in virtual time, converted back to real seconds.
+    /// `None` for an empty or fully-starved station (the old scan
+    /// panicked on the latter).
     fn time_to_next_completion(&self) -> Option<f64> {
-        if self.active.is_empty() {
+        let top = self.served.peek()?;
+        if self.total_w <= 0.0 || self.total_w.is_nan() || top.vtag.is_nan() {
             return None;
         }
-        let total_w: f64 = self.active.iter().map(|a| a.weight).sum();
-        self.active
-            .iter()
-            .map(|a| {
-                let rate = self.capacity_fps * a.weight / total_w;
-                (a.remaining_flops / rate).max(0.0)
-            })
-            .min_by(|x, y| x.partial_cmp(y).expect("finite"))
+        Some(((top.vtag - self.vclock) * self.total_w / self.capacity_fps).max(0.0))
     }
 
     /// Re-point this station at `spec` capacity and drop run state,
-    /// keeping the `active` vector's storage.
+    /// keeping the served heap's storage.
     fn reset(&mut self, fps: f64) {
         self.capacity_fps = fps;
         self.base_fps = fps;
-        self.active.clear();
+        self.served.clear();
+        self.vclock = 0.0;
+        self.total_w = 0.0;
+        self.seq = 0;
         self.last = SimTime::ZERO;
         self.gen = 0;
         self.busy_s = 0.0;
+        #[cfg(feature = "kernel-xcheck")]
+        self.mirror.clear();
     }
 }
 
@@ -572,14 +700,6 @@ pub struct SimScratch {
     meas_misses: usize,
     /// Counter values at the previous telemetry snapshot.
     last_snap: SnapBase,
-    // --- pending-timer keys, for eager cancellation ---
-    /// Pending `DeviceDone` per device (stale once fired; cancel is a
-    /// stamped no-op then).
-    dev_done_key: Vec<EventKey>,
-    /// Pending `TxDone` per device.
-    tx_done_key: Vec<EventKey>,
-    /// Pending `ServerCheck` per server.
-    server_check_key: Vec<EventKey>,
     /// Completion staging buffer for `on_server_check`.
     done_buf: Vec<(u32, SimTime)>,
     /// Pooled latency samples for the aggregate report.
@@ -637,9 +757,6 @@ impl SimScratch {
             meas_completed: 0,
             meas_misses: 0,
             last_snap: SnapBase::default(),
-            dev_done_key: Vec::new(),
-            tx_done_key: Vec::new(),
-            server_check_key: Vec::new(),
             done_buf: Vec::new(),
             lat_all: Vec::new(),
         }
@@ -660,9 +777,9 @@ impl SimScratch {
         self.queue.cancelled()
     }
 
-    /// Tombstone compaction passes performed during the last run.
-    pub fn queue_compactions(&self) -> u64 {
-        self.queue.compactions()
+    /// Timing-wheel rotations (overflow sweeps) during the last run.
+    pub fn queue_rotations(&self) -> u64 {
+        self.queue.rotations()
     }
 
     /// Rebind every buffer to `sim`'s shape and clear run state, reusing
@@ -690,10 +807,15 @@ impl SimScratch {
                 let mut st = ServerState {
                     capacity_fps: 0.0,
                     base_fps: 0.0,
-                    active: Vec::new(),
+                    vclock: 0.0,
+                    total_w: 0.0,
+                    seq: 0,
+                    served: std::collections::BinaryHeap::new(),
                     last: SimTime::ZERO,
                     gen: 0,
                     busy_s: 0.0,
+                    #[cfg(feature = "kernel-xcheck")]
+                    mirror: Vec::new(),
                 };
                 st.reset(s.proc.flops_per_sec);
                 st
@@ -780,12 +902,6 @@ impl SimScratch {
         self.meas_completed = 0;
         self.meas_misses = 0;
         self.last_snap = SnapBase::default();
-        self.dev_done_key.clear();
-        self.dev_done_key.resize(n_dev, EventKey::NONE);
-        self.tx_done_key.clear();
-        self.tx_done_key.resize(n_dev, EventKey::NONE);
-        self.server_check_key.clear();
-        self.server_check_key.resize(n_srv, EventKey::NONE);
         self.done_buf.clear();
         self.lat_all.clear();
     }
@@ -872,18 +988,17 @@ impl Runner<'_> {
                     .next_gap(&sim.streams[i].arrivals, &mut st.arrival_rngs[i]);
                 st.arrival_pending[i] = true;
                 st.queue
-                    .schedule(SimTime::from_secs_f64(gap), Ev::Arrive { stream: i });
+                    .post(SimTime::from_secs_f64(gap), Ev::Arrive { stream: i });
             }
             // Schedule the fault plan as first-class events.
             for (idx, fe) in sim.config.faults.events.iter().enumerate() {
                 st.queue
-                    .schedule(SimTime::from_secs_f64(fe.at_s), Ev::Fault { idx });
+                    .post(SimTime::from_secs_f64(fe.at_s), Ev::Fault { idx });
             }
             // First control-plane telemetry epoch, if enabled.
             let epoch = sim.config.recovery.telemetry_epoch_s;
             if epoch > 0.0 {
-                st.queue
-                    .schedule(SimTime::from_secs_f64(epoch), Ev::Telemetry);
+                st.queue.post(SimTime::from_secs_f64(epoch), Ev::Telemetry);
             }
         }
         while let Some((now, ev)) = self.st.queue.pop() {
@@ -957,8 +1072,7 @@ impl Runner<'_> {
         let gap = st.arrival_states[stream]
             .next_gap(&sim.streams[stream].arrivals, &mut st.arrival_rngs[stream]);
         st.arrival_pending[stream] = true;
-        st.queue
-            .schedule(now.after_secs(gap), Ev::Arrive { stream });
+        st.queue.post(now.after_secs(gap), Ev::Arrive { stream });
     }
 
     fn maybe_start_device(&mut self, now: SimTime, device: usize) {
@@ -997,9 +1111,10 @@ impl Runner<'_> {
         st.devices[device].current = idx;
         st.dev_gen[device] += 1;
         let gen = st.dev_gen[device];
-        st.dev_done_key[device] = st
-            .queue
-            .schedule(now.after_secs(service), Ev::DeviceDone { device, gen });
+        // Fire-and-forget: a stale DeviceDone (device went down, gen
+        // bumped) delivers and is discarded by the guard below.
+        st.queue
+            .post(now.after_secs(service), Ev::DeviceDone { device, gen });
     }
 
     fn on_device_done(&mut self, now: SimTime, device: usize, gen: u64) {
@@ -1222,9 +1337,7 @@ impl Runner<'_> {
         // its predecessor so an exhausted one can be unlinked in place).
         let (idx, prev) = if in_current {
             let st = &mut *self.st;
-            st.tx_gen[device] += 1; // cancel the pending TxDone
-            let key = st.tx_done_key[device];
-            st.queue.cancel(key);
+            st.tx_gen[device] += 1; // invalidate the pending TxDone
             st.uplinks[device].current = NIL;
             st.pool.get_mut(cur).tx_time = 0.0;
             (cur, NIL)
@@ -1320,7 +1433,7 @@ impl Runner<'_> {
         };
         let epoch = sim.config.recovery.telemetry_epoch_s;
         if now < st.horizon {
-            st.queue.schedule(now.after_secs(epoch), Ev::Telemetry);
+            st.queue.post(now.after_secs(epoch), Ev::Telemetry);
         }
     }
 
@@ -1353,9 +1466,10 @@ impl Runner<'_> {
         st.uplinks[device].current = idx;
         st.tx_gen[device] += 1;
         let gen = st.tx_gen[device];
-        st.tx_done_key[device] = st
-            .queue
-            .schedule(now.after_secs(tx), Ev::TxDone { device, gen });
+        // Fire-and-forget: outage paths bump tx_gen, and the guard in
+        // on_tx_done discards the superseded delivery.
+        st.queue
+            .post(now.after_secs(tx), Ev::TxDone { device, gen });
     }
 
     fn on_tx_done(&mut self, now: SimTime, device: usize, gen: u64) {
@@ -1385,12 +1499,7 @@ impl Runner<'_> {
         {
             let srv = &mut self.st.servers[server];
             srv.advance(now);
-            srv.active.push(ActiveOnServer {
-                flight: idx,
-                remaining_flops: s.edge_flops.max(1.0),
-                weight: s.compute_weight,
-                entered: now,
-            });
+            srv.admit(idx, s.edge_flops.max(1.0), s.compute_weight, now);
         }
         self.reschedule_server(now, server);
         self.maybe_start_tx(now, device);
@@ -1398,12 +1507,10 @@ impl Runner<'_> {
 
     fn reschedule_server(&mut self, now: SimTime, server: usize) {
         let st = &mut *self.st;
-        // Supersede the outstanding check eagerly: every arrival and
-        // departure reschedules, so without cancellation these dominate
-        // the heap's tombstone population.
-        let key = st.server_check_key[server];
-        st.queue.cancel(key);
         let srv = &mut st.servers[server];
+        // Supersede the outstanding check: the gen bump makes any earlier
+        // pending ServerCheck a no-op when it delivers, so the stale event
+        // needs no cancellation.
         srv.gen += 1;
         if let Some(dt) = srv.time_to_next_completion() {
             let gen = srv.gen;
@@ -1411,9 +1518,7 @@ impl Runner<'_> {
             // check can fire marginally *early*, leave a sub-nanosecond
             // residue of work, and respawn itself at +0 ns forever.
             let at = now.after_secs(dt) + SimTime::from_nanos(1);
-            st.server_check_key[server] = st.queue.schedule(at, Ev::ServerCheck { server, gen });
-        } else {
-            st.server_check_key[server] = EventKey::NONE;
+            st.queue.post(at, Ev::ServerCheck { server, gen });
         }
     }
 
@@ -1424,21 +1529,14 @@ impl Runner<'_> {
                 return; // superseded by a later arrival/departure
             }
             st.servers[server].advance(now);
-            // Complete everything that has (numerically) finished.
+            // Complete everything at the head of the tag order that has
+            // (numerically) finished.
             st.done_buf.clear();
             let srv = &mut st.servers[server];
             // Anything within one nanosecond of work at full capacity counts
             // as finished (floating-point + fixed-point-time slop).
             let eps = (srv.capacity_fps * 1e-9).max(1.0);
-            let mut i = 0;
-            while i < srv.active.len() {
-                if srv.active[i].remaining_flops <= eps {
-                    let a = srv.active.swap_remove(i);
-                    st.done_buf.push((a.flight, a.entered));
-                } else {
-                    i += 1;
-                }
-            }
+            srv.pop_completions(eps, &mut st.done_buf);
         }
         for k in 0..self.st.done_buf.len() {
             let (idx, entered) = self.st.done_buf[k];
@@ -1498,9 +1596,7 @@ impl Runner<'_> {
                         let dev = st.devices_by_ap[ap][k];
                         let cur = st.uplinks[dev].current;
                         if cur != NIL {
-                            st.tx_gen[dev] += 1; // cancel the pending TxDone
-                            let key = st.tx_done_key[dev];
-                            st.queue.cancel(key);
+                            st.tx_gen[dev] += 1; // invalidate the pending TxDone
                             st.uplinks[dev].current = NIL;
                             st.uplinks[dev].queue.push_front(&mut st.pool, cur);
                         }
@@ -1610,10 +1706,6 @@ impl Runner<'_> {
         let (warmup, horizon) = (st.warmup, st.horizon);
         st.dev_gen[device] += 1; // invalidate any pending DeviceDone
         st.tx_gen[device] += 1; // invalidate any pending TxDone
-        let key = st.dev_done_key[device];
-        st.queue.cancel(key);
-        let key = st.tx_done_key[device];
-        st.queue.cancel(key);
         let mut stranded = 0usize;
         let mut backlog = st.degrade_backlog_s[device];
         let cur = st.devices[device].current;
@@ -1687,8 +1779,7 @@ impl Runner<'_> {
                 let gap = st.arrival_states[stream]
                     .next_gap(&sim.streams[stream].arrivals, &mut st.arrival_rngs[stream]);
                 st.arrival_pending[stream] = true;
-                st.queue
-                    .schedule(now.after_secs(gap), Ev::Arrive { stream });
+                st.queue.post(now.after_secs(gap), Ev::Arrive { stream });
             }
         }
     }
@@ -1817,8 +1908,9 @@ impl Runner<'_> {
             }
         }
         for srv in &st.servers {
-            for a in &srv.active {
-                if measured(st.pool.get(a.flight).task.arrival) {
+            // `BinaryHeap::iter` is unordered, which is fine for counting.
+            for e in srv.served.iter() {
+                if measured(st.pool.get(e.flight).task.arrival) {
                     stalled += 1;
                 }
             }

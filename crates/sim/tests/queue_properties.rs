@@ -1,13 +1,13 @@
-//! Property-based equivalence of the compacting event queue.
+//! Property-based equivalence of the timing-wheel event queue.
 //!
 //! The reference model is the structure the engine replaced: a naive
 //! binary min-heap ordered by `(time, sequence)` in which cancelled
 //! entries stay put and are skipped at pop time. Whatever interleaving
 //! of schedules, cancellations and pops occurs — including bursts of
 //! equal-timestamp entries, whose FIFO tie-break is part of the
-//! contract — the compacting queue must deliver the exact same
-//! `(time, payload)` sequence, no matter when its tombstone-ratio
-//! heuristic decides to compact.
+//! contract — the wheel must deliver the exact same `(time, payload)`
+//! sequence, no matter how events split between its in-window buckets
+//! and its overflow list.
 
 use proptest::prelude::*;
 use scalpel_sim::rng::SimRng;
@@ -69,8 +69,11 @@ impl ReferenceQueue {
 /// One generated episode: `n_ops` operations drawn from `seed`, with
 /// schedule times forced non-decreasing (so interleaved pops never make
 /// the engine clamp a past timestamp, which the reference does not
-/// model) and drawn in coarse steps so equal-timestamp runs are common.
-fn run_episode(seed: u64, n_ops: usize) -> (u64, u64) {
+/// model). `step_nanos` sets the timestamp granularity: 0–1 ns steps
+/// pile everything into one wheel bucket (FIFO ties dominate), while
+/// multi-millisecond steps scatter entries across buckets and past the
+/// window edge into the overflow list.
+fn run_episode(seed: u64, n_ops: usize, step_nanos: u64) -> (u64, u64) {
     let mut rng = SimRng::new(seed, 0);
     let mut queue: EventQueue<usize> = EventQueue::new();
     let mut reference = ReferenceQueue::new();
@@ -85,7 +88,7 @@ fn run_episode(seed: u64, n_ops: usize) -> (u64, u64) {
             // Schedule (common): hold the timestamp ~half the time so
             // FIFO tie-breaking is exercised constantly.
             0..=5 => {
-                t_nanos += rng.index(2) as u64;
+                t_nanos += rng.index(2) as u64 * step_nanos.max(1);
                 let key = queue.schedule(SimTime::from_nanos(t_nanos), next_id);
                 let seq = reference.schedule(t_nanos, next_id);
                 keys.push((key, seq));
@@ -121,40 +124,51 @@ fn run_episode(seed: u64, n_ops: usize) -> (u64, u64) {
             break;
         }
     }
-    (queue.delivered(), queue.compactions())
+    (queue.delivered(), queue.rotations())
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// The compacting queue is observationally identical to the naive
-    /// tombstone heap under arbitrary schedule/cancel/pop interleavings.
+    /// Single-bucket regime: coarse 0/1 ns steps keep everything inside
+    /// one wheel bucket, so the per-bucket min-extraction and FIFO
+    /// tie-break carry the full ordering burden.
     #[test]
-    fn compacting_queue_matches_naive_heap(
+    fn wheel_matches_naive_heap_within_a_bucket(
         seed in 1u64..10_000,
         n_ops in 50usize..400,
     ) {
-        let (delivered, _) = run_episode(seed, n_ops);
+        let (delivered, _) = run_episode(seed, n_ops, 1);
         // Sanity: episodes actually deliver events, or the property
         // would pass vacuously.
         prop_assert!(delivered > 0 || n_ops < 60);
     }
+
+    /// Scattered regime: ~20 ms steps spread entries across many buckets
+    /// and regularly past the 268 ms window edge, so bucket hopping,
+    /// overflow parking and wheel rotation are all on the hot path.
+    #[test]
+    fn wheel_matches_naive_heap_across_windows(
+        seed in 1u64..10_000,
+        n_ops in 50usize..400,
+    ) {
+        run_episode(seed, n_ops, 20_000_000);
+    }
 }
 
-/// A cancel-heavy episode — far-future entries revoked before any pop
-/// can drain their tombstones — must cross the tombstone-ratio
-/// threshold and compact, and still deliver the reference sequence:
-/// the equivalence above covers the compacting path, not just the
-/// plain heap path.
+/// A cancel-heavy episode spanning several wheel windows — far-future
+/// entries revoked before any pop can sweep their tombstones — must
+/// still deliver the reference sequence: tombstones parked in overflow
+/// are re-bucketed by rotations and swept in exact time order.
 #[test]
-fn heavy_cancellation_compacts_and_stays_equivalent() {
+fn heavy_cancellation_across_windows_stays_equivalent() {
     let mut rng = SimRng::new(9, 0);
     let mut queue: EventQueue<usize> = EventQueue::new();
     let mut reference = ReferenceQueue::new();
     let mut keys = Vec::new();
     for id in 0..500usize {
-        // Coarse steps: plenty of equal-timestamp ties survive to the drain.
-        let at = (id as u64 / 3) * 10;
+        // ~3.3 ms apart: 500 entries span ~1.7 s, several 268 ms windows.
+        let at = (id as u64 / 3) * 10_000_000;
         keys.push((queue.schedule(SimTime::from_nanos(at), id), id as u64));
         reference.schedule(at, id);
     }
@@ -163,17 +177,17 @@ fn heavy_cancellation_compacts_and_stays_equivalent() {
         let (key, seq) = keys[live.swap_remove(rng.index(live.len()))];
         assert_eq!(queue.cancel(key), reference.cancel(seq));
     }
-    assert!(
-        queue.compactions() > 0,
-        "420 of 500 entries cancelled without compacting: threshold never \
-         reached, the property above is vacuous on the compacting path"
-    );
     loop {
         let got = queue.pop().map(|(at, id)| (at.as_nanos(), id));
         let want = reference.pop();
-        assert_eq!(got, want, "post-compaction pop diverged");
+        assert_eq!(got, want, "post-rotation pop diverged");
         if got.is_none() {
             break;
         }
     }
+    assert!(
+        queue.rotations() > 0,
+        "a 1.7 s spread never rotated the wheel: the overflow path is \
+         untested and the property above is vacuous on it"
+    );
 }

@@ -127,8 +127,8 @@ enum Op {
     Failure(f64),
 }
 
-/// Ops are generated as `(kind, centiseconds)` pairs — the vendored
-/// proptest has no `prop_oneof`, so the tag is an integer range.
+/// Ops are generated as `(kind, centiseconds)` pairs with an integer
+/// tag (predates the vendored proptest growing `prop_oneof!`).
 fn op_strategy() -> impl Strategy<Value = Op> {
     (0u64..3, 0u64..2000).prop_map(|(kind, cs)| {
         let t = cs as f64 / 100.0;

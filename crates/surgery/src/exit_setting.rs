@@ -11,7 +11,7 @@
 //! makes the problem bi-criteria). This mirrors the low-complexity
 //! exit-setting algorithm of the LEIME line of work.
 
-use scalpel_models::{DifficultyModel, NodeId};
+use scalpel_models::{DepthCache, DifficultyModel, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// One possible exit host.
@@ -106,8 +106,16 @@ pub fn solve(p: &ExitSettingProblem) -> ExitSettingSolution {
         return no_exit;
     }
     let mut best = no_exit;
+    // The depth transcendentals (`x^γ`, `(1−x)^η`) are threshold-invariant:
+    // hoist them out of the grid sweep so each host pays for them once,
+    // not once per threshold.
+    let depth_caches: Vec<DepthCache> = p
+        .hosts
+        .iter()
+        .map(|h| p.difficulty.depth_cache(h.depth_fraction))
+        .collect();
     for &t in &p.threshold_grid {
-        if let Some(sol) = solve_fixed_threshold(p, t) {
+        if let Some(sol) = solve_fixed_threshold(p, &depth_caches, t) {
             let best_feasible = best.expected_accuracy + 1e-12 >= p.accuracy_floor;
             if sol.expected_accuracy + 1e-12 >= p.accuracy_floor
                 && (!best_feasible || sol.expected_latency_s < best.expected_latency_s)
@@ -121,18 +129,22 @@ pub fn solve(p: &ExitSettingProblem) -> ExitSettingSolution {
 
 /// DP for one threshold; returns the feasible min-latency selection if any
 /// non-empty selection is feasible.
-fn solve_fixed_threshold(p: &ExitSettingProblem, t: f64) -> Option<ExitSettingSolution> {
+fn solve_fixed_threshold(
+    p: &ExitSettingProblem,
+    depth_caches: &[DepthCache],
+    t: f64,
+) -> Option<ExitSettingSolution> {
     let m = p.hosts.len();
     let e_max = p.max_exits.min(m);
-    let cov: Vec<f64> = p
-        .hosts
+    // `t^ρ` is depth-invariant: one evaluation covers every host.
+    let thr_pow = p.difficulty.threshold_pow(t);
+    let cov: Vec<f64> = depth_caches
         .iter()
-        .map(|h| p.difficulty.coverage(h.depth_fraction, t))
+        .map(|&d| p.difficulty.coverage_cached(d, thr_pow))
         .collect();
-    let acc: Vec<f64> = p
-        .hosts
+    let acc: Vec<f64> = depth_caches
         .iter()
-        .map(|h| p.difficulty.conditional_accuracy(h.depth_fraction, t))
+        .map(|&d| p.difficulty.conditional_accuracy_cached(d, t))
         .collect();
     // dp[i][k]: Pareto entries for selections of k exits ending at host i.
     let mut dp: Vec<Vec<Vec<Entry>>> = vec![vec![Vec::new(); e_max + 1]; m];
@@ -239,16 +251,43 @@ pub fn evaluate_selection_multi(
     thresholds: &[f64],
 ) -> (f64, f64) {
     assert_eq!(sel.len(), thresholds.len());
+    let caches: Vec<DepthCache> = sel
+        .iter()
+        .map(|&i| p.difficulty.depth_cache(p.hosts[i].depth_fraction))
+        .collect();
+    let thr_pows: Vec<f64> = thresholds
+        .iter()
+        .map(|&t| p.difficulty.threshold_pow(t))
+        .collect();
+    evaluate_selection_cached(p, sel, &caches, thresholds, &thr_pows)
+}
+
+/// Core of [`evaluate_selection_multi`] over prebuilt per-exit depth
+/// caches and threshold powers (`caches[i]`/`thr_pows[i]` belong to
+/// `sel[i]`/`thresholds[i]`) — what the coordinate-ascent refinement
+/// calls in its inner loop with every transcendental already paid for.
+fn evaluate_selection_cached(
+    p: &ExitSettingProblem,
+    sel: &[usize],
+    caches: &[DepthCache],
+    thresholds: &[f64],
+    thr_pows: &[f64],
+) -> (f64, f64) {
     let mut cost = 0.0;
     let mut acc = 0.0;
     let mut cov_prev = 0.0;
-    for (&i, &t) in sel.iter().zip(thresholds) {
+    for (j, &i) in sel.iter().enumerate() {
         let h = &p.hosts[i];
-        let c = p.difficulty.coverage(h.depth_fraction, t).max(cov_prev);
+        let c = p
+            .difficulty
+            .coverage_cached(caches[j], thr_pows[j])
+            .max(cov_prev);
         let mass = c - cov_prev;
         let survivors_before = 1.0 - cov_prev;
         cost += mass * h.time_to_host_s + survivors_before * h.head_time_s;
-        acc += mass * p.difficulty.conditional_accuracy(h.depth_fraction, t);
+        acc += mass
+            * p.difficulty
+                .conditional_accuracy_cached(caches[j], thresholds[j]);
         cov_prev = c;
     }
     let remain = 1.0 - cov_prev;
@@ -270,25 +309,45 @@ pub fn refine_thresholds(
     if sol.selected.is_empty() {
         return (thresholds, sol.expected_latency_s, sol.expected_accuracy);
     }
-    let (mut best_cost, mut best_acc) = evaluate_selection_multi(p, &sol.selected, &thresholds);
+    // Hoisted transcendentals: per-exit depth caches and one `t^ρ` per
+    // distinct grid value, computed before the ascent instead of inside
+    // every candidate evaluation.
+    let caches: Vec<DepthCache> = sol
+        .selected
+        .iter()
+        .map(|&i| p.difficulty.depth_cache(p.hosts[i].depth_fraction))
+        .collect();
+    let grid_pows: Vec<f64> = p
+        .threshold_grid
+        .iter()
+        .map(|&t| p.difficulty.threshold_pow(t))
+        .collect();
+    let mut thr_pows = vec![p.difficulty.threshold_pow(sol.threshold); thresholds.len()];
+    let (mut best_cost, mut best_acc) =
+        evaluate_selection_cached(p, &sol.selected, &caches, &thresholds, &thr_pows);
     let max_rounds = 8;
     for _ in 0..max_rounds {
         let mut improved = false;
         for i in 0..thresholds.len() {
             let mut current = thresholds[i];
-            for &t in &p.threshold_grid {
+            let mut current_pow = thr_pows[i];
+            for (g, &t) in p.threshold_grid.iter().enumerate() {
                 if t == current {
                     continue;
                 }
                 thresholds[i] = t;
-                let (cost, acc) = evaluate_selection_multi(p, &sol.selected, &thresholds);
+                thr_pows[i] = grid_pows[g];
+                let (cost, acc) =
+                    evaluate_selection_cached(p, &sol.selected, &caches, &thresholds, &thr_pows);
                 if acc + 1e-12 >= p.accuracy_floor && cost < best_cost - 1e-12 {
                     best_cost = cost;
                     best_acc = acc;
                     current = t;
+                    current_pow = thr_pows[i];
                     improved = true;
                 } else {
                     thresholds[i] = current;
+                    thr_pows[i] = current_pow;
                 }
             }
         }
@@ -301,16 +360,19 @@ pub fn refine_thresholds(
 
 /// Expected (latency, accuracy) of an explicit selection at threshold `t`.
 pub fn evaluate_selection(p: &ExitSettingProblem, sel: &[usize], t: f64) -> (f64, f64) {
+    // One `t^ρ` for the whole selection (depth-invariant).
+    let thr_pow = p.difficulty.threshold_pow(t);
     let mut cost = 0.0;
     let mut acc = 0.0;
     let mut cov_prev = 0.0;
     for &i in sel {
         let h = &p.hosts[i];
-        let c = p.difficulty.coverage(h.depth_fraction, t).max(cov_prev);
+        let d = p.difficulty.depth_cache(h.depth_fraction);
+        let c = p.difficulty.coverage_cached(d, thr_pow).max(cov_prev);
         let mass = c - cov_prev;
         let survivors_before = 1.0 - cov_prev;
         cost += mass * h.time_to_host_s + survivors_before * h.head_time_s;
-        acc += mass * p.difficulty.conditional_accuracy(h.depth_fraction, t);
+        acc += mass * p.difficulty.conditional_accuracy_cached(d, t);
         cov_prev = c;
     }
     let remain = 1.0 - cov_prev;

@@ -4,11 +4,14 @@
 //! so this crate implements the subset of its API the workspace's property
 //! tests use:
 //!
-//! - [`strategy::Strategy`] with `prop_map`, implemented for numeric
-//!   ranges, tuples (up to 6), [`strategy::Just`], and [`collection::vec`];
+//! - [`strategy::Strategy`] with `prop_map` and `prop_flat_map`,
+//!   implemented for numeric ranges, tuples (up to 6),
+//!   [`strategy::Just`], and [`collection::vec`];
 //! - the [`proptest!`] macro (with optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute);
 //! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! - [`prop_oneof!`] with optional `weight =>` prefixes (no shrinking
+//!   bias, just weighted selection);
 //! - `any::<T>()` for primitive integers and `bool`.
 //!
 //! Differences from real proptest, deliberately accepted:
@@ -117,6 +120,17 @@ pub mod strategy {
         {
             Map { base: self, f }
         }
+
+        /// Derive a second strategy from each generated value and draw
+        /// from it — e.g. a length first, then a vector of that length.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
@@ -134,6 +148,58 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Weighted choice among boxed strategies of one value type — the
+    /// engine behind [`crate::prop_oneof!`]. Unlike real proptest there
+    /// is no per-arm shrinking; an arm is picked by weight and asked to
+    /// generate.
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `arms`; every weight must be positive.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(arms.iter().all(|(w, _)| *w > 0), "zero-weight arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            Self { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.range_u64(0, self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
         }
     }
 
@@ -295,7 +361,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// The `prop::` namespace (`prop::collection::vec`, …).
     pub mod prop {
@@ -321,6 +387,26 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Weighted (or uniform, when the `weight =>` prefixes are omitted)
+/// choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {{
+        // The annotated binding drives `Value = _` inference; each boxed
+        // arm coerces to the trait object at its element position.
+        let __arms: ::std::vec::Vec<(
+            u32,
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        )> = ::std::vec![
+            $( ($weight as u32, ::std::boxed::Box::new($strat)) ),+
+        ];
+        $crate::strategy::Union::new(__arms)
+    }};
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::prop_oneof![ $( 1 => $strat ),+ ]
+    };
 }
 
 /// Define property tests: each `fn name(arg in strategy, ...) { body }`
@@ -412,6 +498,23 @@ mod tests {
             pair in (1u64..10, 0.0f64..1.0).prop_map(|(n, f)| n as f64 + f),
         ) {
             prop_assert!((1.0..11.0).contains(&pair));
+        }
+
+        #[test]
+        fn flat_map_threads_the_outer_draw(
+            v in (2usize..6).prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n..n + 1)),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_only_picks_listed_arms(
+            x in prop_oneof![
+                3 => Just(1.0f64),
+                1 => 10.0f64..11.0,
+            ],
+        ) {
+            prop_assert!(x == 1.0 || (10.0..11.0).contains(&x));
         }
     }
 }
